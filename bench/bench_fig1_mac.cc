@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Reproduction of Figure 1 / Section IV-A: the (32x4)-bit MAC unit in
+ * action. Demonstrates the 8-cycle (32x32)-bit multiply-accumulate,
+ * both access mechanisms (Algorithm 1: re-interpreted SWAP;
+ * Algorithm 2: R24-load trigger), and the instruction histogram of
+ * the 552-cycle ISE multiplication (paper: 204 LD/LDD of which 100
+ * trigger MACs, 40 ST, 83 MOVW, 40 SWAP, 31 NOP).
+ */
+
+#include "avrasm/assembler.hh"
+#include "avrgen/opf_harness.hh"
+#include "bench/bench_util.hh"
+#include "nt/opf_prime.hh"
+#include "support/random.hh"
+
+using namespace jaavr;
+using namespace jaavr::bench;
+
+namespace
+{
+
+uint64_t
+cyclesOf(const char *src, uint32_t a, uint32_t b)
+{
+    Machine m(CpuMode::ISE);
+    m.loadProgram(assemble(src, "fig1").words);
+    m.writeBytes(0x0200, {uint8_t(a), uint8_t(a >> 8), uint8_t(a >> 16),
+                          uint8_t(a >> 24)});
+    m.writeBytes(0x0210, {uint8_t(b), uint8_t(b >> 8), uint8_t(b >> 16),
+                          uint8_t(b >> 24)});
+    m.setY(0x0200);
+    m.setZ(0x0210);
+    return m.call(0) - 4 /* ret */;
+}
+
+// Algorithm 1 (paper listing): operand loads + eight SWAPs.
+const char *kAlg1 = R"(
+    .equ MACCR = 0x3c
+    ldi r20, 0x01
+    out MACCR, r20
+    ld  r16, Y+
+    ld  r17, Y+
+    ld  r18, Y+
+    ld  r19, Y+
+    ld  r20, Z+
+    ld  r21, Z+
+    ld  r22, Z+
+    ld  r23, Z+
+    swap r20
+    swap r20
+    swap r21
+    swap r21
+    swap r22
+    swap r22
+    swap r23
+    swap r23
+    ret
+)";
+
+// Algorithm 2 (paper listing): R24 loads trigger MAC pairs; the NOPs
+// are the data-dependency bubbles of the listing.
+const char *kAlg2 = R"(
+    .equ MACCR = 0x3c
+    ldi r20, 0x02
+    out MACCR, r20
+    ldd r16, Y+0
+    ldd r17, Y+1
+    ldd r18, Y+2
+    ldd r19, Y+3
+    ldd r24, Z+0
+    nop
+    ldd r24, Z+1
+    nop
+    ldd r24, Z+2
+    nop
+    ldd r24, Z+3
+    nop
+    nop
+    ret
+)";
+
+} // anonymous namespace
+
+int
+main()
+{
+    heading("Figure 1 / Section IV-A: the (32x4)-bit MAC unit");
+
+    Rng rng(0xf161);
+    uint32_t a = rng.next32(), b = rng.next32();
+
+    // Pure MAC sequence: 8 SWAP-MACs = 8 cycles.
+    uint64_t alg1 = cyclesOf(kAlg1, a, b);
+    uint64_t alg2 = cyclesOf(kAlg2, a, b);
+    note("a full (32x32)-bit multiplication is composed of eight "
+         "(32x4)-bit MAC operations:");
+    row("Algorithm 1 MAC phase (8 swaps)", 8, alg1 - 2 - 8, "cyc");
+    note("  (total sequence incl. mode setup and 8 operand-byte "
+         "loads: " + std::to_string(alg1) + " cycles)");
+    row("Algorithm 2 full listing", 13, alg2 - 2, "cyc");
+    note("  (4 A-operand loads + 4 trigger loads + 5 bubble slots; "
+         "MACs add zero cycles)");
+
+    heading("Instruction histogram of the ISE OPF multiplication");
+    OpfPrime prime = paperOpfPrime();
+    OpfField f(prime);
+    OpfAvrLibrary ise(prime, CpuMode::ISE);
+    auto wa = f.fromBig(BigUInt::randomBits(rng, 160));
+    auto wb = f.fromBig(BigUInt::randomBits(rng, 160));
+    ise.machine().resetStats();
+    OpfRun run = ise.mul(wa, wb);
+    const ExecStats &st = ise.machine().stats();
+
+    uint64_t loads = st.count(Op::LDD_Y) + st.count(Op::LDD_Z) +
+                     st.count(Op::LDS) + st.count(Op::LD_X) +
+                     st.count(Op::LD_X_INC) + st.count(Op::LD_Y_INC) +
+                     st.count(Op::LD_Z_INC);
+    uint64_t stores = st.count(Op::STS) + st.count(Op::ST_X) +
+                      st.count(Op::ST_X_INC) + st.count(Op::STD_Y) +
+                      st.count(Op::STD_Z);
+    row("total cycles", 552, run.cycles, "cyc");
+    row("LD/LDD instructions", 204, loads, "");
+    row("  of which MAC triggers", 100, ise.machine().mac().totalMacs() / 2
+            - 40 / 2 /* SWAP MACs excluded */, "");
+    row("ST/STS instructions", 40, stores, "");
+    row("MOVW instructions", 83, st.count(Op::MOVW), "");
+    row("SWAP instructions", 40, st.count(Op::SWAP), "");
+    row("NOP instructions", 31, st.count(Op::NOP), "");
+    row("MAC operations (25 blocks + 5 reductions) * 8", 240,
+        ise.machine().mac().totalMacs(), "");
+    return 0;
+}

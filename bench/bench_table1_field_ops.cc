@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduction of Table I: runtimes of the 160-bit OPF field
+ * operations in the three processor modes (CA / FAST / ISE), measured
+ * by running the generated assembly routines on the instruction-set
+ * simulator, plus the JAAVR core area from the calibrated model.
+ */
+
+#include "avrgen/opf_harness.hh"
+#include "bench/bench_util.hh"
+#include "model/area_power.hh"
+#include "model/field_costs.hh"
+#include "nt/opf_prime.hh"
+#include "support/random.hh"
+
+using namespace jaavr;
+using namespace jaavr::bench;
+
+namespace
+{
+
+struct PaperRow
+{
+    const char *op;
+    double ca, fast, ise;
+};
+
+const PaperRow kPaper[] = {
+    {"Addition", 240, 145, 145},
+    {"Subtraction", 240, 145, 145},
+    {"Multiplication", 3314, 2537, 552},
+    {"Inversion", 189000, 128000, 124000},
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    heading("Table I: arithmetic operations in a 160-bit OPF [cycles]");
+    note("p = 65356 * 2^144 + 1; routines generated and run on the ISS");
+
+    const OpfPrime &prime = paperOpfPrime();
+    FieldCycleCosts costs[3] = {
+        opfFieldCosts(prime, CpuMode::CA),
+        opfFieldCosts(prime, CpuMode::FAST),
+        opfFieldCosts(prime, CpuMode::ISE),
+    };
+    CpuMode modes[3] = {CpuMode::CA, CpuMode::FAST, CpuMode::ISE};
+
+    for (const PaperRow &pr : kPaper) {
+        double paper_vals[3] = {pr.ca, pr.fast, pr.ise};
+        for (int m = 0; m < 3; m++) {
+            const FieldCycleCosts &c = costs[m];
+            double measured = 0;
+            std::string op = pr.op;
+            if (op == "Addition")
+                measured = c.add;
+            else if (op == "Subtraction")
+                measured = c.sub;
+            else if (op == "Multiplication")
+                measured = c.mul;
+            else
+                measured = c.inv;
+            row(op + std::string(" (") + cpuModeName(modes[m]) + ")",
+                paper_vals[m], measured, "cyc");
+        }
+        separator();
+    }
+
+    heading("Table I: chip area of the JAAVR core [GE]");
+    double paper_ge[3] = {6166, 6800, 8344};
+    for (int m = 0; m < 3; m++)
+        row(std::string("JAAVR core (") + cpuModeName(modes[m]) + ")",
+            paper_ge[m], AreaModel::coreGe(modes[m]), "GE");
+    note("core GE values are model calibration constants (DESIGN.md "
+         "substitution #2); cycle numbers above are ISS measurements.");
+
+    heading("Section V-A claims");
+    double add_speedup = double(costs[0].add) / costs[1].add;
+    double mul_speedup_fast = double(costs[0].mul) / costs[1].mul;
+    double mul_speedup_ise_fast = double(costs[1].mul) / costs[2].mul;
+    double mul_speedup_ise_ca = double(costs[0].mul) / costs[2].mul;
+    rowF("add speed-up CA->FAST", 1.65, add_speedup, "x");
+    rowF("mul speed-up CA->FAST", 1.31, mul_speedup_fast, "x");
+    rowF("mul speed-up FAST->ISE", 4.6, mul_speedup_ise_fast, "x");
+    rowF("mul speed-up CA->ISE", 6.0, mul_speedup_ise_ca, "x");
+    return 0;
+}

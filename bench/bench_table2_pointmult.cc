@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduction of Table II: point-multiplication times on a standard
+ * ATmega128 (JAAVR in CA mode) for all five curves, with both the
+ * high-speed and the constant-execution-pattern method per curve.
+ * The real algorithms run on the host golden model while every field
+ * operation is charged its ISS-measured cycle cost.
+ */
+
+#include "bench/bench_util.hh"
+#include "model/experiments.hh"
+
+using namespace jaavr;
+using namespace jaavr::bench;
+
+namespace
+{
+
+struct Config
+{
+    CurveId curve;
+    PmMethod method;
+    double paper_kcycles;
+};
+
+const Config kHighSpeed[] = {
+    {CurveId::Secp160r1, PmMethod::Naf, 7136},
+    {CurveId::WeierstrassOpf, PmMethod::Naf, 6983},
+    {CurveId::EdwardsOpf, PmMethod::Naf, 5597},
+    {CurveId::MontgomeryOpf, PmMethod::XzLadder, 5545},
+    {CurveId::GlvOpf, PmMethod::GlvJsf, 3930},
+};
+
+const Config kConstant[] = {
+    {CurveId::Secp160r1, PmMethod::CozLadder, 8722},
+    {CurveId::WeierstrassOpf, PmMethod::CozLadder, 8824},
+    {CurveId::EdwardsOpf, PmMethod::Daaa, 8251},
+    {CurveId::MontgomeryOpf, PmMethod::XzLadder, 5545},
+    {CurveId::GlvOpf, PmMethod::CozLadder, 8132},
+};
+
+void
+runSet(const char *title, const Config *configs, size_t n, Rng &rng)
+{
+    heading(title);
+    double glv_cycles = 0, best = 1e18;
+    for (size_t i = 0; i < n; i++) {
+        const Config &cfg = configs[i];
+        auto m = measurePointMultAvg(cfg.curve, cfg.method, CpuMode::CA,
+                                     rng, 5);
+        double kcyc = m.run.cycles / 1000.0;
+        row(std::string(curveName(cfg.curve)) + " (" +
+                methodName(cfg.method) + ")",
+            cfg.paper_kcycles, kcyc, "kcyc");
+        if (cfg.curve == CurveId::GlvOpf)
+            glv_cycles = kcyc;
+        best = std::min(best, kcyc);
+    }
+    if (glv_cycles > 0 && glv_cycles == best)
+        note("shape check: GLV is the fastest high-speed curve (as in "
+             "the paper)");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    Rng rng(0x7ab2e2);
+    runSet("Table II: high-speed point multiplication on ATmega128 "
+           "[kCycles]", kHighSpeed, 5, rng);
+    runSet("Table II: constant-pattern point multiplication [kCycles]",
+           kConstant, 5, rng);
+
+    heading("Section V-B relative slowdowns vs GLV (high-speed)");
+    Rng rng2(0x7ab2e3);
+    auto glv = measurePointMultAvg(CurveId::GlvOpf, PmMethod::GlvJsf,
+                                   CpuMode::CA, rng2, 5);
+    struct Rel { CurveId c; PmMethod m; double paper_pct; };
+    Rel rels[] = {
+        {CurveId::MontgomeryOpf, PmMethod::XzLadder, 41},
+        {CurveId::EdwardsOpf, PmMethod::Naf, 42},
+        {CurveId::WeierstrassOpf, PmMethod::Naf, 77},
+        {CurveId::Secp160r1, PmMethod::Naf, 82},
+    };
+    for (const Rel &r : rels) {
+        auto m = measurePointMultAvg(r.c, r.m, CpuMode::CA, rng2, 5);
+        double pct =
+            100.0 * (double(m.run.cycles) / glv.run.cycles - 1.0);
+        row(std::string(curveName(r.c)) + " slower than GLV by",
+            r.paper_pct, pct, "%");
+    }
+    return 0;
+}

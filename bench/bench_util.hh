@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared console-reporting helpers for the table-reproduction
+ * benchmark binaries: every bench prints the paper's reported value
+ * next to the value this reproduction measures, plus their ratio, so
+ * the shape comparison is immediate.
+ */
+
+#ifndef JAAVR_BENCH_BENCH_UTIL_HH
+#define JAAVR_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace jaavr::bench
+{
+
+inline void
+heading(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("  %s\n", text.c_str());
+}
+
+/** Print one paper-vs-measured row with the measured/paper ratio. */
+inline void
+row(const std::string &label, double paper, double measured,
+    const char *unit)
+{
+    std::printf("  %-38s paper %12.0f %-7s  measured %12.0f  (x%.2f)\n",
+                label.c_str(), paper, unit, measured,
+                paper > 0 ? measured / paper : 0.0);
+}
+
+/** Paper-vs-measured row for small ratios (two decimals). */
+inline void
+rowF(const std::string &label, double paper, double measured,
+     const char *unit)
+{
+    std::printf("  %-38s paper %12.2f %-7s  measured %12.2f  (x%.2f)\n",
+                label.c_str(), paper, unit, measured,
+                paper > 0 ? measured / paper : 0.0);
+}
+
+/** Row without a paper reference value. */
+inline void
+rowMeasured(const std::string &label, double measured, const char *unit)
+{
+    std::printf("  %-38s %43s %12.0f %s\n", label.c_str(), "", measured,
+                unit);
+}
+
+inline void
+separator()
+{
+    std::printf("  %s\n", std::string(96, '-').c_str());
+}
+
+} // namespace jaavr::bench
+
+#endif // JAAVR_BENCH_BENCH_UTIL_HH

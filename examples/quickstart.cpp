@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: Elliptic-Curve Diffie-Hellman over the paper's
+ * Montgomery OPF curve using the x-only ladder — the protocol the
+ * paper's constant-time rows are built for (no precomputation, base
+ * point not fixed, regular execution pattern).
+ *
+ * Demonstrates the three layers of the library:
+ *   1. the curve API (x-only ladder over an Optimal Prime Field),
+ *   2. the cycle-accounting executor with ISS-measured field costs,
+ *   3. the processor-mode comparison (ATmega128-compatible CA mode
+ *      vs. JAAVR FAST vs. the MAC-extended ISE).
+ */
+
+#include <cstdio>
+
+#include "curves/standard_curves.hh"
+#include "model/experiments.hh"
+
+using namespace jaavr;
+
+int
+main()
+{
+    std::printf("== jaavr-ecc quickstart: x-only ECDH over a 160-bit "
+                "OPF ==\n\n");
+
+    const MontgomeryCurve &curve = montgomeryOpfCurve();
+    const PrimeField &field = curve.field();
+    BigUInt base_x = montgomeryOpfBasePoint().x;
+
+    std::printf("curve: B*y^2 = x^3 + A*x^2 + x over p = 65356*2^144+1\n");
+    std::printf("  A = %s ((A+2)/4 = %u, a small constant)\n",
+                curve.coeffA().toHex().c_str(), curve.a24());
+    std::printf("  base point x = %s\n\n", base_x.toHex().c_str());
+
+    // --- Key exchange -----------------------------------------------
+    Rng rng(0xec0d);  // NOT a CSPRNG; replace for production use
+    BigUInt alice_secret = BigUInt(1) + BigUInt::randomBits(rng, 159);
+    BigUInt bob_secret = BigUInt(1) + BigUInt::randomBits(rng, 159);
+
+    auto alice_public = curve.ladder(alice_secret, base_x);
+    auto bob_public = curve.ladder(bob_secret, base_x);
+    std::printf("Alice public x: %s\n", alice_public->toHex().c_str());
+    std::printf("Bob   public x: %s\n\n", bob_public->toHex().c_str());
+
+    auto alice_shared = curve.ladder(alice_secret, *bob_public);
+    auto bob_shared = curve.ladder(bob_secret, *alice_public);
+    std::printf("Alice shared secret: %s\n", alice_shared->toHex().c_str());
+    std::printf("Bob   shared secret: %s\n", bob_shared->toHex().c_str());
+    std::printf("secrets match: %s\n\n",
+                *alice_shared == *bob_shared ? "YES" : "NO -- BUG");
+    if (*alice_shared != *bob_shared)
+        return 1;
+
+    // --- What would this cost on the ASIP? ---------------------------
+    std::printf("cost of one ladder scalar multiplication "
+                "(ISS-measured field ops):\n");
+    for (CpuMode mode : {CpuMode::CA, CpuMode::FAST, CpuMode::ISE}) {
+        CycleExecutor exec(opfFieldCosts(paperOpfPrime(), mode));
+        MeasuredRun run = exec.measure(field, [&] {
+            curve.ladder(alice_secret, *bob_public);
+        });
+        std::printf("  %-5s %9llu cycles  (%6.1f ms at 7.3728 MHz, "
+                    "%5.1f ms at 20 MHz)\n",
+                    cpuModeName(mode),
+                    static_cast<unsigned long long>(run.cycles),
+                    run.cycles / 7372.8, run.cycles / 20000.0);
+    }
+    std::printf("\nThe MICAz-class sensor node (7.3728 MHz) finishes a "
+                "full key\nexchange in well under a second once the MAC "
+                "unit is enabled.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * AVR instruction-set definitions: the operation list, the decoded
+ * instruction record, the decoder, and the disassembler.
+ *
+ * The set covers the full ATmega128 ISA as used by compiled and
+ * hand-written code (the JAAVR soft core the paper builds on is
+ * "fully instruction-set compatible with the original ATmega128").
+ */
+
+#ifndef JAAVR_AVR_ISA_HH
+#define JAAVR_AVR_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace jaavr
+{
+
+/** AVR operations (addressing variants are distinct entries). */
+enum class Op : uint8_t
+{
+    // Register-register arithmetic and logic.
+    ADD, ADC, SUB, SBC, AND, OR, EOR, MOV, CP, CPC, CPSE, MUL,
+    MULS, MULSU, FMUL, FMULS, FMULSU, MOVW,
+    // Register-immediate.
+    SUBI, SBCI, ANDI, ORI, CPI, LDI,
+    // 16-bit immediate pairs.
+    ADIW, SBIW,
+    // Single-register.
+    COM, NEG, SWAP, INC, DEC, ASR, LSR, ROR,
+    // Flag and bit manipulation.
+    BSET, BCLR, BLD, BST, SBI, CBI, SBIC, SBIS,
+    // I/O.
+    IN, OUT,
+    // Data transfer.
+    LD_X, LD_X_INC, LD_X_DEC,
+    LDD_Y, LD_Y_INC, LD_Y_DEC,
+    LDD_Z, LD_Z_INC, LD_Z_DEC,
+    LDS,
+    ST_X, ST_X_INC, ST_X_DEC,
+    STD_Y, ST_Y_INC, ST_Y_DEC,
+    STD_Z, ST_Z_INC, ST_Z_DEC,
+    STS,
+    PUSH, POP,
+    LPM_R0, LPM, LPM_INC,
+    // Control flow.
+    RJMP, RCALL, JMP, CALL, RET, RETI, IJMP, ICALL,
+    BRBS, BRBC, SBRC, SBRS,
+    // Misc.
+    NOP, SLEEP, WDR, BREAK,
+
+    INVALID,
+};
+
+/** Decoded instruction. */
+struct Inst
+{
+    Op op = Op::INVALID;
+    uint8_t rd = 0;    ///< destination register index
+    uint8_t rr = 0;    ///< source register index
+    uint8_t imm = 0;   ///< 8-bit immediate / I/O address / bit index
+    uint8_t bit = 0;   ///< bit number (BLD/BST/SBRC/BRBS/...)
+    int16_t disp = 0;  ///< signed branch displacement (words) / LDD q
+    uint32_t k = 0;    ///< 16/22-bit absolute address (LDS/STS/JMP/CALL)
+    uint8_t words = 1; ///< encoding length in 16-bit words
+};
+
+/**
+ * Decode an instruction from its first word @p w0 and (for two-word
+ * encodings) the following word @p w1. Returns Op::INVALID for
+ * reserved encodings.
+ */
+Inst decode(uint16_t w0, uint16_t w1);
+
+/** Mnemonic of an operation. */
+const char *opName(Op op);
+
+/** Human-readable disassembly ("ldd r24, Z+3"). */
+std::string disassemble(const Inst &inst);
+
+/** True for 2-word encodings (needed by skip instructions). */
+bool isTwoWord(uint16_t w0);
+
+} // namespace jaavr
+
+#endif // JAAVR_AVR_ISA_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The (32 x 4)-bit Multiply-Accumulate unit of the paper (Fig. 1).
+ *
+ * Structure, mirrored from the figure and Section IV-A:
+ *  - first operand: the 32-bit word in registers R16..R19;
+ *  - second operand: a 4-bit nibble (from the SWAP-ed register in
+ *    Algorithm 1 mode, or from the byte loaded into R24 in
+ *    Algorithm 2 mode);
+ *  - a (32 x 4)-bit multiplier producing a 36-bit product;
+ *  - a barrel shifter shifting the product left by 4 * counter bits
+ *    (counter auto-increments and wraps after eight MACs);
+ *  - a 72-bit adder accumulating into the fixed registers R0..R8.
+ *
+ * All of this retires in a single clock cycle and does not stall the
+ * integer pipeline; the hazard rule is that the two instructions in
+ * the shadow of an Algorithm-2 trigger must not touch the 13
+ * registers {R0..R8, R16..R19} (enforced by the Machine).
+ */
+
+#ifndef JAAVR_AVR_MAC_UNIT_HH
+#define JAAVR_AVR_MAC_UNIT_HH
+
+#include <array>
+#include <cstdint>
+
+namespace jaavr
+{
+
+class MacUnit
+{
+  public:
+    /** MACCR control-register bits (I/O-mapped, see Machine). */
+    static constexpr uint8_t ctrlSwapMode = 0x01; ///< Algorithm 1
+    static constexpr uint8_t ctrlLoadMode = 0x02; ///< Algorithm 2
+
+    /**
+     * Reset counter and pending state (on MACCR writes). The MAC
+     * statistics counter deliberately survives: it is observability
+     * state, not architectural state.
+     */
+    void
+    reset()
+    {
+        counter = 0;
+        pending = 0;
+    }
+
+    /**
+     * One (32 x 4)-bit MAC: regs[0..8] (the 72-bit accumulator)
+     * += (regs[16..19] as a little-endian u32) * nibble << 4*counter;
+     * the counter then advances (mod 8).
+     *
+     * @param regs the machine's general-purpose register file
+     * @param nibble 4-bit multiplier digit
+     */
+    void
+    mac(std::array<uint8_t, 32> &regs, uint8_t nibble)
+    {
+        uint32_t word = static_cast<uint32_t>(regs[16]) |
+                        static_cast<uint32_t>(regs[17]) << 8 |
+                        static_cast<uint32_t>(regs[18]) << 16 |
+                        static_cast<uint32_t>(regs[19]) << 24;
+        // 36-bit product through the barrel shifter (<= 64 bits).
+        uint64_t shifted = (static_cast<uint64_t>(word) * (nibble & 0xf))
+                           << (4 * counter);
+        // 72-bit accumulate into R0..R8.
+        unsigned __int128 acc = 0;
+        for (int i = 8; i >= 0; i--)
+            acc = (acc << 8) | regs[i];
+        acc += shifted;
+        for (int i = 0; i <= 8; i++) {
+            regs[i] = static_cast<uint8_t>(acc);
+            acc >>= 8;
+        }
+        counter = (counter + 1) & 7;
+        macsPerformed++;
+    }
+
+    /** Barrel-shifter counter (0..7). */
+    uint8_t shiftCounter() const { return counter; }
+
+    /** Outstanding Algorithm-2 shadow cycles (0..2). */
+    uint8_t pendingShadow() const { return pending; }
+    void setPendingShadow(uint8_t p) { pending = p; }
+
+    /** Total MAC operations performed (statistics). */
+    uint64_t totalMacs() const { return macsPerformed; }
+
+  private:
+    uint8_t counter = 0;
+    uint8_t pending = 0;
+    uint64_t macsPerformed = 0;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_AVR_MAC_UNIT_HH

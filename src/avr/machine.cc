@@ -1,0 +1,760 @@
+#include "avr/machine.hh"
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+Machine::Machine(CpuMode mode)
+    : cpuMode(mode),
+      sram(dataSpace - sramBase, 0),
+      flash(flashWords, 0xffff)
+{
+    reset();
+}
+
+void
+Machine::loadProgram(const std::vector<uint16_t> &words, uint32_t word_addr)
+{
+    if (word_addr + words.size() > flashWords)
+        fatal("Machine::loadProgram: program does not fit in flash");
+    for (size_t i = 0; i < words.size(); i++)
+        flash[word_addr + i] = words[i];
+}
+
+void
+Machine::reset()
+{
+    regs.fill(0);
+    io.fill(0);
+    std::fill(sram.begin(), sram.end(), 0);
+    sregBits = 0;
+    pcWord = 0;
+    macUnit.reset();
+    execStats.reset();
+    setSp(0x10ff);  // top of the ATmega128's internal SRAM
+}
+
+uint16_t
+Machine::regPair(unsigned i) const
+{
+    return static_cast<uint16_t>(regs[i]) |
+           (static_cast<uint16_t>(regs[i + 1]) << 8);
+}
+
+void
+Machine::setRegPair(unsigned i, uint16_t v)
+{
+    regs[i] = static_cast<uint8_t>(v);
+    regs[i + 1] = static_cast<uint8_t>(v >> 8);
+}
+
+uint8_t
+Machine::readData(uint16_t addr) const
+{
+    if (addr < 0x20)
+        return regs[addr];
+    if (addr < 0x60) {
+        uint8_t ioaddr = addr - ioBase;
+        if (ioaddr == 0x3f)
+            return sregBits;
+        return io[ioaddr];
+    }
+    if (addr < sramBase)
+        return 0;  // extended I/O, unused on this ASIP
+    return sram[addr - sramBase];
+}
+
+void
+Machine::writeData(uint16_t addr, uint8_t v)
+{
+    if (addr < 0x20) {
+        regs[addr] = v;
+        return;
+    }
+    if (addr < 0x60) {
+        uint8_t ioaddr = addr - ioBase;
+        if (ioaddr == 0x3f) {
+            sregBits = v;
+            return;
+        }
+        if (ioaddr == ioMaccr)
+            macUnit.reset();
+        io[ioaddr] = v;
+        return;
+    }
+    if (addr < sramBase)
+        return;
+    sram[addr - sramBase] = v;
+}
+
+void
+Machine::writeBytes(uint16_t addr, const std::vector<uint8_t> &bytes)
+{
+    for (size_t i = 0; i < bytes.size(); i++)
+        writeData(addr + i, bytes[i]);
+}
+
+std::vector<uint8_t>
+Machine::readBytes(uint16_t addr, size_t len) const
+{
+    std::vector<uint8_t> out(len);
+    for (size_t i = 0; i < len; i++)
+        out[i] = readData(addr + i);
+    return out;
+}
+
+uint16_t
+Machine::sp() const
+{
+    return static_cast<uint16_t>(io[0x3d]) |
+           (static_cast<uint16_t>(io[0x3e]) << 8);
+}
+
+void
+Machine::setSp(uint16_t v)
+{
+    io[0x3d] = static_cast<uint8_t>(v);
+    io[0x3e] = static_cast<uint8_t>(v >> 8);
+}
+
+void
+Machine::setMaccr(uint8_t v)
+{
+    macUnit.reset();
+    io[ioMaccr] = v;
+}
+
+void
+Machine::setFlag(unsigned f, bool v)
+{
+    if (v)
+        sregBits |= 1u << f;
+    else
+        sregBits &= ~(1u << f);
+}
+
+void
+Machine::setZns(uint8_t r)
+{
+    setFlag(fZ, r == 0);
+    setFlag(fN, r & 0x80);
+    setFlag(fS, flag(fN) != flag(fV));
+}
+
+void
+Machine::addFlags(uint8_t d, uint8_t s, uint8_t r)
+{
+    setFlag(fH, ((d & s) | (s & ~r) | (~r & d)) & 0x08);
+    setFlag(fC, ((d & s) | (s & ~r) | (~r & d)) & 0x80);
+    setFlag(fV, ((d & s & ~r) | (~d & ~s & r)) & 0x80);
+    setZns(r);
+}
+
+void
+Machine::subFlags(uint8_t d, uint8_t s, uint8_t r, bool keep_z)
+{
+    setFlag(fH, ((~d & s) | (s & r) | (r & ~d)) & 0x08);
+    setFlag(fC, ((~d & s) | (s & r) | (r & ~d)) & 0x80);
+    setFlag(fV, ((d & ~s & ~r) | (~d & s & r)) & 0x80);
+    setFlag(fN, r & 0x80);
+    setFlag(fS, flag(fN) != flag(fV));
+    if (keep_z)
+        setFlag(fZ, (r == 0) && flag(fZ));
+    else
+        setFlag(fZ, r == 0);
+}
+
+void
+Machine::push8(uint8_t v)
+{
+    writeData(sp(), v);
+    setSp(sp() - 1);
+}
+
+uint8_t
+Machine::pop8()
+{
+    setSp(sp() + 1);
+    return readData(sp());
+}
+
+void
+Machine::pushPc(uint32_t pc)
+{
+    // Low byte pushed first, high byte second (popped in reverse).
+    push8(static_cast<uint8_t>(pc));
+    push8(static_cast<uint8_t>(pc >> 8));
+}
+
+uint32_t
+Machine::popPc()
+{
+    uint32_t hi = pop8();
+    uint32_t lo = pop8();
+    return (hi << 8) | lo;
+}
+
+uint16_t
+Machine::fetch(uint32_t word_addr) const
+{
+    return flash[word_addr & (flashWords - 1)];
+}
+
+bool
+Machine::touchesMacRegs(const Inst &inst) const
+{
+    auto in_set = [](unsigned r) { return r <= 8 || (r >= 16 && r <= 19); };
+
+    switch (inst.op) {
+      // MUL family writes R1:R0 and reads rd/rr.
+      case Op::MUL: case Op::MULS: case Op::MULSU:
+      case Op::FMUL: case Op::FMULS: case Op::FMULSU:
+        return true;
+      case Op::MOVW:
+        return in_set(inst.rd) || in_set(inst.rd + 1) ||
+               in_set(inst.rr) || in_set(inst.rr + 1);
+      case Op::ADIW: case Op::SBIW:
+        return in_set(inst.rd) || in_set(inst.rd + 1);
+      // Two-register ops.
+      case Op::ADD: case Op::ADC: case Op::SUB: case Op::SBC:
+      case Op::AND: case Op::OR: case Op::EOR: case Op::MOV:
+      case Op::CP: case Op::CPC: case Op::CPSE:
+        return in_set(inst.rd) || in_set(inst.rr);
+      // Single-register ops (loads/stores/immediates included).
+      case Op::SUBI: case Op::SBCI: case Op::ANDI: case Op::ORI:
+      case Op::CPI: case Op::LDI: case Op::COM: case Op::NEG:
+      case Op::SWAP: case Op::INC: case Op::DEC: case Op::ASR:
+      case Op::LSR: case Op::ROR: case Op::BLD: case Op::BST:
+      case Op::SBRC: case Op::SBRS: case Op::IN: case Op::OUT:
+      case Op::PUSH: case Op::POP: case Op::LDS: case Op::STS:
+      case Op::LD_X: case Op::LD_X_INC: case Op::LD_X_DEC:
+      case Op::LDD_Y: case Op::LD_Y_INC: case Op::LD_Y_DEC:
+      case Op::LDD_Z: case Op::LD_Z_INC: case Op::LD_Z_DEC:
+      case Op::ST_X: case Op::ST_X_INC: case Op::ST_X_DEC:
+      case Op::STD_Y: case Op::ST_Y_INC: case Op::ST_Y_DEC:
+      case Op::STD_Z: case Op::ST_Z_INC: case Op::ST_Z_DEC:
+      case Op::LPM: case Op::LPM_INC:
+        return in_set(inst.rd);
+      case Op::LPM_R0:
+        return true;  // writes R0
+      default:
+        return false;
+    }
+}
+
+void
+Machine::triggerLoadMac(uint8_t value)
+{
+    // The two micro-MACs are applied immediately; the shadow counter
+    // plus the hazard checks in step() make that indistinguishable
+    // from the real one-per-following-cycle retirement.
+    macUnit.mac(regs, value & 0x0f);
+    macUnit.mac(regs, value >> 4);
+}
+
+unsigned
+Machine::step()
+{
+    uint32_t pc0 = pcWord;
+    uint16_t w0 = fetch(pc0);
+    uint16_t w1 = fetch(pc0 + 1);
+    Inst inst = decode(w0, w1);
+
+    if (inst.op == Op::INVALID)
+        panic("invalid opcode 0x%04x at pc=0x%x", w0, pc0);
+
+    if (trace)
+        inform("%6llu  %04x: %s",
+               static_cast<unsigned long long>(execStats.cycles), pc0,
+               disassemble(inst).c_str());
+
+    // MAC shadow hazard check (Algorithm 2's 13-register rule): the
+    // instructions executing while MAC micro-ops are pending must not
+    // touch {R0..R8, R16..R19}. A new R24 load is allowed (pipelined
+    // retriggering) unless both micro-ops of the previous trigger are
+    // still outstanding.
+    bool ise = cpuMode == CpuMode::ISE;
+    bool load_mac = ise && (io[ioMaccr] & MacUnit::ctrlLoadMode);
+    bool swap_mac = ise && (io[ioMaccr] & MacUnit::ctrlSwapMode);
+    const uint8_t shadow = macUnit.pendingShadow();
+    bool is_r24_load =
+        load_mac && inst.rd == 24 &&
+        (inst.op == Op::LDD_Y || inst.op == Op::LDD_Z ||
+         inst.op == Op::LD_X || inst.op == Op::LD_X_INC ||
+         inst.op == Op::LD_Y_INC || inst.op == Op::LD_Z_INC ||
+         inst.op == Op::LDS);
+    if (shadow > 0 && touchesMacRegs(inst) && !is_r24_load)
+        panic("MAC hazard: '%s' touches R0-R8/R16-R19 in the MAC "
+              "shadow (pc=0x%x)", disassemble(inst).c_str(), pc0);
+    if (shadow >= 2 && is_r24_load)
+        panic("MAC hazard: back-to-back Algorithm-2 triggers "
+              "(pc=0x%x)", pc0);
+
+    uint32_t next_pc = pc0 + inst.words;
+    unsigned cycles = baseCycles(inst.op, cpuMode);
+    bool mac_triggered = false;
+
+    auto ld_trigger = [&](uint8_t v, uint8_t rd) {
+        if (load_mac && rd == 24) {
+            triggerLoadMac(v);
+            mac_triggered = true;
+        }
+    };
+
+    switch (inst.op) {
+      case Op::ADD: {
+        uint8_t d = regs[inst.rd], s = regs[inst.rr];
+        uint8_t r = d + s;
+        regs[inst.rd] = r;
+        addFlags(d, s, r);
+        break;
+      }
+      case Op::ADC: {
+        uint8_t d = regs[inst.rd], s = regs[inst.rr];
+        uint8_t r = d + s + (flag(fC) ? 1 : 0);
+        regs[inst.rd] = r;
+        addFlags(d, s, r);
+        break;
+      }
+      case Op::SUB: {
+        uint8_t d = regs[inst.rd], s = regs[inst.rr];
+        uint8_t r = d - s;
+        regs[inst.rd] = r;
+        subFlags(d, s, r, false);
+        break;
+      }
+      case Op::SBC: {
+        uint8_t d = regs[inst.rd], s = regs[inst.rr];
+        uint8_t r = d - s - (flag(fC) ? 1 : 0);
+        regs[inst.rd] = r;
+        subFlags(d, s, r, true);
+        break;
+      }
+      case Op::SUBI: {
+        uint8_t d = regs[inst.rd];
+        uint8_t r = d - inst.imm;
+        regs[inst.rd] = r;
+        subFlags(d, inst.imm, r, false);
+        break;
+      }
+      case Op::SBCI: {
+        uint8_t d = regs[inst.rd];
+        uint8_t r = d - inst.imm - (flag(fC) ? 1 : 0);
+        regs[inst.rd] = r;
+        subFlags(d, inst.imm, r, true);
+        break;
+      }
+      case Op::CP: {
+        uint8_t d = regs[inst.rd], s = regs[inst.rr];
+        subFlags(d, s, d - s, false);
+        break;
+      }
+      case Op::CPC: {
+        uint8_t d = regs[inst.rd], s = regs[inst.rr];
+        uint8_t r = d - s - (flag(fC) ? 1 : 0);
+        subFlags(d, s, r, true);
+        break;
+      }
+      case Op::CPI: {
+        uint8_t d = regs[inst.rd];
+        subFlags(d, inst.imm, d - inst.imm, false);
+        break;
+      }
+      case Op::AND: case Op::ANDI: {
+        uint8_t s = inst.op == Op::AND ? regs[inst.rr] : inst.imm;
+        uint8_t r = regs[inst.rd] & s;
+        regs[inst.rd] = r;
+        setFlag(fV, false);
+        setZns(r);
+        break;
+      }
+      case Op::OR: case Op::ORI: {
+        uint8_t s = inst.op == Op::OR ? regs[inst.rr] : inst.imm;
+        uint8_t r = regs[inst.rd] | s;
+        regs[inst.rd] = r;
+        setFlag(fV, false);
+        setZns(r);
+        break;
+      }
+      case Op::EOR: {
+        uint8_t r = regs[inst.rd] ^ regs[inst.rr];
+        regs[inst.rd] = r;
+        setFlag(fV, false);
+        setZns(r);
+        break;
+      }
+      case Op::MOV:
+        regs[inst.rd] = regs[inst.rr];
+        break;
+      case Op::MOVW:
+        regs[inst.rd] = regs[inst.rr];
+        regs[inst.rd + 1] = regs[inst.rr + 1];
+        break;
+      case Op::LDI:
+        regs[inst.rd] = inst.imm;
+        break;
+      case Op::ADIW: {
+        uint16_t d = regPair(inst.rd);
+        uint16_t r = d + inst.imm;
+        setRegPair(inst.rd, r);
+        setFlag(fV, !(d & 0x8000) && (r & 0x8000));
+        setFlag(fC, !(r & 0x8000) && (d & 0x8000));
+        setFlag(fN, r & 0x8000);
+        setFlag(fZ, r == 0);
+        setFlag(fS, flag(fN) != flag(fV));
+        break;
+      }
+      case Op::SBIW: {
+        uint16_t d = regPair(inst.rd);
+        uint16_t r = d - inst.imm;
+        setRegPair(inst.rd, r);
+        setFlag(fV, (d & 0x8000) && !(r & 0x8000));
+        setFlag(fC, (r & 0x8000) && !(d & 0x8000));
+        setFlag(fN, r & 0x8000);
+        setFlag(fZ, r == 0);
+        setFlag(fS, flag(fN) != flag(fV));
+        break;
+      }
+      case Op::MUL: {
+        uint16_t p = static_cast<uint16_t>(regs[inst.rd]) * regs[inst.rr];
+        regs[0] = static_cast<uint8_t>(p);
+        regs[1] = static_cast<uint8_t>(p >> 8);
+        setFlag(fC, p & 0x8000);
+        setFlag(fZ, p == 0);
+        break;
+      }
+      case Op::MULS: {
+        int16_t p = static_cast<int16_t>(static_cast<int8_t>(regs[inst.rd])) *
+                    static_cast<int8_t>(regs[inst.rr]);
+        uint16_t u = static_cast<uint16_t>(p);
+        regs[0] = static_cast<uint8_t>(u);
+        regs[1] = static_cast<uint8_t>(u >> 8);
+        setFlag(fC, u & 0x8000);
+        setFlag(fZ, u == 0);
+        break;
+      }
+      case Op::MULSU: {
+        int16_t p = static_cast<int16_t>(static_cast<int8_t>(regs[inst.rd])) *
+                    static_cast<uint8_t>(regs[inst.rr]);
+        uint16_t u = static_cast<uint16_t>(p);
+        regs[0] = static_cast<uint8_t>(u);
+        regs[1] = static_cast<uint8_t>(u >> 8);
+        setFlag(fC, u & 0x8000);
+        setFlag(fZ, u == 0);
+        break;
+      }
+      case Op::FMUL: case Op::FMULS: case Op::FMULSU: {
+        int32_t p;
+        if (inst.op == Op::FMUL)
+            p = static_cast<uint16_t>(regs[inst.rd]) * regs[inst.rr];
+        else if (inst.op == Op::FMULS)
+            p = static_cast<int8_t>(regs[inst.rd]) *
+                static_cast<int8_t>(regs[inst.rr]);
+        else
+            p = static_cast<int8_t>(regs[inst.rd]) * regs[inst.rr];
+        uint16_t u = static_cast<uint16_t>(p);
+        setFlag(fC, u & 0x8000);
+        u <<= 1;
+        regs[0] = static_cast<uint8_t>(u);
+        regs[1] = static_cast<uint8_t>(u >> 8);
+        setFlag(fZ, u == 0);
+        break;
+      }
+      case Op::COM: {
+        uint8_t r = ~regs[inst.rd];
+        regs[inst.rd] = r;
+        setFlag(fC, true);
+        setFlag(fV, false);
+        setZns(r);
+        break;
+      }
+      case Op::NEG: {
+        uint8_t d = regs[inst.rd];
+        uint8_t r = -d;
+        regs[inst.rd] = r;
+        subFlags(0, d, r, false);
+        break;
+      }
+      case Op::SWAP: {
+        uint8_t d = regs[inst.rd];
+        if (swap_mac)
+            macUnit.mac(regs, d & 0x0f);
+        regs[inst.rd] = static_cast<uint8_t>((d << 4) | (d >> 4));
+        break;
+      }
+      case Op::INC: {
+        uint8_t r = regs[inst.rd] + 1;
+        regs[inst.rd] = r;
+        setFlag(fV, r == 0x80);
+        setZns(r);
+        break;
+      }
+      case Op::DEC: {
+        uint8_t r = regs[inst.rd] - 1;
+        regs[inst.rd] = r;
+        setFlag(fV, r == 0x7f);
+        setZns(r);
+        break;
+      }
+      case Op::ASR: {
+        uint8_t d = regs[inst.rd];
+        uint8_t r = static_cast<uint8_t>((d >> 1) | (d & 0x80));
+        regs[inst.rd] = r;
+        setFlag(fC, d & 1);
+        setFlag(fN, r & 0x80);
+        setFlag(fV, flag(fN) != flag(fC));
+        setFlag(fZ, r == 0);
+        setFlag(fS, flag(fN) != flag(fV));
+        break;
+      }
+      case Op::LSR: {
+        uint8_t d = regs[inst.rd];
+        uint8_t r = d >> 1;
+        regs[inst.rd] = r;
+        setFlag(fC, d & 1);
+        setFlag(fN, false);
+        setFlag(fV, flag(fN) != flag(fC));
+        setFlag(fZ, r == 0);
+        setFlag(fS, flag(fN) != flag(fV));
+        break;
+      }
+      case Op::ROR: {
+        uint8_t d = regs[inst.rd];
+        uint8_t r = static_cast<uint8_t>((d >> 1) | (flag(fC) ? 0x80 : 0));
+        regs[inst.rd] = r;
+        setFlag(fC, d & 1);
+        setFlag(fN, r & 0x80);
+        setFlag(fV, flag(fN) != flag(fC));
+        setFlag(fZ, r == 0);
+        setFlag(fS, flag(fN) != flag(fV));
+        break;
+      }
+      case Op::BSET:
+        setFlag(inst.bit, true);
+        break;
+      case Op::BCLR:
+        setFlag(inst.bit, false);
+        break;
+      case Op::BLD:
+        if (flag(fT))
+            regs[inst.rd] |= 1u << inst.bit;
+        else
+            regs[inst.rd] &= ~(1u << inst.bit);
+        break;
+      case Op::BST:
+        setFlag(fT, regs[inst.rd] & (1u << inst.bit));
+        break;
+      case Op::SBI:
+        writeData(ioBase + inst.imm,
+                  readData(ioBase + inst.imm) | (1u << inst.bit));
+        break;
+      case Op::CBI:
+        writeData(ioBase + inst.imm,
+                  readData(ioBase + inst.imm) & ~(1u << inst.bit));
+        break;
+      case Op::SBIC: case Op::SBIS: {
+        bool bit = readData(ioBase + inst.imm) & (1u << inst.bit);
+        bool skip = inst.op == Op::SBIS ? bit : !bit;
+        if (skip) {
+            bool two = isTwoWord(fetch(next_pc));
+            cycles += skipExtra(two);
+            next_pc += two ? 2 : 1;
+        }
+        break;
+      }
+      case Op::IN:
+        regs[inst.rd] = readData(ioBase + inst.imm);
+        break;
+      case Op::OUT:
+        writeData(ioBase + inst.imm, regs[inst.rd]);
+        break;
+
+      case Op::LD_X: case Op::LD_X_INC: case Op::LD_X_DEC: {
+        uint16_t a = x();
+        if (inst.op == Op::LD_X_DEC)
+            setX(--a);
+        uint8_t v = readData(a);
+        regs[inst.rd] = v;
+        if (inst.op == Op::LD_X_INC)
+            setX(a + 1);
+        ld_trigger(v, inst.rd);
+        break;
+      }
+      case Op::LD_Y_INC: case Op::LD_Y_DEC: case Op::LDD_Y: {
+        uint16_t a = y();
+        if (inst.op == Op::LD_Y_DEC)
+            setY(--a);
+        else if (inst.op == Op::LDD_Y)
+            a += inst.disp;
+        uint8_t v = readData(a);
+        regs[inst.rd] = v;
+        if (inst.op == Op::LD_Y_INC)
+            setY(a + 1);
+        ld_trigger(v, inst.rd);
+        break;
+      }
+      case Op::LD_Z_INC: case Op::LD_Z_DEC: case Op::LDD_Z: {
+        uint16_t a = z();
+        if (inst.op == Op::LD_Z_DEC)
+            setZ(--a);
+        else if (inst.op == Op::LDD_Z)
+            a += inst.disp;
+        uint8_t v = readData(a);
+        regs[inst.rd] = v;
+        if (inst.op == Op::LD_Z_INC)
+            setZ(a + 1);
+        ld_trigger(v, inst.rd);
+        break;
+      }
+      case Op::LDS: {
+        uint8_t v = readData(static_cast<uint16_t>(inst.k));
+        regs[inst.rd] = v;
+        ld_trigger(v, inst.rd);
+        break;
+      }
+      case Op::ST_X: case Op::ST_X_INC: case Op::ST_X_DEC: {
+        uint16_t a = x();
+        if (inst.op == Op::ST_X_DEC)
+            setX(--a);
+        writeData(a, regs[inst.rd]);
+        if (inst.op == Op::ST_X_INC)
+            setX(a + 1);
+        break;
+      }
+      case Op::ST_Y_INC: case Op::ST_Y_DEC: case Op::STD_Y: {
+        uint16_t a = y();
+        if (inst.op == Op::ST_Y_DEC)
+            setY(--a);
+        else if (inst.op == Op::STD_Y)
+            a += inst.disp;
+        writeData(a, regs[inst.rd]);
+        if (inst.op == Op::ST_Y_INC)
+            setY(a + 1);
+        break;
+      }
+      case Op::ST_Z_INC: case Op::ST_Z_DEC: case Op::STD_Z: {
+        uint16_t a = z();
+        if (inst.op == Op::ST_Z_DEC)
+            setZ(--a);
+        else if (inst.op == Op::STD_Z)
+            a += inst.disp;
+        writeData(a, regs[inst.rd]);
+        if (inst.op == Op::ST_Z_INC)
+            setZ(a + 1);
+        break;
+      }
+      case Op::STS:
+        writeData(static_cast<uint16_t>(inst.k), regs[inst.rd]);
+        break;
+      case Op::PUSH:
+        push8(regs[inst.rd]);
+        break;
+      case Op::POP:
+        regs[inst.rd] = pop8();
+        break;
+      case Op::LPM_R0: case Op::LPM: case Op::LPM_INC: {
+        uint16_t a = z();
+        uint16_t w = flash[(a >> 1) & (flashWords - 1)];
+        uint8_t v = (a & 1) ? static_cast<uint8_t>(w >> 8)
+                            : static_cast<uint8_t>(w);
+        uint8_t rd = inst.op == Op::LPM_R0 ? 0 : inst.rd;
+        regs[rd] = v;
+        if (inst.op == Op::LPM_INC)
+            setZ(a + 1);
+        break;
+      }
+
+      case Op::RJMP:
+        next_pc = pc0 + 1 + inst.disp;
+        break;
+      case Op::RCALL:
+        pushPc(pc0 + 1);
+        next_pc = pc0 + 1 + inst.disp;
+        break;
+      case Op::JMP:
+        next_pc = inst.k;
+        break;
+      case Op::CALL:
+        pushPc(pc0 + 2);
+        next_pc = inst.k;
+        break;
+      case Op::IJMP:
+        next_pc = z();
+        break;
+      case Op::ICALL:
+        pushPc(pc0 + 1);
+        next_pc = z();
+        break;
+      case Op::RET: case Op::RETI:
+        next_pc = popPc();
+        if (inst.op == Op::RETI)
+            setFlag(fI, true);
+        break;
+      case Op::BRBS:
+        if (flag(inst.bit)) {
+            next_pc = pc0 + 1 + inst.disp;
+            cycles += branchTakenExtra;
+        }
+        break;
+      case Op::BRBC:
+        if (!flag(inst.bit)) {
+            next_pc = pc0 + 1 + inst.disp;
+            cycles += branchTakenExtra;
+        }
+        break;
+      case Op::CPSE: case Op::SBRC: case Op::SBRS: {
+        bool skip;
+        if (inst.op == Op::CPSE)
+            skip = regs[inst.rd] == regs[inst.rr];
+        else if (inst.op == Op::SBRC)
+            skip = !(regs[inst.rd] & (1u << inst.bit));
+        else
+            skip = regs[inst.rd] & (1u << inst.bit);
+        if (skip) {
+            bool two = isTwoWord(fetch(next_pc));
+            cycles += skipExtra(two);
+            next_pc += two ? 2 : 1;
+        }
+        break;
+      }
+
+      case Op::NOP: case Op::SLEEP: case Op::WDR: case Op::BREAK:
+        break;
+
+      case Op::INVALID:
+        break;
+    }
+
+    // Retire pending MAC shadow cycles; a fresh trigger's two
+    // micro-ops occupy the two cycles after this instruction.
+    if (mac_triggered)
+        macUnit.setPendingShadow(2);
+    else
+        macUnit.setPendingShadow(
+            shadow > cycles ? shadow - static_cast<uint8_t>(cycles) : 0);
+
+    pcWord = next_pc & 0xffff;
+    execStats.opCount[static_cast<size_t>(inst.op)]++;
+    execStats.instructions++;
+    execStats.cycles += cycles;
+    return cycles;
+}
+
+uint64_t
+Machine::call(uint32_t word_addr, uint64_t max_cycles)
+{
+    pushPc(exitAddress);
+    pcWord = word_addr & 0xffff;
+    uint64_t start = execStats.cycles;
+    while (pcWord != exitAddress) {
+        step();
+        if (execStats.cycles - start > max_cycles)
+            panic("Machine::call: cycle budget exceeded "
+                  "(pc=0x%x, %llu cycles)", pcWord,
+                  static_cast<unsigned long long>(execStats.cycles - start));
+    }
+    return execStats.cycles - start;
+}
+
+} // namespace jaavr

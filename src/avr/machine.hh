@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The JAAVR machine model: an ATmega128-compatible AVR core with the
+ * three operating modes of the paper (CA / FAST / ISE) and the
+ * (32 x 4)-bit MAC instruction-set extension.
+ *
+ * Memory map (ATmega128 data space):
+ *   0x0000-0x001f  general-purpose registers R0..R31
+ *   0x0020-0x005f  I/O space (SPL/SPH/SREG at 0x5d/0x5e/0x5f;
+ *                  the MACCR extension register at 0x005c, I/O 0x3c)
+ *   0x0100-0xffff  SRAM
+ */
+
+#ifndef JAAVR_AVR_MACHINE_HH
+#define JAAVR_AVR_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "avr/isa.hh"
+#include "avr/mac_unit.hh"
+#include "avr/timing.hh"
+
+namespace jaavr
+{
+
+/** Per-mnemonic execution statistics. */
+struct ExecStats
+{
+    std::array<uint64_t, static_cast<size_t>(Op::INVALID) + 1> opCount{};
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+
+    uint64_t count(Op op) const
+    {
+        return opCount[static_cast<size_t>(op)];
+    }
+
+    void reset() { *this = ExecStats(); }
+};
+
+class Machine
+{
+  public:
+    static constexpr uint32_t flashWords = 0x10000;
+    static constexpr uint16_t ioBase = 0x20;
+    static constexpr uint16_t sramBase = 0x0100;
+    static constexpr uint32_t dataSpace = 0x10000;
+    /** I/O address of the MAC control register (ASIP extension). */
+    static constexpr uint8_t ioMaccr = 0x3c;
+    /** Word address used as the top-level return sentinel. */
+    static constexpr uint32_t exitAddress = 0xffff;
+
+    explicit Machine(CpuMode mode);
+
+    CpuMode mode() const { return cpuMode; }
+
+    /** Copy @p words into flash at @p word_addr. */
+    void loadProgram(const std::vector<uint16_t> &words,
+                     uint32_t word_addr = 0);
+
+    /** Clear registers, SREG, data memory and statistics (not flash). */
+    void reset();
+
+    // --- Register and memory access (for harnesses and tests) -------
+
+    uint8_t reg(unsigned i) const { return regs[i]; }
+    void setReg(unsigned i, uint8_t v) { regs[i] = v; }
+
+    /** Little-endian register pair (i, i+1). */
+    uint16_t regPair(unsigned i) const;
+    void setRegPair(unsigned i, uint16_t v);
+
+    void setX(uint16_t v) { setRegPair(26, v); }
+    void setY(uint16_t v) { setRegPair(28, v); }
+    void setZ(uint16_t v) { setRegPair(30, v); }
+    uint16_t x() const { return regPair(26); }
+    uint16_t y() const { return regPair(28); }
+    uint16_t z() const { return regPair(30); }
+
+    uint8_t readData(uint16_t addr) const;
+    void writeData(uint16_t addr, uint8_t v);
+    void writeBytes(uint16_t addr, const std::vector<uint8_t> &bytes);
+    std::vector<uint8_t> readBytes(uint16_t addr, size_t len) const;
+
+    uint16_t sp() const;
+    void setSp(uint16_t v);
+    uint8_t sreg() const { return sregBits; }
+    void setSreg(uint8_t v) { sregBits = v; }
+    uint32_t pc() const { return pcWord; }
+    void setPc(uint32_t word_addr) { pcWord = word_addr & 0xffff; }
+
+    /** Write MACCR (resets the MAC unit state, like an OUT would). */
+    void setMaccr(uint8_t v);
+    uint8_t maccr() const { return io[ioMaccr]; }
+
+    // --- Execution ---------------------------------------------------
+
+    /** Execute one instruction; returns its cycle cost. */
+    unsigned step();
+
+    /**
+     * Call the routine at @p word_addr: pushes the exit sentinel,
+     * runs until the matching RET, returns the consumed cycles.
+     * Panics if @p max_cycles is exceeded (runaway program).
+     */
+    uint64_t call(uint32_t word_addr, uint64_t max_cycles = 100000000ULL);
+
+    const ExecStats &stats() const { return execStats; }
+    void resetStats() { execStats.reset(); }
+
+    const MacUnit &mac() const { return macUnit; }
+
+    /** Enable per-instruction tracing to stderr. */
+    bool trace = false;
+
+  private:
+    // SREG bit indices.
+    static constexpr unsigned fC = 0, fZ = 1, fN = 2, fV = 3, fS = 4,
+                              fH = 5, fT = 6, fI = 7;
+
+    bool flag(unsigned f) const { return (sregBits >> f) & 1; }
+    void setFlag(unsigned f, bool v);
+
+    void setZns(uint8_t r);
+    void addFlags(uint8_t d, uint8_t s, uint8_t r);
+    void subFlags(uint8_t d, uint8_t s, uint8_t r, bool keep_z);
+
+    void push8(uint8_t v);
+    uint8_t pop8();
+    void pushPc(uint32_t pc);
+    uint32_t popPc();
+
+    /** True if @p inst reads or writes the MAC hazard register set. */
+    bool touchesMacRegs(const Inst &inst) const;
+
+    /** Algorithm-2 trigger: apply the two shadow MACs for @p value. */
+    void triggerLoadMac(uint8_t value);
+
+    uint16_t fetch(uint32_t word_addr) const;
+
+    CpuMode cpuMode;
+    std::array<uint8_t, 32> regs{};
+    std::array<uint8_t, 0x40> io{};
+    std::vector<uint8_t> sram;   ///< data space from sramBase up
+    std::vector<uint16_t> flash;
+    uint8_t sregBits = 0;
+    uint32_t pcWord = 0;
+    MacUnit macUnit;
+    ExecStats execStats;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_AVR_MACHINE_HH

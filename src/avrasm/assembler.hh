@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A two-pass AVR assembler.
+ *
+ * Accepts the classic AVR syntax used throughout the paper's
+ * listings (Algorithms 1 and 2):
+ *
+ *     label:  ldd  r24, Z+3     ; comment
+ *             ldi  r16, lo8(CONST)
+ *             rjmp label
+ *             .org 0x10
+ *             .equ FRAME = 0x0200
+ *             .dw  0x1234, label
+ *
+ * Mnemonic aliases (lsl/rol/tst/clr/ser, breq/brne/brcc/...,
+ * sec/clc/sei/..., ld rd, Y) are resolved to their base encodings.
+ * All operand-range violations (register classes, displacement and
+ * branch ranges) are diagnosed with the source line via fatal().
+ */
+
+#ifndef JAAVR_AVRASM_ASSEMBLER_HH
+#define JAAVR_AVRASM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jaavr
+{
+
+/** An assembled program. */
+struct Program
+{
+    std::vector<uint16_t> words;           ///< flash image from word 0
+    std::map<std::string, uint32_t> labels; ///< label -> word address
+
+    /** Word address of @p label; fatal() if undefined. */
+    uint32_t label(const std::string &name) const;
+
+    /** Number of flash bytes (2 * words, the paper's "ROM bytes"). */
+    size_t romBytes() const { return words.size() * 2; }
+};
+
+/** Assemble @p source; diagnostics name @p unit. */
+Program assemble(const std::string &source,
+                 const std::string &unit = "<asm>");
+
+} // namespace jaavr
+
+#endif // JAAVR_AVRASM_ASSEMBLER_HH

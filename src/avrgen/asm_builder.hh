@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small helper for emitting AVR assembly source from the OPF routine
+ * generators.
+ */
+
+#ifndef JAAVR_AVRGEN_ASM_BUILDER_HH
+#define JAAVR_AVRGEN_ASM_BUILDER_HH
+
+#include <string>
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+class AsmBuilder
+{
+  public:
+    /** Emit one instruction or directive line. */
+    void
+    line(const std::string &text)
+    {
+        src += "    " + text + "\n";
+    }
+
+    /** printf-style instruction line. */
+    template <typename... Args>
+    void
+    ins(const char *fmt, Args... args)
+    {
+        line(csprintf(fmt, args...));
+    }
+
+    /** Emit a label. */
+    void
+    label(const std::string &name)
+    {
+        src += name + ":\n";
+    }
+
+    /** Emit a comment line. */
+    void
+    comment(const std::string &text)
+    {
+        src += "    ; " + text + "\n";
+    }
+
+    const std::string &str() const { return src; }
+
+  private:
+    std::string src;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_AVRGEN_ASM_BUILDER_HH

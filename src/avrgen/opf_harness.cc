@@ -1,0 +1,97 @@
+#include "avrgen/opf_harness.hh"
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+OpfAvrLibrary::OpfAvrLibrary(const OpfPrime &prime, CpuMode mode)
+    : opf(prime), s(prime.k / 32 + 1),
+      machine_(std::make_unique<Machine>(mode))
+{
+    progAdd = assemble(genOpfAddSub(prime, false), "opf_add");
+    progSub = assemble(genOpfAddSub(prime, true), "opf_sub");
+    progMul = assemble(mode == CpuMode::ISE ? genOpfMulIse(prime)
+                                            : genOpfMulNative(prime),
+                       "opf_mul");
+    progInv = assemble(genOpfMontInverse(prime), "opf_inv");
+    machine_->loadProgram(progAdd.words, addEntry);
+    machine_->loadProgram(progSub.words, subEntry);
+    machine_->loadProgram(progMul.words, mulEntry);
+    machine_->loadProgram(progInv.words, invEntry);
+}
+
+std::vector<uint8_t>
+OpfAvrLibrary::toBytes(const OpfField::Words &w)
+{
+    std::vector<uint8_t> out;
+    out.reserve(w.size() * 4);
+    for (uint32_t word : w) {
+        out.push_back(static_cast<uint8_t>(word));
+        out.push_back(static_cast<uint8_t>(word >> 8));
+        out.push_back(static_cast<uint8_t>(word >> 16));
+        out.push_back(static_cast<uint8_t>(word >> 24));
+    }
+    return out;
+}
+
+OpfField::Words
+OpfAvrLibrary::fromBytes(const std::vector<uint8_t> &bytes) const
+{
+    OpfField::Words out(s, 0);
+    for (size_t i = 0; i < bytes.size(); i++)
+        out[i / 4] |= static_cast<uint32_t>(bytes[i]) << (8 * (i % 4));
+    return out;
+}
+
+OpfRun
+OpfAvrLibrary::run(uint32_t entry, const OpfField::Words &a,
+                   const OpfField::Words &b)
+{
+    if (a.size() != s || b.size() != s)
+        panic("OpfAvrLibrary: operand word count mismatch");
+    machine_->writeBytes(OpfMemoryMap::aAddr, toBytes(a));
+    machine_->writeBytes(OpfMemoryMap::bAddr, toBytes(b));
+    machine_->setY(OpfMemoryMap::aAddr);
+    machine_->setZ(OpfMemoryMap::bAddr);
+    machine_->setSp(0x10ff);
+    uint64_t cycles = machine_->call(entry);
+    OpfRun out;
+    out.cycles = cycles;
+    out.result = fromBytes(
+        machine_->readBytes(OpfMemoryMap::resultAddr, 4 * s));
+    return out;
+}
+
+OpfRun
+OpfAvrLibrary::add(const OpfField::Words &a, const OpfField::Words &b)
+{
+    return run(addEntry, a, b);
+}
+
+OpfRun
+OpfAvrLibrary::sub(const OpfField::Words &a, const OpfField::Words &b)
+{
+    return run(subEntry, a, b);
+}
+
+OpfRun
+OpfAvrLibrary::mul(const OpfField::Words &a, const OpfField::Words &b)
+{
+    return run(mulEntry, a, b);
+}
+
+OpfRun
+OpfAvrLibrary::inv(const OpfField::Words &a)
+{
+    return run(invEntry, a, OpfField::Words(s, 0));
+}
+
+size_t
+OpfAvrLibrary::romBytes() const
+{
+    return progAdd.romBytes() + progSub.romBytes() + progMul.romBytes() +
+           progInv.romBytes();
+}
+
+} // namespace jaavr

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Harness binding the generated OPF assembly routines to the JAAVR
+ * machine model: assembles them, loads them into flash, marshals
+ * operands, and measures cycle counts. This is the measurement
+ * apparatus behind Table I.
+ */
+
+#ifndef JAAVR_AVRGEN_OPF_HARNESS_HH
+#define JAAVR_AVRGEN_OPF_HARNESS_HH
+
+#include <memory>
+
+#include "avr/machine.hh"
+#include "avrasm/assembler.hh"
+#include "avrgen/opf_routines.hh"
+#include "field/opf_field.hh"
+
+namespace jaavr
+{
+
+/** Result of running one OPF routine on the simulator. */
+struct OpfRun
+{
+    OpfField::Words result;
+    uint64_t cycles;
+};
+
+class OpfAvrLibrary
+{
+  public:
+    /**
+     * Assemble the routines for @p prime and load them into a machine
+     * in @p mode. The multiplication uses the MAC-unit variant when
+     * the mode is ISE, the native variant otherwise.
+     */
+    OpfAvrLibrary(const OpfPrime &prime, CpuMode mode);
+
+    CpuMode mode() const { return machine_->mode(); }
+    const OpfPrime &prime() const { return opf; }
+
+    /** a + b (mod p), incompletely reduced; measured on the ISS. */
+    OpfRun add(const OpfField::Words &a, const OpfField::Words &b);
+
+    /** a - b (mod p). */
+    OpfRun sub(const OpfField::Words &a, const OpfField::Words &b);
+
+    /** Montgomery product a * b * R^-1 (mod p). */
+    OpfRun mul(const OpfField::Words &a, const OpfField::Words &b);
+
+    /** Montgomery-domain inverse a^-1 * 2^n (mod p), n = 32 s. */
+    OpfRun inv(const OpfField::Words &a);
+
+    /** Flash footprint of the four routines (paper: "ROM bytes"). */
+    size_t romBytes() const;
+
+    /** Underlying machine (for statistics inspection). */
+    Machine &machine() { return *machine_; }
+
+  private:
+    OpfRun run(uint32_t entry, const OpfField::Words &a,
+               const OpfField::Words &b);
+
+    static std::vector<uint8_t> toBytes(const OpfField::Words &w);
+    OpfField::Words fromBytes(const std::vector<uint8_t> &bytes) const;
+
+    OpfPrime opf;
+    size_t s;
+    std::unique_ptr<Machine> machine_;
+    Program progAdd, progSub, progMul, progInv;
+    static constexpr uint32_t addEntry = 0x0000;
+    static constexpr uint32_t subEntry = 0x1000;
+    static constexpr uint32_t mulEntry = 0x2000;
+    static constexpr uint32_t invEntry = 0x4000;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_AVRGEN_OPF_HARNESS_HH

@@ -1,0 +1,615 @@
+#include "avrgen/opf_routines.hh"
+
+#include <vector>
+
+#include "avrgen/asm_builder.hh"
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+namespace
+{
+
+/**
+ * Shared final fold: two branch-less rounds of +-c*p on the result
+ * buffer, touching only the least and most significant words; the
+ * rare (probability 2^-32) ripple through the zero middle bytes is
+ * handled out of line, exactly as in Section III-A of the paper.
+ *
+ * Expects: r20 = c (0/1), r21 = 0. Clobbers r22, r23, r26, r27.
+ *
+ * @param subtract_p true after additions/multiplications (subtract
+ *                   c*p), false after subtractions (add c*p back)
+ */
+void
+emitFinalFold(AsmBuilder &b, const OpfPrime &prime, bool subtract_p,
+              const std::string &prefix)
+{
+    const unsigned nbytes = (prime.k + 16) / 8;
+    const char *op0 = subtract_p ? "sub" : "add";
+    const char *opc = subtract_p ? "sbc" : "adc";
+
+    for (int round = 0; round < 2; round++) {
+        b.comment(csprintf("fold round %d: %s c * p (LSW/MSW shortcut)",
+                           round, subtract_p ? "subtract" : "add"));
+        // mask = -c; masked u bytes for the MSW.
+        b.ins("mov r23, r20");
+        b.ins("neg r23");
+        b.ins("ldi r26, lo8(%u)", prime.u);
+        b.ins("and r26, r23");
+        b.ins("ldi r27, hi8(%u)", prime.u);
+        b.ins("and r27, r23");
+
+        // LSW: p's least significant word is 1, so subtract/add c.
+        b.ins("lds r22, RES+0");
+        b.ins("%s r22, r20", op0);
+        b.ins("sts RES+0, r22");
+        for (unsigned t = 1; t < 4; t++) {
+            b.ins("lds r22, RES+%u", t);
+            b.ins("%s r22, r21", opc);
+            b.ins("sts RES+%u, r22", t);
+        }
+
+        // Rare carry/borrow ripple through the zero middle words.
+        std::string norip = csprintf("%s_norip_%d", prefix.c_str(), round);
+        b.ins("brcc %s", norip.c_str());
+        for (unsigned t = 4; t < nbytes - 4; t++) {
+            b.ins("lds r22, RES+%u", t);
+            b.ins("%s r22, r21", opc);
+            b.ins("sts RES+%u, r22", t);
+        }
+        b.label(norip);
+
+        // MSW: p's most significant word is u << 16.
+        for (unsigned t = nbytes - 4; t < nbytes; t++) {
+            const char *src = t == nbytes - 2 ? "r26"
+                            : t == nbytes - 1 ? "r27" : "r21";
+            b.ins("lds r22, RES+%u", t);
+            b.ins("%s r22, %s", opc, src);
+            b.ins("sts RES+%u, r22", t);
+        }
+
+        // c -= carry/borrow out of the MSW chain.
+        b.ins("sbc r20, r21");
+    }
+}
+
+void
+emitHeader(AsmBuilder &b, const OpfPrime &prime)
+{
+    b.ins(".equ RES = 0x%04x", OpfMemoryMap::resultAddr);
+    b.ins(".equ QBUF = 0x%04x", OpfMemoryMap::qBufAddr);
+    b.ins(".equ MACCR = 0x%02x", 0x3c);
+    b.comment(csprintf("OPF p = %u * 2^%u + 1", prime.u, prime.k));
+}
+
+/** Register holding accumulator byte @p k of the native multiplier. */
+std::string
+accNat(unsigned k)
+{
+    return csprintf("r%u", 2 + k);
+}
+
+} // anonymous namespace
+
+/**
+ * Column-wise schedule with two alternating carry-catcher registers
+ * (r19/r20), so no carry ever ripples beyond the current column.
+ */
+void
+emitNativeMulBlock(AsmBuilder &b, const std::vector<unsigned> &a_regs,
+                   const std::vector<unsigned> &b_regs, unsigned base)
+{
+    const unsigned na = a_regs.size(), nb = b_regs.size();
+    const unsigned kmax = na + nb - 2;
+    unsigned catcher = 19, other = 20;
+
+    for (unsigned k = 0; k <= kmax; k++) {
+        if (k == 0) {
+            b.ins("clr r%u", catcher);
+        } else {
+            // Merge the previous catcher (destined for byte
+            // base+k+1) and start a fresh one with its carry.
+            b.ins("add %s, r%u", accNat(base + k + 1).c_str(), other);
+            b.ins("clr r%u", catcher);
+            b.ins("rol r%u", catcher);
+        }
+        for (unsigned i = 0; i < na; i++) {
+            if (k < i || k - i >= nb)
+                continue;
+            unsigned j = k - i;
+            b.ins("mul r%u, r%u", a_regs[i], b_regs[j]);
+            b.ins("add %s, r0", accNat(base + k).c_str());
+            b.ins("adc %s, r1", accNat(base + k + 1).c_str());
+            b.ins("adc r%u, r21", catcher);
+        }
+        std::swap(catcher, other);
+    }
+    // Last catcher lands in byte base+kmax+2 (the 72-bit accumulator
+    // bound guarantees no carry beyond it).
+    b.ins("add %s, r%u", accNat(base + kmax + 2).c_str(), other);
+}
+
+void
+emitIseMulBlock(AsmBuilder &b, unsigned b_word, bool load_a_direct,
+                unsigned a_word, bool stage_next, unsigned next_a_word)
+{
+    if (load_a_direct)
+        for (unsigned t = 0; t < 4; t++)
+            b.ins("ldd r%u, Y+%u", 16 + t, 4 * a_word + t);
+    std::vector<std::string> slots;
+    if (stage_next)
+        for (unsigned t = 0; t < 4; t++)
+            slots.push_back(
+                csprintf("ldd r%u, Y+%u", 20 + t, 4 * next_a_word + t));
+    while (slots.size() < 5)
+        slots.push_back("nop");
+    for (unsigned t = 0; t < 4; t++) {
+        b.ins("ldd r24, Z+%u", 4 * b_word + t);
+        b.line(slots[t]);
+    }
+    b.line(slots[4]);
+    if (stage_next) {
+        b.ins("movw r16, r20");
+        b.ins("movw r18, r22");
+    }
+}
+
+namespace
+{
+
+/** Shift the native accumulator r2..r10 right by one 32-bit word. */
+void
+emitNativeShift(AsmBuilder &b)
+{
+    b.ins("movw r2, r6");
+    b.ins("movw r4, r8");
+    b.ins("mov r6, r10");
+    b.ins("clr r7");
+    b.ins("clr r8");
+    b.ins("clr r9");
+    b.ins("clr r10");
+}
+
+} // anonymous namespace
+
+std::string
+genOpfAddSub(const OpfPrime &prime, bool subtract)
+{
+    const unsigned nbytes = (prime.k + 16) / 8;
+    AsmBuilder b;
+    emitHeader(b, prime);
+    b.comment(subtract ? "modular subtraction a - b (mod p)"
+                       : "modular addition a + b (mod p)");
+    b.ins("clr r21");
+
+    // Byte-wise a +- b with the carry chain, streamed to RES.
+    for (unsigned t = 0; t < nbytes; t++) {
+        b.ins("ldd r18, Y+%u", t);
+        b.ins("ldd r19, Z+%u", t);
+        if (t == 0)
+            b.ins(subtract ? "sub r18, r19" : "add r18, r19");
+        else
+            b.ins(subtract ? "sbc r18, r19" : "adc r18, r19");
+        b.ins("sts RES+%u, r18", t);
+    }
+
+    // c = carry (resp. borrow) bit of the top byte.
+    b.ins("clr r20");
+    b.ins("rol r20");
+
+    emitFinalFold(b, prime, /*subtract_p=*/!subtract,
+                  subtract ? "sf" : "af");
+    b.ins("ret");
+    return b.str();
+}
+
+std::string
+genOpfMulNative(const OpfPrime &prime)
+{
+    const unsigned s = prime.k / 32 + 1;
+    AsmBuilder b;
+    emitHeader(b, prime);
+    b.comment("FIPS Montgomery multiplication, native AVR variant");
+    b.comment("acc = r2..r10 (72 bit); A cache r11..r14; B cache "
+              "r15..r18; catchers r19/r20; zero r21; u in r24:r25");
+
+    b.ins("clr r21");
+    for (unsigned k = 0; k < 9; k++)
+        b.ins("clr %s", accNat(k).c_str());
+    b.ins("ldi r24, lo8(%u)", prime.u);
+    b.ins("ldi r25, hi8(%u)", prime.u);
+
+    std::vector<unsigned> a_regs = {11, 12, 13, 14};
+    std::vector<unsigned> b_regs = {15, 16, 17, 18};
+    std::vector<unsigned> u_regs = {24, 25};
+
+    auto load_word = [&](const std::vector<unsigned> &regs, char ptr,
+                         unsigned word) {
+        for (unsigned t = 0; t < 4; t++)
+            b.ins("ldd r%u, %c+%u", regs[t], ptr, 4 * word + t);
+    };
+    auto load_q = [&](unsigned word) {
+        for (unsigned t = 0; t < 4; t++)
+            b.ins("lds r%u, QBUF+%u", b_regs[t], 4 * word + t);
+    };
+
+    for (unsigned i = 0; i < 2 * s; i++) {
+        b.comment(csprintf("--- column %u ---", i));
+        // Multiplication MACs a[j] * b[i-j].
+        unsigned j_lo = i < s ? 0 : i - s + 1;
+        unsigned j_hi = i < s ? i : s - 1;
+        for (unsigned j = j_lo; i < 2 * s - 1 && j <= j_hi; j++) {
+            load_word(a_regs, 'Y', j);
+            load_word(b_regs, 'Z', i - j);
+            emitNativeMulBlock(b, a_regs, b_regs, 0);
+        }
+        // Reduction MAC q[i-s+1] * (u << 16) lands in columns
+        // s-1 .. 2s-2.
+        if (i + 1 >= s && i <= 2 * s - 2) {
+            unsigned jq = i - (s - 1);
+            b.comment(csprintf("reduction term q[%u] * u << 16", jq));
+            load_q(jq);
+            emitNativeMulBlock(b, b_regs, u_regs, 2);
+        }
+
+        if (i < s) {
+            // q[i] = -acc_low (since -p^-1 = -1 mod 2^32); store it
+            // and clear the low word with the p[0] = 1 term.
+            b.comment(csprintf("q[%u] = -T mod 2^32; acc += q[%u]", i, i));
+            for (unsigned t = 0; t < 4; t++) {
+                b.ins("mov r%u, %s", b_regs[t], accNat(t).c_str());
+                b.ins("com r%u", b_regs[t]);
+            }
+            // The last COM left C = 1: the +1 of the two's complement.
+            for (unsigned t = 0; t < 4; t++)
+                b.ins("adc r%u, r21", b_regs[t]);
+            for (unsigned t = 0; t < 4; t++)
+                b.ins("sts QBUF+%u, r%u", 4 * i + t, b_regs[t]);
+            // acc += q (p0 term) and propagate.
+            b.ins("add r2, r15");
+            b.ins("adc r3, r16");
+            b.ins("adc r4, r17");
+            b.ins("adc r5, r18");
+            for (unsigned k = 4; k < 9; k++)
+                b.ins("adc %s, r21", accNat(k).c_str());
+        } else {
+            // Emit result word i - s.
+            for (unsigned t = 0; t < 4; t++)
+                b.ins("sts RES+%u, %s", 4 * (i - s) + t,
+                      accNat(t).c_str());
+        }
+        emitNativeShift(b);
+    }
+
+    // Final carry word (<= 1) folded with the LSW/MSW shortcut.
+    b.comment("final conditional subtraction");
+    b.ins("mov r20, r2");
+    emitFinalFold(b, prime, /*subtract_p=*/true, "mf");
+    b.ins("ret");
+    return b.str();
+}
+
+std::string
+genOpfMulIse(const OpfPrime &prime)
+{
+    const unsigned s = prime.k / 32 + 1;
+    AsmBuilder b;
+    emitHeader(b, prime);
+    b.comment("FIPS Montgomery multiplication, (32x4)-bit MAC variant");
+    b.comment("acc = R0..R8 (hardware); A operand R16..R19; staging "
+              "r20..r23; trigger R24; zero r25; q temps r10..r13");
+
+    b.ins("clr r25");
+    // Both MAC access mechanisms on: Algorithm 2 for the multiply
+    // MACs, Algorithm 1 (SWAP) for the reduction MACs.
+    b.ins("ldi r18, 0x03");
+    b.ins("out MACCR, r18");
+    for (unsigned k = 0; k < 9; k++)
+        b.ins("clr r%u", k);
+
+
+    /** Reduction MAC via SWAPs: acc += q[jq] * u << 16. */
+    auto emit_reduction = [&](unsigned jq) {
+        b.comment(csprintf("reduction term q[%u] * u << 16 (Alg. 1)", jq));
+        // A operand := u << 16 (bytes 0, 0, u_lo, u_hi).
+        b.ins("ldi r16, 0");
+        b.ins("ldi r17, 0");
+        b.ins("ldi r18, lo8(%u)", prime.u);
+        b.ins("ldi r19, hi8(%u)", prime.u);
+        for (unsigned t = 0; t < 4; t++)
+            b.ins("lds r%u, QBUF+%u", 10 + t, 4 * jq + t);
+        for (unsigned t = 0; t < 4; t++) {
+            b.ins("swap r%u", 10 + t);
+            b.ins("swap r%u", 10 + t);
+        }
+    };
+
+    for (unsigned i = 0; i < 2 * s; i++) {
+        b.comment(csprintf("--- column %u ---", i));
+        unsigned j_lo = i < s ? 0 : i - s + 1;
+        unsigned j_hi = i < s ? i : s - 1;
+        if (i < 2 * s - 1) {
+            for (unsigned j = j_lo; j <= j_hi; j++) {
+                bool first = j == j_lo;
+                bool has_next = j < j_hi;
+                emitIseMulBlock(b, i - j, first, j, has_next, j + 1);
+            }
+        }
+        if (i + 1 >= s && i <= 2 * s - 2)
+            emit_reduction(i - (s - 1));
+
+        if (i < s) {
+            b.comment(csprintf("q[%u] = -T mod 2^32; acc += q[%u]", i, i));
+            for (unsigned t = 0; t < 4; t++) {
+                b.ins("mov r%u, r%u", 10 + t, t);
+                b.ins("com r%u", 10 + t);
+            }
+            for (unsigned t = 0; t < 4; t++)
+                b.ins("adc r%u, r25", 10 + t);
+            for (unsigned t = 0; t < 4; t++)
+                b.ins("sts QBUF+%u, r%u", 4 * i + t, 10 + t);
+            b.ins("add r0, r10");
+            b.ins("adc r1, r11");
+            b.ins("adc r2, r12");
+            b.ins("adc r3, r13");
+            for (unsigned k = 4; k < 9; k++)
+                b.ins("adc r%u, r25", k);
+        } else {
+            for (unsigned t = 0; t < 4; t++)
+                b.ins("sts RES+%u, r%u", 4 * (i - s) + t, t);
+        }
+        // Shift acc right one word.
+        b.ins("movw r0, r4");
+        b.ins("movw r2, r6");
+        b.ins("mov r4, r8");
+        b.ins("clr r5");
+        b.ins("clr r6");
+        b.ins("clr r7");
+        b.ins("clr r8");
+    }
+
+    b.comment("final conditional subtraction (MAC unit off)");
+    b.ins("out MACCR, r25");
+    b.ins("mov r20, r0");
+    b.ins("clr r21");
+    emitFinalFold(b, prime, /*subtract_p=*/true, "if");
+    b.ins("ret");
+    return b.str();
+}
+
+std::string
+genMontInverseBytes(const std::vector<uint8_t> &p_bytes)
+{
+    const unsigned nbytes = p_bytes.size();      // 20 for 160-bit
+    const unsigned nv = nbytes + 1;              // working width: 21
+    AsmBuilder b;
+    b.ins(".equ RES = 0x%04x", OpfMemoryMap::resultAddr);
+    b.ins(".equ UB = 0x%04x", OpfMemoryMap::uBufAddr);
+    b.ins(".equ VB = 0x%04x", OpfMemoryMap::vBufAddr);
+    b.ins(".equ RB = 0x%04x", OpfMemoryMap::rBufAddr);
+    b.ins(".equ SB = 0x%04x", OpfMemoryMap::sBufAddr);
+    b.comment("Kaliski Montgomery inverse: RES = a^-1 * 2^n mod p");
+    b.comment("phase-1 working set u/v/r/s in SRAM; k counter r24:r25");
+
+    /** Byte i of the prime. */
+    auto pbyte = [&](unsigned i) -> unsigned {
+        return i < nbytes ? p_bytes[i] : 0;
+    };
+
+    // --- Initialization ----------------------------------------------
+    b.ins("clr r21");
+    b.ins("clr r24");
+    b.ins("clr r25");
+    for (unsigned i = 0; i < nv; i++) {
+        if (pbyte(i) || i == 0) {
+            b.ins("ldi r18, %u", i < nbytes ? pbyte(i) : 0);
+            b.ins("sts UB+%u, r18", i);
+        } else {
+            b.ins("sts UB+%u, r21", i);
+        }
+    }
+    for (unsigned i = 0; i < nbytes; i++) {
+        b.ins("ldd r18, Y+%u", i);
+        b.ins("sts VB+%u, r18", i);
+    }
+    b.ins("sts VB+%u, r21", nbytes);
+    for (unsigned i = 0; i < nv; i++)
+        b.ins("sts RB+%u, r21", i);
+    b.ins("ldi r18, 1");
+    b.ins("sts SB+0, r18");
+    for (unsigned i = 1; i < nv; i++)
+        b.ins("sts SB+%u, r21", i);
+
+    // --- Phase 1 main loop -------------------------------------------
+    b.label("inv_loop");
+    b.ins("lds r18, UB+0");
+    b.ins("sbrs r18, 0");
+    b.ins("rjmp inv_u_even");
+    b.ins("lds r18, VB+0");
+    b.ins("sbrs r18, 0");
+    b.ins("rjmp inv_v_even");
+    b.ins("rcall inv_cmp_uv");
+    b.ins("brlo inv_v_big");   // u < v
+    b.ins("breq inv_v_big");   // u == v routes to the v arm
+    b.comment("u > v: u = (u - v)/2; r += s; s <<= 1");
+    b.ins("rcall inv_sub_uv");
+    b.ins("rcall inv_shr_u");
+    b.ins("rcall inv_add_rs");
+    b.ins("rcall inv_shl_s");
+    b.ins("adiw r24, 1");
+    b.ins("rjmp inv_loop");
+    b.label("inv_v_big");
+    b.comment("v >= u: v = (v - u)/2; s += r; r <<= 1");
+    b.ins("rcall inv_sub_vu");
+    b.ins("rcall inv_shr_v");   // leaves OR of v's bytes in r20
+    b.ins("rcall inv_add_sr");
+    b.ins("rcall inv_shl_r");
+    b.ins("adiw r24, 1");
+    b.ins("tst r20");
+    b.ins("breq inv_done");
+    b.ins("rjmp inv_loop");
+    b.label("inv_u_even");
+    b.ins("rcall inv_shr_u");
+    b.ins("rcall inv_shl_s");
+    b.ins("adiw r24, 1");
+    b.ins("rjmp inv_loop");
+    b.label("inv_v_even");
+    b.ins("rcall inv_shr_v");   // v was even and > 0: cannot hit zero
+    b.ins("rcall inv_shl_r");
+    b.ins("adiw r24, 1");
+    b.ins("rjmp inv_loop");
+
+    // --- Epilogue: reduce r, negate, phase 2 --------------------------
+    b.label("inv_done");
+    b.ins("rcall inv_cmp_rp");
+    b.ins("brlo inv_no_rsub");
+    b.ins("rcall inv_sub_rp");
+    b.label("inv_no_rsub");
+    b.comment("RES = p - r (phase-1 result is -a^-1 * 2^k)");
+    for (unsigned i = 0; i < nbytes; i++) {
+        b.ins("ldi r18, %u", pbyte(i));
+        b.ins("lds r19, RB+%u", i);
+        b.ins(i == 0 ? "sub r18, r19" : "sbc r18, r19");
+        b.ins("sts RES+%u, r18", i);
+    }
+    b.comment("phase 2: k - n modular halvings");
+    unsigned n_bits = 8 * nbytes;
+    b.ins("subi r24, %u", n_bits & 0xff);
+    b.ins("sbci r25, %u", (n_bits >> 8) & 0xff);
+    b.label("inv_p2loop");
+    b.ins("mov r18, r24");
+    b.ins("or r18, r25");
+    b.ins("breq inv_p2done");
+    b.ins("lds r18, RES+0");
+    b.ins("sbrs r18, 0");
+    b.ins("rjmp inv_p2even");
+    b.ins("rcall inv_add_res_p");  // leaves carry-out in r23
+    b.ins("rjmp inv_p2shift");
+    b.label("inv_p2even");
+    b.ins("clr r23");
+    b.label("inv_p2shift");
+    b.ins("ror r23");             // C <- carry bit
+    b.ins("rcall inv_ror_res");    // shifts RES right through C
+    b.ins("sbiw r24, 1");
+    b.ins("rjmp inv_p2loop");
+    b.label("inv_p2done");
+    b.ins("ret");
+
+    // --- Subroutines ---------------------------------------------------
+    auto shr = [&](const char *name, const char *buf, bool track_zero) {
+        b.label(name);
+        b.ins("clc");
+        if (track_zero)
+            b.ins("clr r20");
+        for (int i = nv - 1; i >= 0; i--) {
+            b.ins("lds r18, %s+%d", buf, i);
+            b.ins("ror r18");
+            b.ins("sts %s+%d, r18", buf, i);
+            if (track_zero)
+                b.ins("or r20, r18");  // OR leaves the carry untouched
+        }
+        b.ins("ret");
+    };
+    shr("inv_shr_u", "UB", false);
+    shr("inv_shr_v", "VB", true);
+
+    auto shl = [&](const char *name, const char *buf) {
+        b.label(name);
+        b.ins("clc");
+        for (unsigned i = 0; i < nv; i++) {
+            b.ins("lds r18, %s+%u", buf, i);
+            b.ins("rol r18");
+            b.ins("sts %s+%u, r18", buf, i);
+        }
+        b.ins("ret");
+    };
+    shl("inv_shl_r", "RB");
+    shl("inv_shl_s", "SB");
+
+    auto sub2 = [&](const char *name, const char *dst, const char *src) {
+        b.label(name);
+        for (unsigned i = 0; i < nv; i++) {
+            b.ins("lds r18, %s+%u", dst, i);
+            b.ins("lds r19, %s+%u", src, i);
+            b.ins(i == 0 ? "sub r18, r19" : "sbc r18, r19");
+            b.ins("sts %s+%u, r18", dst, i);
+        }
+        b.ins("ret");
+    };
+    sub2("inv_sub_uv", "UB", "VB");
+    sub2("inv_sub_vu", "VB", "UB");
+
+    auto add2 = [&](const char *name, const char *dst, const char *src) {
+        b.label(name);
+        for (unsigned i = 0; i < nv; i++) {
+            b.ins("lds r18, %s+%u", dst, i);
+            b.ins("lds r19, %s+%u", src, i);
+            b.ins(i == 0 ? "add r18, r19" : "adc r18, r19");
+            b.ins("sts %s+%u, r18", dst, i);
+        }
+        b.ins("ret");
+    };
+    add2("inv_add_rs", "RB", "SB");
+    add2("inv_add_sr", "SB", "RB");
+
+    b.label("inv_cmp_uv");
+    for (unsigned i = 0; i < nv; i++) {
+        b.ins("lds r18, UB+%u", i);
+        b.ins("lds r19, VB+%u", i);
+        b.ins(i == 0 ? "cp r18, r19" : "cpc r18, r19");
+    }
+    b.ins("ret");
+
+    b.label("inv_cmp_rp");
+    for (unsigned i = 0; i < nv; i++) {
+        b.ins("lds r18, RB+%u", i);
+        b.ins("ldi r19, %u", i < nbytes ? pbyte(i) : 0);
+        b.ins(i == 0 ? "cp r18, r19" : "cpc r18, r19");
+    }
+    b.ins("ret");
+
+    b.label("inv_sub_rp");
+    for (unsigned i = 0; i < nv; i++) {
+        b.ins("lds r18, RB+%u", i);
+        b.ins("ldi r19, %u", i < nbytes ? pbyte(i) : 0);
+        b.ins(i == 0 ? "sub r18, r19" : "sbc r18, r19");
+        b.ins("sts RB+%u, r18", i);
+    }
+    b.ins("ret");
+
+    b.label("inv_add_res_p");
+    for (unsigned i = 0; i < nbytes; i++) {
+        b.ins("ldi r19, %u", pbyte(i));
+        b.ins("lds r18, RES+%u", i);
+        b.ins(i == 0 ? "add r18, r19" : "adc r18, r19");
+        b.ins("sts RES+%u, r18", i);
+    }
+    b.ins("clr r23");
+    b.ins("rol r23");  // capture the carry out of the addition
+    b.ins("ret");
+
+    b.label("inv_ror_res");
+    for (int i = nbytes - 1; i >= 0; i--) {
+        b.ins("lds r18, RES+%d", i);
+        b.ins("ror r18");
+        b.ins("sts RES+%d, r18", i);
+    }
+    b.ins("ret");
+
+    return b.str();
+}
+
+std::string
+genOpfMontInverse(const OpfPrime &prime)
+{
+    const unsigned nbytes = (prime.k + 16) / 8;
+    std::vector<uint8_t> p_bytes(nbytes, 0);
+    p_bytes[0] = 1;
+    p_bytes[nbytes - 2] = static_cast<uint8_t>(prime.u);
+    p_bytes[nbytes - 1] = static_cast<uint8_t>(prime.u >> 8);
+    return genMontInverseBytes(p_bytes);
+}
+
+} // namespace jaavr

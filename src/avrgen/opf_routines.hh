@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Generators for the hand-style AVR assembly OPF routines of the
+ * paper (Sections III and IV-A), parameterized by the OPF prime:
+ *
+ *  - unrolled modular addition/subtraction with the carry-bit
+ *    shortcut and the branch-less double subtraction of c*p that only
+ *    touches the least and most significant words (the rare borrow
+ *    ripple through the zero middle bytes is handled out of line,
+ *    exactly as the paper describes);
+ *  - the FIPS Montgomery multiplication, fully unrolled, in two
+ *    variants: NATIVE (16 8-bit MULs per (32x32)-bit word MAC with a
+ *    72-bit register accumulator — the "101-cycle inner loop"
+ *    structure) and ISE (the MAC unit driven by Algorithm 2 for the
+ *    s^2 multiply MACs and by re-interpreted SWAPs, Algorithm 1, for
+ *    the s reduction MACs).
+ *
+ * Calling convention (fixed SRAM addresses, see OpfMemoryMap):
+ * operand pointers in Y (a) and Z (b), result written to resultAddr.
+ */
+
+#ifndef JAAVR_AVRGEN_OPF_ROUTINES_HH
+#define JAAVR_AVRGEN_OPF_ROUTINES_HH
+
+#include <string>
+#include <vector>
+
+#include "nt/opf_prime.hh"
+
+namespace jaavr
+{
+
+class AsmBuilder;
+
+/**
+ * Emit one native (8 * na x 8 * nb)-bit multiply-accumulate block
+ * into the 72-bit register accumulator r2..r10 at byte offset
+ * @p base: the column-scheduled 16-MUL structure behind the paper's
+ * 101-cycle inner loop. Shared by the OPF and secp160r1 generators.
+ */
+void emitNativeMulBlock(AsmBuilder &b,
+                        const std::vector<unsigned> &a_regs,
+                        const std::vector<unsigned> &b_regs,
+                        unsigned base);
+
+/**
+ * Emit one Algorithm-2 MAC block (requires ISE mode, MACCR load-mode
+ * bit set): the four R24 loads of word @p b_word of the Z operand
+ * trigger eight (32x4)-bit MACs into R0..R8; the five shadow slots
+ * carry the staging loads of the next block's A word (or NOPs), and
+ * two MOVWs commit the staged word to R16..R19 once the shadow has
+ * drained. Shared by the OPF and secp160r1 ISE multipliers.
+ */
+void emitIseMulBlock(AsmBuilder &b, unsigned b_word, bool load_a_direct,
+                     unsigned a_word, bool stage_next,
+                     unsigned next_a_word);
+
+/** Fixed data-memory layout shared by the routines and harness. */
+struct OpfMemoryMap
+{
+    static constexpr uint16_t qBufAddr = 0x01c0;   ///< Montgomery q words
+    static constexpr uint16_t resultAddr = 0x01e0; ///< routine output
+    static constexpr uint16_t aAddr = 0x0200;      ///< operand a
+    static constexpr uint16_t bAddr = 0x0220;      ///< operand b
+    // Working set of the Montgomery-inverse routine (21 bytes each:
+    // the r/s coefficients grow to 2p < 2^161).
+    static constexpr uint16_t uBufAddr = 0x0240;
+    static constexpr uint16_t vBufAddr = 0x0260;
+    static constexpr uint16_t rBufAddr = 0x0280;
+    static constexpr uint16_t sBufAddr = 0x02a0;
+};
+
+/**
+ * Modular addition (or subtraction when @p subtract): result =
+ * a +- b (mod p), incompletely reduced. Y = &a, Z = &b; the result is
+ * written to OpfMemoryMap::resultAddr.
+ */
+std::string genOpfAddSub(const OpfPrime &prime, bool subtract);
+
+/**
+ * FIPS Montgomery multiplication, native-AVR variant (runs in CA and
+ * FAST modes): result = a * b * R^-1 mod p, incompletely reduced.
+ * Y = &a, Z = &b, result at resultAddr, q scratch at qBufAddr.
+ */
+std::string genOpfMulNative(const OpfPrime &prime);
+
+/**
+ * FIPS Montgomery multiplication using the (32x4)-bit MAC unit
+ * (requires CpuMode::ISE). Same interface as the native variant.
+ */
+std::string genOpfMulIse(const OpfPrime &prime);
+
+/**
+ * Kaliski Montgomery inverse (looped; runs in all modes): computes
+ * a^-1 * 2^n (mod p) for Y = &a into resultAddr, with n = the field
+ * width. Phase 1 is the binary almost-inverse loop (shift/add/sub
+ * subroutines over the four 21-byte working variables), phase 2 the
+ * k - n modular halvings. Bit-exact mirror of nt/mont_inverse.hh, so
+ * the host reference validates it word-for-word. Its cycle count is
+ * what Table I's "Inversion" row measures; it is data-dependent,
+ * which is the residual leakage the paper concedes for its
+ * "constant runtime" rows (Section V-B).
+ */
+std::string genOpfMontInverse(const OpfPrime &prime);
+
+/**
+ * The same Kaliski inverse for an arbitrary prime given as
+ * little-endian bytes (used by the secp160r1 routine set).
+ */
+std::string genMontInverseBytes(const std::vector<uint8_t> &p_bytes);
+
+} // namespace jaavr
+
+#endif // JAAVR_AVRGEN_OPF_ROUTINES_HH

@@ -1,0 +1,115 @@
+#include "avrgen/secp160_harness.hh"
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+namespace
+{
+
+std::vector<uint8_t>
+toBytes(const std::vector<uint32_t> &w)
+{
+    std::vector<uint8_t> out;
+    out.reserve(w.size() * 4);
+    for (uint32_t word : w) {
+        out.push_back(static_cast<uint8_t>(word));
+        out.push_back(static_cast<uint8_t>(word >> 8));
+        out.push_back(static_cast<uint8_t>(word >> 16));
+        out.push_back(static_cast<uint8_t>(word >> 24));
+    }
+    return out;
+}
+
+std::vector<uint32_t>
+fromBytes(const std::vector<uint8_t> &bytes)
+{
+    std::vector<uint32_t> out(bytes.size() / 4, 0);
+    for (size_t i = 0; i < bytes.size(); i++)
+        out[i / 4] |= static_cast<uint32_t>(bytes[i]) << (8 * (i % 4));
+    return out;
+}
+
+} // anonymous namespace
+
+Secp160AvrLibrary::Secp160AvrLibrary(CpuMode mode)
+    : machine_(std::make_unique<Machine>(mode))
+{
+    progAdd = assemble(genSecp160AddSub(false), "secp160_add");
+    progSub = assemble(genSecp160AddSub(true), "secp160_sub");
+    progMul = assemble(genSecp160Mul(), "secp160_mul");
+    progInv = assemble(genSecp160Inverse(), "secp160_inv");
+    machine_->loadProgram(progAdd.words, addEntry);
+    machine_->loadProgram(progSub.words, subEntry);
+    machine_->loadProgram(progMul.words, mulEntry);
+    machine_->loadProgram(progInv.words, invEntry);
+    if (mode == CpuMode::ISE) {
+        progMulIse = assemble(genSecp160MulIse(), "secp160_mul_ise");
+        machine_->loadProgram(progMulIse.words, mulIseEntry);
+    }
+}
+
+OpfRun
+Secp160AvrLibrary::run(uint32_t entry, const std::vector<uint32_t> &a,
+                       const std::vector<uint32_t> &b)
+{
+    if (a.size() != 5 || b.size() != 5)
+        panic("Secp160AvrLibrary: operands must be 5 words");
+    machine_->writeBytes(OpfMemoryMap::aAddr, toBytes(a));
+    machine_->writeBytes(OpfMemoryMap::bAddr, toBytes(b));
+    machine_->setY(OpfMemoryMap::aAddr);
+    machine_->setZ(OpfMemoryMap::bAddr);
+    machine_->setSp(0x10ff);
+    uint64_t cycles = machine_->call(entry);
+    OpfRun out;
+    out.cycles = cycles;
+    out.result =
+        fromBytes(machine_->readBytes(OpfMemoryMap::resultAddr, 20));
+    return out;
+}
+
+OpfRun
+Secp160AvrLibrary::add(const std::vector<uint32_t> &a,
+                       const std::vector<uint32_t> &b)
+{
+    return run(addEntry, a, b);
+}
+
+OpfRun
+Secp160AvrLibrary::sub(const std::vector<uint32_t> &a,
+                       const std::vector<uint32_t> &b)
+{
+    return run(subEntry, a, b);
+}
+
+OpfRun
+Secp160AvrLibrary::mul(const std::vector<uint32_t> &a,
+                       const std::vector<uint32_t> &b)
+{
+    return run(mulEntry, a, b);
+}
+
+OpfRun
+Secp160AvrLibrary::inv(const std::vector<uint32_t> &a)
+{
+    return run(invEntry, a, std::vector<uint32_t>(5, 0));
+}
+
+OpfRun
+Secp160AvrLibrary::mulIse(const std::vector<uint32_t> &a,
+                          const std::vector<uint32_t> &b)
+{
+    if (machine_->mode() != CpuMode::ISE)
+        panic("Secp160AvrLibrary::mulIse requires ISE mode");
+    return run(mulIseEntry, a, b);
+}
+
+size_t
+Secp160AvrLibrary::romBytes() const
+{
+    return progAdd.romBytes() + progSub.romBytes() + progMul.romBytes() +
+           progInv.romBytes();
+}
+
+} // namespace jaavr

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ISS harness for the secp160r1 assembly routine set (the analogue of
+ * OpfAvrLibrary for the standardized reference field).
+ */
+
+#ifndef JAAVR_AVRGEN_SECP160_HARNESS_HH
+#define JAAVR_AVRGEN_SECP160_HARNESS_HH
+
+#include <memory>
+
+#include "avr/machine.hh"
+#include "avrasm/assembler.hh"
+#include "avrgen/opf_harness.hh"
+#include "avrgen/secp160_routines.hh"
+
+namespace jaavr
+{
+
+class Secp160AvrLibrary
+{
+  public:
+    explicit Secp160AvrLibrary(CpuMode mode);
+
+    CpuMode mode() const { return machine_->mode(); }
+
+    /** a + b (mod p), incompletely reduced in [0, 2^160). */
+    OpfRun add(const std::vector<uint32_t> &a,
+               const std::vector<uint32_t> &b);
+
+    /** a - b (mod p). */
+    OpfRun sub(const std::vector<uint32_t> &a,
+               const std::vector<uint32_t> &b);
+
+    /** Plain modular product a * b mod p (no Montgomery domain). */
+    OpfRun mul(const std::vector<uint32_t> &a,
+               const std::vector<uint32_t> &b);
+
+    /** Kaliski inverse a^-1 * 2^160 (mod p). */
+    OpfRun inv(const std::vector<uint32_t> &a);
+
+    /**
+     * The MAC-product multiplication variant (ISE mode only; panics
+     * otherwise). Used by the OPF ablation.
+     */
+    OpfRun mulIse(const std::vector<uint32_t> &a,
+                  const std::vector<uint32_t> &b);
+
+    size_t romBytes() const;
+
+    Machine &machine() { return *machine_; }
+
+  private:
+    OpfRun run(uint32_t entry, const std::vector<uint32_t> &a,
+               const std::vector<uint32_t> &b);
+
+    std::unique_ptr<Machine> machine_;
+    Program progAdd, progSub, progMul, progMulIse, progInv;
+    static constexpr uint32_t addEntry = 0x0000;
+    static constexpr uint32_t subEntry = 0x1000;
+    static constexpr uint32_t mulEntry = 0x2000;
+    static constexpr uint32_t invEntry = 0x4000;
+    static constexpr uint32_t mulIseEntry = 0x6000;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_AVRGEN_SECP160_HARNESS_HH

@@ -1,0 +1,87 @@
+#include "bigint/big_int.hh"
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+BigInt::BigInt(int64_t v)
+{
+    if (v < 0) {
+        // Avoid overflow for INT64_MIN by negating in unsigned space.
+        mag = BigUInt(~static_cast<uint64_t>(v) + 1);
+        neg = true;
+    } else {
+        mag = BigUInt(static_cast<uint64_t>(v));
+        neg = false;
+    }
+}
+
+int
+BigInt::compare(const BigInt &o) const
+{
+    if (neg != o.neg)
+        return neg ? -1 : 1;
+    int c = mag.compare(o.mag);
+    return neg ? -c : c;
+}
+
+BigInt
+BigInt::operator+(const BigInt &o) const
+{
+    if (neg == o.neg)
+        return BigInt(mag + o.mag, neg);
+    // Opposite signs: subtract the smaller magnitude from the larger.
+    int c = mag.compare(o.mag);
+    if (c == 0)
+        return BigInt();
+    if (c > 0)
+        return BigInt(mag - o.mag, neg);
+    return BigInt(o.mag - mag, o.neg);
+}
+
+BigInt
+BigInt::operator-(const BigInt &o) const
+{
+    return *this + (-o);
+}
+
+BigInt
+BigInt::operator*(const BigInt &o) const
+{
+    return BigInt(mag * o.mag, neg != o.neg);
+}
+
+BigInt
+BigInt::operator/(const BigInt &o) const
+{
+    BigUInt q, r;
+    BigUInt::divMod(mag, o.mag, q, r);
+    return BigInt(q, neg != o.neg);
+}
+
+BigInt
+BigInt::operator%(const BigInt &o) const
+{
+    BigUInt q, r;
+    BigUInt::divMod(mag, o.mag, q, r);
+    return BigInt(r, neg);
+}
+
+BigUInt
+BigInt::mod(const BigUInt &m) const
+{
+    BigUInt r = mag % m;
+    if (neg && !r.isZero())
+        r = m - r;
+    return r;
+}
+
+std::string
+BigInt::toString() const
+{
+    std::string s = mag.toHex();
+    return neg ? "-" + s : s;
+}
+
+} // namespace jaavr

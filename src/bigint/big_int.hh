@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Signed arbitrary-precision integers (sign + magnitude over BigUInt).
+ *
+ * Used where negative intermediates are natural: extended Euclid,
+ * GLV scalar decomposition (k1, k2 may be negative), Cornacchia's
+ * algorithm, and signed-digit recodings.
+ */
+
+#ifndef JAAVR_BIGINT_BIG_INT_HH
+#define JAAVR_BIGINT_BIG_INT_HH
+
+#include <string>
+
+#include "bigint/big_uint.hh"
+
+namespace jaavr
+{
+
+class BigInt
+{
+  public:
+    BigInt() : mag(), neg(false) {}
+    BigInt(int64_t v);
+    BigInt(const BigUInt &m, bool negative = false)
+        : mag(m), neg(negative && !m.isZero())
+    {}
+
+    const BigUInt &magnitude() const { return mag; }
+    bool isNegative() const { return neg; }
+    bool isZero() const { return mag.isZero(); }
+
+    /** Three-way comparison. */
+    int compare(const BigInt &o) const;
+
+    BigInt operator-() const { return BigInt(mag, !neg); }
+    BigInt operator+(const BigInt &o) const;
+    BigInt operator-(const BigInt &o) const;
+    BigInt operator*(const BigInt &o) const;
+
+    /** Truncated (round-toward-zero) quotient. */
+    BigInt operator/(const BigInt &o) const;
+
+    /** Remainder matching the truncated quotient (sign of dividend). */
+    BigInt operator%(const BigInt &o) const;
+
+    BigInt &operator+=(const BigInt &o) { return *this = *this + o; }
+    BigInt &operator-=(const BigInt &o) { return *this = *this - o; }
+    BigInt &operator*=(const BigInt &o) { return *this = *this * o; }
+
+    bool operator==(const BigInt &o) const { return compare(o) == 0; }
+    bool operator!=(const BigInt &o) const { return compare(o) != 0; }
+    bool operator<(const BigInt &o) const { return compare(o) < 0; }
+    bool operator<=(const BigInt &o) const { return compare(o) <= 0; }
+    bool operator>(const BigInt &o) const { return compare(o) > 0; }
+    bool operator>=(const BigInt &o) const { return compare(o) >= 0; }
+
+    /**
+     * Least non-negative residue mod m (m > 0): always in [0, m),
+     * unlike operator%.
+     */
+    BigUInt mod(const BigUInt &m) const;
+
+    /** "-1ab3" style signed hex. */
+    std::string toString() const;
+
+  private:
+    BigUInt mag;
+    bool neg;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_BIGINT_BIG_INT_HH

@@ -1,0 +1,97 @@
+#include "curves/ecdsa.hh"
+
+#include "support/logging.hh"
+#include "support/sha256.hh"
+
+namespace jaavr
+{
+
+Ecdsa::Ecdsa(const WeierstrassCurve &curve, const AffinePoint &gen,
+             const BigUInt &order)
+    : c(curve), glv(nullptr), g(gen), n(order)
+{
+    if (!c.onCurve(g))
+        fatal("Ecdsa: generator not on curve");
+    if (!c.mulBinary(n, g).inf)
+        fatal("Ecdsa: generator order mismatch");
+}
+
+Ecdsa::Ecdsa(const GlvCurve &curve)
+    : c(curve), glv(&curve), g(curve.generator()), n(curve.order())
+{
+}
+
+BigUInt
+Ecdsa::hashToScalar(const std::string &message) const
+{
+    auto digest = Sha256::digest(message);
+    // Leftmost bits(n) bits of the hash (SEC1 4.1.3 step 5).
+    BigUInt e = BigUInt::fromBytes(
+        std::vector<uint8_t>(digest.begin(), digest.end()));
+    unsigned hash_bits = 256;
+    unsigned n_bits = n.bitLength();
+    if (hash_bits > n_bits)
+        e = e >> (hash_bits - n_bits);
+    return e % n;
+}
+
+AffinePoint
+Ecdsa::mul(const BigUInt &k, const AffinePoint &p) const
+{
+    if (glv)
+        return glv->mulGlvJsf(k, p);
+    return c.mulNaf(k, p);
+}
+
+EcdsaKeyPair
+Ecdsa::generateKey(Rng &rng) const
+{
+    EcdsaKeyPair kp;
+    kp.d = BigUInt(1) + BigUInt::random(rng, n - BigUInt(1));
+    kp.q = mul(kp.d, g);
+    return kp;
+}
+
+EcdsaSignature
+Ecdsa::sign(const std::string &message, const BigUInt &d, Rng &rng) const
+{
+    BigUInt e = hashToScalar(message);
+    for (;;) {
+        BigUInt k = BigUInt(1) + BigUInt::random(rng, n - BigUInt(1));
+        AffinePoint rp = mul(k, g);
+        if (rp.inf)
+            continue;
+        BigUInt r = rp.x % n;
+        if (r.isZero())
+            continue;
+        BigUInt s = k.invMod(n).mulMod(e.addMod(r.mulMod(d, n), n), n);
+        if (s.isZero())
+            continue;
+        return EcdsaSignature{r, s};
+    }
+}
+
+bool
+Ecdsa::verify(const std::string &message, const EcdsaSignature &sig,
+              const AffinePoint &q) const
+{
+    if (sig.r.isZero() || sig.r >= n || sig.s.isZero() || sig.s >= n)
+        return false;
+    if (q.inf || !c.onCurve(q))
+        return false;
+
+    BigUInt e = hashToScalar(message);
+    BigUInt w = sig.s.invMod(n);
+    BigUInt u1 = e.mulMod(w, n);
+    BigUInt u2 = sig.r.mulMod(w, n);
+
+    // R = u1 * G + u2 * Q.
+    JacobianPoint acc = c.toJacobian(mul(u1, g));
+    acc = c.addMixed(acc, mul(u2, q));
+    AffinePoint rp = c.toAffine(acc);
+    if (rp.inf)
+        return false;
+    return rp.x % n == sig.r;
+}
+
+} // namespace jaavr

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ECDSA over a short Weierstrass curve with a known prime-order
+ * generator (the paper positions its curves for exactly such
+ * protocols — key establishment and authentication on IoT nodes).
+ *
+ * Works with any WeierstrassCurve subtype; when the curve is a
+ * GlvCurve the verifier can use the endomorphism-accelerated scalar
+ * multiplications.
+ */
+
+#ifndef JAAVR_CURVES_ECDSA_HH
+#define JAAVR_CURVES_ECDSA_HH
+
+#include <array>
+
+#include "curves/glv.hh"
+#include "curves/weierstrass.hh"
+
+namespace jaavr
+{
+
+/** An ECDSA signature. */
+struct EcdsaSignature
+{
+    BigUInt r;
+    BigUInt s;
+};
+
+/** An ECDSA key pair. */
+struct EcdsaKeyPair
+{
+    BigUInt d;      ///< private scalar in [1, n)
+    AffinePoint q;  ///< public point d * G
+};
+
+class Ecdsa
+{
+  public:
+    /**
+     * @param curve curve with cofactor-1 generator of order n
+     * @param g     the generator
+     * @param n     prime order of g
+     */
+    Ecdsa(const WeierstrassCurve &curve, const AffinePoint &g,
+          const BigUInt &n);
+
+    /** Convenience constructor for GLV curves (uses their G and n). */
+    explicit Ecdsa(const GlvCurve &curve);
+
+    /** Fresh key pair from @p rng (not a CSPRNG: examples only). */
+    EcdsaKeyPair generateKey(Rng &rng) const;
+
+    /** Sign the SHA-256 hash of @p message. */
+    EcdsaSignature sign(const std::string &message, const BigUInt &d,
+                        Rng &rng) const;
+
+    /** Verify a signature on @p message. */
+    bool verify(const std::string &message, const EcdsaSignature &sig,
+                const AffinePoint &q) const;
+
+    const BigUInt &order() const { return n; }
+    const AffinePoint &generator() const { return g; }
+
+  private:
+    /** Leftmost bits of the hash as an integer mod n. */
+    BigUInt hashToScalar(const std::string &message) const;
+
+    /** k * P using the fastest available method. */
+    AffinePoint mul(const BigUInt &k, const AffinePoint &p) const;
+
+    const WeierstrassCurve &c;
+    const GlvCurve *glv;  ///< non-null when endomorphism is available
+    AffinePoint g;
+    BigUInt n;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_CURVES_ECDSA_HH

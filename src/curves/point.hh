@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared point representations for the curve families.
+ */
+
+#ifndef JAAVR_CURVES_POINT_HH
+#define JAAVR_CURVES_POINT_HH
+
+#include "bigint/big_uint.hh"
+
+namespace jaavr
+{
+
+/** Affine point (x, y) with an explicit point-at-infinity flag. */
+struct AffinePoint
+{
+    BigUInt x;
+    BigUInt y;
+    bool inf = true;
+
+    AffinePoint() = default;
+    AffinePoint(const BigUInt &px, const BigUInt &py)
+        : x(px), y(py), inf(false)
+    {}
+
+    static AffinePoint infinity() { return AffinePoint(); }
+};
+
+/** Jacobian projective point: (X : Y : Z), x = X/Z^2, y = Y/Z^3. */
+struct JacobianPoint
+{
+    BigUInt x;
+    BigUInt y;
+    BigUInt z;  ///< Z = 0 encodes the point at infinity
+
+    bool isInfinity() const { return z.isZero(); }
+
+    static JacobianPoint
+    infinity()
+    {
+        JacobianPoint p;
+        p.x = BigUInt(1);
+        p.y = BigUInt(1);
+        p.z = BigUInt(0);
+        return p;
+    }
+};
+
+/** X/Z-only point for the Montgomery-curve ladder. */
+struct XzPoint
+{
+    BigUInt x;
+    BigUInt z;
+};
+
+/** Extended twisted-Edwards point (X : Y : T : Z) with T = XY/Z. */
+struct ExtendedPoint
+{
+    BigUInt x;
+    BigUInt y;
+    BigUInt t;
+    BigUInt z;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_CURVES_POINT_HH

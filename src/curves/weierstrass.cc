@@ -1,0 +1,426 @@
+#include "curves/weierstrass.hh"
+
+#include "scalar/recode.hh"
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+WeierstrassCurve::WeierstrassCurve(const PrimeField &field, const BigUInt &ca,
+                                   const BigUInt &cb, std::string name)
+    : f(&field), a(ca), b(cb), ident(std::move(name))
+{
+    aIsZero = a.isZero();
+    aIsMinus3 = (a == field.modulus() - BigUInt(3));
+    // Non-singularity: 4a^3 + 27b^2 != 0.
+    BigUInt disc = f->add(
+        f->mulSmall(f->mul(f->sqr(a), a), 4),
+        f->mulSmall(f->sqr(b), 27));
+    if (disc.isZero())
+        fatal("WeierstrassCurve %s: singular curve", ident.c_str());
+}
+
+bool
+WeierstrassCurve::onCurve(const AffinePoint &p) const
+{
+    if (p.inf)
+        return true;
+    BigUInt lhs = f->sqr(p.y);
+    BigUInt rhs = f->add(f->add(f->mul(f->sqr(p.x), p.x),
+                                f->mul(a, p.x)), b);
+    return lhs == rhs;
+}
+
+std::optional<AffinePoint>
+WeierstrassCurve::liftX(const BigUInt &x, Rng &rng) const
+{
+    BigUInt rhs = f->add(f->add(f->mul(f->sqr(x), x), f->mul(a, x)), b);
+    auto y = f->sqrt(rhs, rng);
+    if (!y)
+        return std::nullopt;
+    return AffinePoint(x, *y);
+}
+
+AffinePoint
+WeierstrassCurve::randomPoint(Rng &rng) const
+{
+    for (;;) {
+        BigUInt x = f->random(rng);
+        auto p = liftX(x, rng);
+        if (!p)
+            continue;
+        if (p->y.isZero())
+            continue;  // avoid 2-torsion points
+        if (rng.flip())
+            return negate(*p);
+        return *p;
+    }
+}
+
+JacobianPoint
+WeierstrassCurve::toJacobian(const AffinePoint &p) const
+{
+    if (p.inf)
+        return JacobianPoint::infinity();
+    JacobianPoint j;
+    j.x = p.x;
+    j.y = p.y;
+    j.z = BigUInt(1);
+    return j;
+}
+
+AffinePoint
+WeierstrassCurve::toAffine(const JacobianPoint &p) const
+{
+    if (p.isInfinity())
+        return AffinePoint::infinity();
+    BigUInt zi = f->inv(p.z);
+    BigUInt zi2 = f->sqr(zi);
+    AffinePoint out(f->mul(p.x, zi2), f->mul(p.y, f->mul(zi2, zi)));
+    return out;
+}
+
+AffinePoint
+WeierstrassCurve::negate(const AffinePoint &p) const
+{
+    if (p.inf)
+        return p;
+    return AffinePoint(p.x, f->neg(p.y));
+}
+
+JacobianPoint
+WeierstrassCurve::dbl(const JacobianPoint &p) const
+{
+    if (p.isInfinity() || p.y.isZero())
+        return JacobianPoint::infinity();
+
+    if (aIsMinus3) {
+        // dbl-2001-b for a = -3: 3M + 5S (the cost class the paper's
+        // Jacobian doubling belongs to).
+        BigUInt delta = f->sqr(p.z);
+        BigUInt gamma = f->sqr(p.y);
+        BigUInt beta = f->mul(p.x, gamma);
+        BigUInt alpha = f->mul(f->sub(p.x, delta), f->add(p.x, delta));
+        alpha = f->add(f->add(alpha, alpha), alpha);
+        JacobianPoint r;
+        BigUInt beta4 = f->add(beta, beta);
+        beta4 = f->add(beta4, beta4);
+        r.x = f->sub(f->sqr(alpha), f->add(beta4, beta4));
+        r.z = f->sub(f->sub(f->sqr(f->add(p.y, p.z)), gamma), delta);
+        BigUInt g2 = f->sqr(gamma);
+        BigUInt g8 = f->add(g2, g2);
+        g8 = f->add(g8, g8);
+        g8 = f->add(g8, g8);
+        r.y = f->sub(f->mul(alpha, f->sub(beta4, r.x)), g8);
+        return r;
+    }
+
+    BigUInt xx = f->sqr(p.x);                       // A = X^2
+    BigUInt yy = f->sqr(p.y);                       // B = Y^2
+    BigUInt yyyy = f->sqr(yy);                      // C = B^2
+    // D = 2 * ((X + B)^2 - A - C) = 4 X Y^2
+    BigUInt d = f->sub(f->sub(f->sqr(f->add(p.x, yy)), xx), yyyy);
+    d = f->add(d, d);
+
+    BigUInt e;
+    if (aIsZero) {
+        e = f->add(f->add(xx, xx), xx);             // 3A
+    } else {
+        BigUInt zz = f->sqr(p.z);
+        e = f->add(f->add(f->add(xx, xx), xx), f->mul(a, f->sqr(zz)));
+    }
+
+    BigUInt ee = f->sqr(e);                         // F = E^2
+    JacobianPoint r;
+    r.x = f->sub(ee, f->add(d, d));                 // X3 = F - 2D
+    BigUInt c8 = f->add(yyyy, yyyy);
+    c8 = f->add(c8, c8);
+    c8 = f->add(c8, c8);                            // 8C
+    r.y = f->sub(f->mul(e, f->sub(d, r.x)), c8);
+    BigUInt yz = f->mul(p.y, p.z);
+    r.z = f->add(yz, yz);                           // Z3 = 2YZ
+    return r;
+}
+
+JacobianPoint
+WeierstrassCurve::addMixed(const JacobianPoint &p, const AffinePoint &q) const
+{
+    if (q.inf)
+        return p;
+    if (p.isInfinity())
+        return toJacobian(q);
+
+    // madd-2007-bl: 7M + 4S.
+    BigUInt z1z1 = f->sqr(p.z);
+    BigUInt u2 = f->mul(q.x, z1z1);
+    BigUInt s2 = f->mul(f->mul(q.y, p.z), z1z1);
+    BigUInt h = f->sub(u2, p.x);
+    BigUInt rr = f->sub(s2, p.y);
+    rr = f->add(rr, rr);
+
+    if (h.isZero()) {
+        if (rr.isZero())
+            return dbl(p);
+        return JacobianPoint::infinity();
+    }
+
+    BigUInt hh = f->sqr(h);
+    BigUInt i = f->add(hh, hh);
+    i = f->add(i, i);                               // I = 4 HH
+    BigUInt j = f->mul(h, i);
+    BigUInt v = f->mul(p.x, i);
+
+    JacobianPoint r;
+    r.x = f->sub(f->sub(f->sqr(rr), j), f->add(v, v));
+    BigUInt yj = f->mul(p.y, j);
+    r.y = f->sub(f->mul(rr, f->sub(v, r.x)), f->add(yj, yj));
+    r.z = f->sub(f->sub(f->sqr(f->add(p.z, h)), z1z1), hh);
+    return r;
+}
+
+JacobianPoint
+WeierstrassCurve::add(const JacobianPoint &p, const JacobianPoint &q) const
+{
+    if (p.isInfinity())
+        return q;
+    if (q.isInfinity())
+        return p;
+
+    // add-2007-bl: 11M + 5S.
+    BigUInt z1z1 = f->sqr(p.z);
+    BigUInt z2z2 = f->sqr(q.z);
+    BigUInt u1 = f->mul(p.x, z2z2);
+    BigUInt u2 = f->mul(q.x, z1z1);
+    BigUInt s1 = f->mul(f->mul(p.y, q.z), z2z2);
+    BigUInt s2 = f->mul(f->mul(q.y, p.z), z1z1);
+    BigUInt h = f->sub(u2, u1);
+    BigUInt rr = f->sub(s2, s1);
+    rr = f->add(rr, rr);
+
+    if (h.isZero()) {
+        if (rr.isZero())
+            return dbl(p);
+        return JacobianPoint::infinity();
+    }
+
+    BigUInt i = f->sqr(f->add(h, h));               // (2H)^2
+    BigUInt j = f->mul(h, i);
+    BigUInt v = f->mul(u1, i);
+
+    JacobianPoint r;
+    r.x = f->sub(f->sub(f->sqr(rr), j), f->add(v, v));
+    BigUInt sj = f->mul(s1, j);
+    r.y = f->sub(f->mul(rr, f->sub(v, r.x)), f->add(sj, sj));
+    BigUInt zs = f->sub(f->sub(f->sqr(f->add(p.z, q.z)), z1z1), z2z2);
+    r.z = f->mul(zs, h);
+    return r;
+}
+
+AffinePoint
+WeierstrassCurve::mulBinary(const BigUInt &k, const AffinePoint &p) const
+{
+    JacobianPoint r = JacobianPoint::infinity();
+    for (size_t i = k.bitLength(); i-- > 0;) {
+        r = dbl(r);
+        if (k.bit(i))
+            r = addMixed(r, p);
+    }
+    return toAffine(r);
+}
+
+AffinePoint
+WeierstrassCurve::mulNaf(const BigUInt &k, const AffinePoint &p) const
+{
+    auto digits = nafDigits(k);
+    AffinePoint neg_p = negate(p);
+    JacobianPoint r = JacobianPoint::infinity();
+    for (size_t i = digits.size(); i-- > 0;) {
+        r = dbl(r);
+        if (digits[i] == 1)
+            r = addMixed(r, p);
+        else if (digits[i] == -1)
+            r = addMixed(r, neg_p);
+    }
+    return toAffine(r);
+}
+
+AffinePoint
+WeierstrassCurve::mulDaaa(const BigUInt &k, const AffinePoint &p) const
+{
+    if (k.isZero() || p.inf)
+        return AffinePoint::infinity();
+    // Start at the top bit with R = P; every further bit performs
+    // exactly one doubling and one addition (result kept or dropped).
+    JacobianPoint r = toJacobian(p);
+    for (size_t i = k.bitLength() - 1; i-- > 0;) {
+        r = dbl(r);
+        JacobianPoint q = addMixed(r, p);
+        if (k.bit(i))
+            r = q;
+    }
+    return toAffine(r);
+}
+
+std::vector<AffinePoint>
+WeierstrassCurve::toAffineBatch(const std::vector<JacobianPoint> &points) const
+{
+    // Montgomery's trick: prefix products of the Z coordinates, one
+    // inversion, then unwind to get each Z^-1.
+    std::vector<AffinePoint> out(points.size());
+    std::vector<BigUInt> prefix;
+    prefix.reserve(points.size());
+    BigUInt acc(1);
+    for (const JacobianPoint &p : points) {
+        if (!p.isInfinity())
+            acc = f->mul(acc, p.z);
+        prefix.push_back(acc);
+    }
+    BigUInt inv_acc = f->inv(acc);
+    for (size_t i = points.size(); i-- > 0;) {
+        const JacobianPoint &p = points[i];
+        if (p.isInfinity()) {
+            out[i] = AffinePoint::infinity();
+            continue;
+        }
+        BigUInt prev = i == 0 ? BigUInt(1) : prefix[i - 1];
+        BigUInt zi = f->mul(inv_acc, prev);
+        inv_acc = f->mul(inv_acc, p.z);
+        BigUInt zi2 = f->sqr(zi);
+        out[i] = AffinePoint(f->mul(p.x, zi2),
+                             f->mul(p.y, f->mul(zi2, zi)));
+    }
+    return out;
+}
+
+AffinePoint
+WeierstrassCurve::mulWNaf(const BigUInt &k, const AffinePoint &p,
+                          unsigned w) const
+{
+    if (k.isZero() || p.inf)
+        return AffinePoint::infinity();
+
+    // Table of odd multiples P, 3P, ..., (2^(w-1) - 1) P.
+    size_t table_size = size_t(1) << (w - 2);
+    std::vector<JacobianPoint> table_j;
+    table_j.reserve(table_size);
+    table_j.push_back(toJacobian(p));
+    JacobianPoint p2 = dbl(table_j[0]);
+    for (size_t i = 1; i < table_size; i++)
+        table_j.push_back(add(table_j[i - 1], p2));
+    std::vector<AffinePoint> table = toAffineBatch(table_j);
+
+    auto digits = wNafDigits(k, w);
+    JacobianPoint r = JacobianPoint::infinity();
+    for (size_t i = digits.size(); i-- > 0;) {
+        r = dbl(r);
+        int d = digits[i];
+        if (d > 0)
+            r = addMixed(r, table[(d - 1) / 2]);
+        else if (d < 0)
+            r = addMixed(r, negate(table[(-d - 1) / 2]));
+    }
+    return toAffine(r);
+}
+
+void
+WeierstrassCurve::dblu(const AffinePoint &p, JacobianPoint &p_out,
+                       JacobianPoint &dbl_out) const
+{
+    // Initial doubling of an affine point, leaving P and 2P with the
+    // common Z = 2y ("DBLU" of Goundar-Joye-Miyaji).
+    BigUInt bb = f->sqr(p.x);
+    BigUInt e = f->sqr(p.y);
+    BigUInt l = f->sqr(e);
+    BigUInt s4 = f->mul(p.x, e);
+    s4 = f->add(s4, s4);
+    s4 = f->add(s4, s4);                            // 4 x y^2
+    BigUInt m = f->add(f->add(f->add(bb, bb), bb), a);  // 3x^2 + a (Z=1)
+
+    dbl_out.x = f->sub(f->sqr(m), f->add(s4, s4));
+    BigUInt l8 = f->add(l, l);
+    l8 = f->add(l8, l8);
+    l8 = f->add(l8, l8);                            // 8 y^4
+    dbl_out.y = f->sub(f->mul(m, f->sub(s4, dbl_out.x)), l8);
+    dbl_out.z = f->add(p.y, p.y);
+
+    p_out.x = s4;
+    p_out.y = l8;
+    p_out.z = dbl_out.z;
+}
+
+void
+WeierstrassCurve::zaddu(JacobianPoint &p, const JacobianPoint &q,
+                        JacobianPoint &r) const
+{
+    // ZADDU: 4M + 2S. Requires p.z == q.z and p != +-q.
+    BigUInt dx = f->sub(p.x, q.x);
+    BigUInt c = f->sqr(dx);
+    BigUInt w1 = f->mul(p.x, c);
+    BigUInt w2 = f->mul(q.x, c);
+    BigUInt dy = f->sub(p.y, q.y);
+    BigUInt d = f->sqr(dy);
+    BigUInt a1 = f->mul(p.y, f->sub(w1, w2));
+
+    r.x = f->sub(f->sub(d, w1), w2);
+    r.y = f->sub(f->mul(dy, f->sub(w1, r.x)), a1);
+    r.z = f->mul(p.z, dx);
+
+    p.x = w1;
+    p.y = a1;
+    p.z = r.z;
+}
+
+void
+WeierstrassCurve::zaddc(const JacobianPoint &p, const JacobianPoint &q,
+                        JacobianPoint &s, JacobianPoint &d) const
+{
+    // ZADDC (conjugate co-Z addition): 6M + 3S. s = p + q, d = p - q.
+    BigUInt dx = f->sub(p.x, q.x);
+    BigUInt c = f->sqr(dx);
+    BigUInt w1 = f->mul(p.x, c);
+    BigUInt w2 = f->mul(q.x, c);
+    BigUInt dy = f->sub(p.y, q.y);
+    BigUInt sy = f->add(p.y, q.y);
+    BigUInt a1 = f->mul(p.y, f->sub(w1, w2));
+    BigUInt z3 = f->mul(p.z, dx);
+
+    s.x = f->sub(f->sub(f->sqr(dy), w1), w2);
+    s.y = f->sub(f->mul(dy, f->sub(w1, s.x)), a1);
+    s.z = z3;
+
+    d.x = f->sub(f->sub(f->sqr(sy), w1), w2);
+    d.y = f->sub(f->mul(sy, f->sub(w1, d.x)), a1);
+    d.z = z3;
+}
+
+AffinePoint
+WeierstrassCurve::mulLadder(const BigUInt &k, const AffinePoint &p) const
+{
+    if (k.isZero() || p.inf)
+        return AffinePoint::infinity();
+    if (k.isOne())
+        return p;
+
+    JacobianPoint r0, r1;
+    dblu(p, r0, r1);  // r0 = P, r1 = 2P, common Z; invariant r1-r0 = P
+
+    for (size_t i = k.bitLength() - 1; i-- > 0;) {
+        JacobianPoint sum, diff, twice;
+        if (k.bit(i)) {
+            // r0 <- r0 + r1, r1 <- 2 r1 = (r0+r1) + (r1-r0).
+            zaddc(r1, r0, sum, diff);
+            zaddu(sum, diff, twice);
+            r1 = twice;
+            r0 = sum;
+        } else {
+            // r1 <- r0 + r1, r0 <- 2 r0 = (r0+r1) + (r0-r1).
+            zaddc(r0, r1, sum, diff);
+            zaddu(sum, diff, twice);
+            r0 = twice;
+            r1 = sum;
+        }
+    }
+    return toAffine(r0);
+}
+
+} // namespace jaavr

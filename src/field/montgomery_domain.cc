@@ -1,0 +1,122 @@
+#include "field/montgomery_domain.hh"
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+namespace
+{
+
+/** -x^-1 mod 2^32 for odd x (Newton iteration on the 2-adic inverse). */
+uint32_t
+negInvMod2_32(uint32_t x)
+{
+    uint32_t inv = x;  // correct to 3 bits
+    for (int i = 0; i < 4; i++)
+        inv *= 2 - x * inv;  // doubles the precision each step
+    return ~inv + 1;  // negate
+}
+
+} // anonymous namespace
+
+MontgomeryDomain::MontgomeryDomain(const BigUInt &modulus) : m(modulus)
+{
+    if (!m.isOdd())
+        fatal("MontgomeryDomain: modulus must be odd");
+    s = (m.bitLength() + 31) / 32;
+    n0 = negInvMod2_32(m.low32());
+    rModM = (BigUInt(1) << (32 * static_cast<unsigned>(s))) % m;
+    // Defensive: n0 = -m^-1, so m * n0 = -1 (mod 2^32).
+    if (static_cast<uint32_t>(m.low32() * n0) != 0xffffffffu)
+        panic("MontgomeryDomain: n0 computation failed");
+}
+
+MontgomeryDomain::Words
+MontgomeryDomain::fromBig(const BigUInt &v) const
+{
+    return v.toWords(s);
+}
+
+BigUInt
+MontgomeryDomain::toBig(const Words &a) const
+{
+    return BigUInt::fromWords(a);
+}
+
+MontgomeryDomain::Words
+MontgomeryDomain::toMont(const BigUInt &a) const
+{
+    return fromBig((a % m).mulMod(rModM, m));
+}
+
+BigUInt
+MontgomeryDomain::fromMont(const Words &a) const
+{
+    Words one(s, 0);
+    one[0] = 1;
+    return toBig(montMul(a, one));
+}
+
+MontgomeryDomain::Words
+MontgomeryDomain::montMul(const Words &a, const Words &b) const
+{
+    wordMacs = 0;
+    Words p = m.toWords(s);
+    Words q(s, 0);
+    Words out(s, 0);
+    unsigned __int128 acc = 0;
+
+    // Product-scanning FIPS: first half computes the q digits.
+    for (size_t i = 0; i < s; i++) {
+        for (size_t j = 0; j <= i; j++) {
+            acc += static_cast<uint64_t>(a[j]) * b[i - j];
+            wordMacs++;
+        }
+        for (size_t j = 0; j < i; j++) {
+            acc += static_cast<uint64_t>(q[j]) * p[i - j];
+            wordMacs++;
+        }
+        q[i] = static_cast<uint32_t>(acc) * n0;
+        wordMacs++;  // the q-digit multiplication by n0'
+        acc += static_cast<uint64_t>(q[i]) * p[0];
+        wordMacs++;
+        if (static_cast<uint32_t>(acc) != 0)
+            panic("MontgomeryDomain::montMul: column %zu not cleared", i);
+        acc >>= 32;
+    }
+    // Second half emits the result words.
+    for (size_t i = s; i < 2 * s; i++) {
+        for (size_t j = i - s + 1; j < s; j++) {
+            acc += static_cast<uint64_t>(a[j]) * b[i - j];
+            wordMacs++;
+        }
+        for (size_t j = i - s + 1; j < s; j++) {
+            acc += static_cast<uint64_t>(q[j]) * p[i - j];
+            wordMacs++;
+        }
+        out[i - s] = static_cast<uint32_t>(acc);
+        acc >>= 32;
+    }
+
+    // Final conditional subtraction (general m: full-width compare).
+    BigUInt t = toBig(out) + (BigUInt(static_cast<uint64_t>(acc))
+                              << (32 * static_cast<unsigned>(s)));
+    if (t >= m)
+        t = t - m;
+    return t.toWords(s);
+}
+
+MontgomeryDomain::Words
+MontgomeryDomain::montExp(const Words &base, const BigUInt &e) const
+{
+    Words result = fromBig(rModM);  // 1 in the domain
+    for (size_t i = e.bitLength(); i-- > 0;) {
+        result = montMul(result, result);
+        if (e.bit(i))
+            result = montMul(result, base);
+    }
+    return result;
+}
+
+} // namespace jaavr

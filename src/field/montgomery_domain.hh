@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Word-level Montgomery arithmetic for an *arbitrary* odd modulus —
+ * the general case of the OPF machinery in opf_field.hh. A general
+ * s-word modulus needs 2s^2 + s word MACs per FIPS multiplication
+ * (Koc-Acar-Kaliski), twice the OPF's s^2 + s: quantifying exactly
+ * that difference is how the paper motivates Optimal Prime Fields,
+ * and this class powers the RSA extension benchmark (Section IV-A:
+ * the MAC unit "is in principle suitable to speed up ... even RSA").
+ */
+
+#ifndef JAAVR_FIELD_MONTGOMERY_DOMAIN_HH
+#define JAAVR_FIELD_MONTGOMERY_DOMAIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/big_uint.hh"
+
+namespace jaavr
+{
+
+class MontgomeryDomain
+{
+  public:
+    using Words = std::vector<uint32_t>;
+
+    /** @param modulus odd modulus of any width up to 768 bits. */
+    explicit MontgomeryDomain(const BigUInt &modulus);
+
+    const BigUInt &modulus() const { return m; }
+    size_t words() const { return s; }
+    unsigned bits() const { return 32 * static_cast<unsigned>(s); }
+
+    /** -m^-1 mod 2^32 (the Montgomery constant). */
+    uint32_t n0Inv() const { return n0; }
+
+    Words fromBig(const BigUInt &v) const;
+    BigUInt toBig(const Words &a) const;
+
+    /** Into the Montgomery domain: a * R mod m, R = 2^(32 s). */
+    Words toMont(const BigUInt &a) const;
+
+    /** Out of the domain. */
+    BigUInt fromMont(const Words &a) const;
+
+    /**
+     * FIPS Montgomery product a * b * R^-1 mod m (product scanning,
+     * full 2s^2 + s word MACs). Result < m.
+     */
+    Words montMul(const Words &a, const Words &b) const;
+
+    /** Montgomery-domain exponentiation (square-and-multiply). */
+    Words montExp(const Words &base, const BigUInt &e) const;
+
+    /** Word MACs of the most recent montMul (2s^2 + s). */
+    uint64_t lastWordMacs() const { return wordMacs; }
+
+  private:
+    BigUInt m;
+    size_t s;
+    uint32_t n0;
+    BigUInt rModM;
+    mutable uint64_t wordMacs = 0;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_FIELD_MONTGOMERY_DOMAIN_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Field-operation counters.
+ *
+ * The evaluation methodology (DESIGN.md §4.3) runs the real curve
+ * arithmetic on the host while charging ISS-measured cycle costs per
+ * field operation; these counters record exactly which operations a
+ * scalar multiplication performed, including all data-dependent
+ * effects (NAF/JSF digit patterns, DAAA dummy operations, ladder
+ * steps).
+ */
+
+#ifndef JAAVR_FIELD_OP_COUNTS_HH
+#define JAAVR_FIELD_OP_COUNTS_HH
+
+#include <cstdint>
+
+namespace jaavr
+{
+
+/** Counts of prime-field operations executed by an algorithm. */
+struct FieldOpCounts
+{
+    uint64_t mul = 0;       ///< full field multiplications
+    uint64_t sqr = 0;       ///< field squarings
+    uint64_t add = 0;       ///< modular additions
+    uint64_t sub = 0;       ///< modular subtractions (and negations)
+    uint64_t mulSmall = 0;  ///< multiplications by a small (<=16-bit) constant
+    uint64_t inv = 0;       ///< field inversions
+
+    void
+    reset()
+    {
+        *this = FieldOpCounts();
+    }
+
+    FieldOpCounts
+    operator+(const FieldOpCounts &o) const
+    {
+        FieldOpCounts r = *this;
+        r.mul += o.mul;
+        r.sqr += o.sqr;
+        r.add += o.add;
+        r.sub += o.sub;
+        r.mulSmall += o.mulSmall;
+        r.inv += o.inv;
+        return r;
+    }
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_FIELD_OP_COUNTS_HH

@@ -1,0 +1,234 @@
+#include "field/opf_field.hh"
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+namespace
+{
+
+/** Bit width of a 128-bit accumulator value. */
+unsigned
+accBits(unsigned __int128 v)
+{
+    unsigned bits = 0;
+    while (v) {
+        bits++;
+        v >>= 1;
+    }
+    return bits;
+}
+
+} // anonymous namespace
+
+OpfField::OpfField(const OpfPrime &prime) : opf(prime)
+{
+    // The OPF layout used throughout the paper: u occupies the top
+    // half of the most significant word, so k = 16 (mod 32) and the
+    // prime has exactly two non-zero words (MSW = u << 16, LSW = 1).
+    if (opf.k % 32 != 16)
+        fatal("OpfField: k must be 16 mod 32 (got %u)", opf.k);
+    s = opf.k / 32 + 1;
+    pTopWord = opf.u << 16;
+    rModP = (BigUInt(1) << (32 * static_cast<unsigned>(s))) % opf.p;
+}
+
+OpfField::Words
+OpfField::fromBig(const BigUInt &v) const
+{
+    if (v.bitLength() > bits())
+        panic("OpfField::fromBig: value wider than %u bits", bits());
+    return v.toWords(s);
+}
+
+BigUInt
+OpfField::toBig(const Words &a) const
+{
+    return BigUInt::fromWords(a);
+}
+
+OpfField::Words
+OpfField::toMont(const BigUInt &a) const
+{
+    BigUInt r = (a << (32 * static_cast<unsigned>(s))) % opf.p;
+    return fromBig(r);
+}
+
+BigUInt
+OpfField::fromMont(const Words &a) const
+{
+    Words one(s, 0);
+    one[0] = 1;
+    return canonical(montMul(a, one));
+}
+
+void
+OpfField::subtractCp(Words &a, uint32_t &c) const
+{
+    // Subtract c * p where p = (pTopWord << 32*(s-1)) + 1. Only the
+    // LSW and MSW are touched unless the LSW subtraction borrows,
+    // which requires a[0] < c, i.e. a[0] == 0 with c == 1 — the
+    // 2^-32-probability corner the paper discusses.
+    int64_t d = static_cast<int64_t>(a[0]) - c;
+    uint32_t borrow = d < 0 ? 1 : 0;
+    a[0] = static_cast<uint32_t>(d);
+
+    if (borrow && c)
+        stats.borrowRipples++;
+    size_t i = 1;
+    while (borrow && i < s - 1) {
+        int64_t d2 = static_cast<int64_t>(a[i]) - 1;
+        borrow = d2 < 0 ? 1 : 0;
+        a[i] = static_cast<uint32_t>(d2);
+        i++;
+    }
+
+    int64_t dm = static_cast<int64_t>(a[s - 1]) -
+                 static_cast<int64_t>(static_cast<uint64_t>(c) * pTopWord) -
+                 borrow;
+    uint32_t borrow_out = dm < 0 ? 1 : 0;
+    a[s - 1] = static_cast<uint32_t>(dm);
+
+    // The borrow out of the MSW cancels against the incoming carry;
+    // what remains is the carry for the second subtraction round.
+    c = c - borrow_out;
+}
+
+void
+OpfField::addCp(Words &a, uint32_t &b) const
+{
+    // Add b * p; dual of subtractCp for modular subtraction.
+    uint64_t sum = static_cast<uint64_t>(a[0]) + b;
+    uint32_t carry = static_cast<uint32_t>(sum >> 32);
+    a[0] = static_cast<uint32_t>(sum);
+
+    if (carry && b)
+        stats.borrowRipples++;
+    size_t i = 1;
+    while (carry && i < s - 1) {
+        uint64_t s2 = static_cast<uint64_t>(a[i]) + 1;
+        carry = static_cast<uint32_t>(s2 >> 32);
+        a[i] = static_cast<uint32_t>(s2);
+        i++;
+    }
+
+    uint64_t sm = static_cast<uint64_t>(a[s - 1]) +
+                  static_cast<uint64_t>(b) * pTopWord + carry;
+    uint32_t carry_out = static_cast<uint32_t>(sm >> 32);
+    a[s - 1] = static_cast<uint32_t>(sm);
+
+    b = b - carry_out;
+}
+
+OpfField::Words
+OpfField::add(const Words &a, const Words &b) const
+{
+    stats = OpfOpStats();
+    Words r(s);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < s; i++) {
+        uint64_t t = carry + a[i] + b[i];
+        r[i] = static_cast<uint32_t>(t);
+        carry = t >> 32;
+    }
+    uint32_t c = static_cast<uint32_t>(carry);
+    subtractCp(r, c);
+    subtractCp(r, c);
+    if (c != 0)
+        panic("OpfField::add: carry not cleared after two subtractions");
+    return r;
+}
+
+OpfField::Words
+OpfField::sub(const Words &a, const Words &b) const
+{
+    stats = OpfOpStats();
+    Words r(s);
+    int64_t borrow = 0;
+    for (size_t i = 0; i < s; i++) {
+        int64_t t = static_cast<int64_t>(a[i]) - b[i] - borrow;
+        borrow = t < 0 ? 1 : 0;
+        r[i] = static_cast<uint32_t>(t);
+    }
+    uint32_t c = static_cast<uint32_t>(borrow);
+    addCp(r, c);
+    addCp(r, c);
+    if (c != 0)
+        panic("OpfField::sub: borrow not cleared after two additions");
+    return r;
+}
+
+OpfField::Words
+OpfField::montMul(const Words &a, const Words &b) const
+{
+    stats = OpfOpStats();
+    // Finely Integrated Product Scanning with the low-weight prime:
+    // p has only P[0] = 1 and P[s-1] = u << 16 non-zero, and
+    // -p^-1 = -1 (mod 2^32) because p = 1 (mod 2^32). Hence
+    // q[i] = -T[i] mod 2^32 and the reduction costs s word MACs on
+    // top of the s^2 multiplication MACs (paper, Section III-B).
+    Words q(s, 0);
+    Words out(s, 0);
+    unsigned __int128 acc = 0;
+
+    auto note_acc = [&] {
+        unsigned w = accBits(acc);
+        if (w > maxAccBitsSeen)
+            maxAccBitsSeen = w;
+    };
+
+    // First half: columns 0 .. s-1; compute q digits.
+    for (size_t i = 0; i < s; i++) {
+        for (size_t j = 0; j <= i; j++) {
+            acc += static_cast<uint64_t>(a[j]) * b[i - j];
+            stats.wordMacs++;
+            note_acc();
+        }
+        if (i >= s - 1) {
+            // q[j] * P[s-1] lands in column j + s - 1.
+            size_t j = i - (s - 1);
+            acc += static_cast<uint64_t>(q[j]) * pTopWord;
+            stats.wordMacs++;
+            note_acc();
+        }
+        uint32_t lo = static_cast<uint32_t>(acc);
+        q[i] = static_cast<uint32_t>(0u - lo);
+        // q[i] * P[0] = q[i]: clears the column's low word.
+        acc += q[i];
+        note_acc();
+        if (static_cast<uint32_t>(acc) != 0)
+            panic("OpfField::montMul: column %zu not cleared", i);
+        acc >>= 32;
+    }
+
+    // Second half: columns s .. 2s-1; emit result words.
+    for (size_t i = s; i < 2 * s; i++) {
+        for (size_t j = i - s + 1; j < s; j++) {
+            acc += static_cast<uint64_t>(a[j]) * b[i - j];
+            stats.wordMacs++;
+            note_acc();
+        }
+        if (i < 2 * s - 1) {
+            size_t j = i - (s - 1);
+            acc += static_cast<uint64_t>(q[j]) * pTopWord;
+            stats.wordMacs++;
+            note_acc();
+        }
+        out[i - s] = static_cast<uint32_t>(acc);
+        acc >>= 32;
+    }
+
+    // Final carry word is at most 1 (T < 2^n + p); fold it with the
+    // same LSW/MSW shortcut as the modular addition.
+    uint32_t c = static_cast<uint32_t>(acc);
+    if (c > 1)
+        panic("OpfField::montMul: final carry %u > 1", c);
+    subtractCp(out, c);
+    subtractCp(out, c);
+    if (c != 0)
+        panic("OpfField::montMul: carry not cleared");
+    return out;
+}
+
+} // namespace jaavr

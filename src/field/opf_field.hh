@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Word-level Optimal Prime Field arithmetic — a faithful host model of
+ * the paper's AVR OPF library (Section III).
+ *
+ * Values are arrays of s 32-bit words, kept *incompletely reduced* in
+ * [0, 2^(32 s)) exactly as on the target: the paper's add/sub use the
+ * carry-bit shortcut with a branch-less double subtraction of c*p that
+ * only touches the least and most significant words (plus the 2^-32
+ * borrow-propagation corner case), and multiplication is the Finely
+ * Integrated Product Scanning (FIPS) Montgomery method with the
+ * low-weight reduction that needs only s^2 + s word MACs.
+ *
+ * The class additionally checks the paper's structural claims at run
+ * time: the column accumulator never exceeds 72 bits, and the MAC
+ * counters expose the s^2 + s total. The generated AVR assembly in
+ * src/avrgen is validated word-for-word against this model.
+ */
+
+#ifndef JAAVR_FIELD_OPF_FIELD_HH
+#define JAAVR_FIELD_OPF_FIELD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/big_uint.hh"
+#include "nt/opf_prime.hh"
+
+namespace jaavr
+{
+
+/** Statistics of one word-level OPF operation. */
+struct OpfOpStats
+{
+    uint64_t wordMacs = 0;      ///< (32x32)-bit multiply-accumulates
+    uint64_t borrowRipples = 0; ///< rare LSW-borrow propagation events
+};
+
+class OpfField
+{
+  public:
+    using Words = std::vector<uint32_t>;
+
+    explicit OpfField(const OpfPrime &prime);
+
+    const OpfPrime &prime() const { return opf; }
+    const BigUInt &modulus() const { return opf.p; }
+
+    /** Number of 32-bit words per element. */
+    size_t words() const { return s; }
+
+    /** Bits per element (32 * s). */
+    unsigned bits() const { return 32 * static_cast<unsigned>(s); }
+
+    /** Montgomery radix R = 2^(32 s) mod p. */
+    const BigUInt &montR() const { return rModP; }
+
+    /** Import a residue (< p) into the incomplete word representation. */
+    Words fromBig(const BigUInt &v) const;
+
+    /** Exact value of a (possibly incompletely reduced) element. */
+    BigUInt toBig(const Words &a) const;
+
+    /** Canonical residue in [0, p). */
+    BigUInt canonical(const Words &a) const { return toBig(a) % opf.p; }
+
+    /** Convert into the Montgomery domain: returns a * R mod p. */
+    Words toMont(const BigUInt &a) const;
+
+    /** Convert out of the Montgomery domain (multiplies by 1). */
+    BigUInt fromMont(const Words &a) const;
+
+    /**
+     * Incomplete modular addition: result = a + b (mod p), in
+     * [0, 2^(32 s)). Branch-less double conditional subtraction.
+     */
+    Words add(const Words &a, const Words &b) const;
+
+    /** Incomplete modular subtraction (double conditional addition). */
+    Words sub(const Words &a, const Words &b) const;
+
+    /**
+     * FIPS Montgomery multiplication: result = a * b * R^-1 (mod p),
+     * incompletely reduced. Operands may be incompletely reduced.
+     */
+    Words montMul(const Words &a, const Words &b) const;
+
+    /** Montgomery squaring (same path; kept separate for counters). */
+    Words montSqr(const Words &a) const { return montMul(a, a); }
+
+    /** Statistics of the most recent operation. */
+    const OpfOpStats &lastStats() const { return stats; }
+
+    /**
+     * Maximum accumulator width (bits) observed across all montMul
+     * calls on this field; the paper's hardware accumulator is 72 bits
+     * wide and a property test asserts this never exceeds it.
+     */
+    unsigned maxAccBits() const { return maxAccBitsSeen; }
+
+  private:
+    /** Branch-less subtraction of c * p touching only LSW and MSW. */
+    void subtractCp(Words &a, uint32_t &c) const;
+
+    /** Branch-less addition of c * p (for modular subtraction). */
+    void addCp(Words &a, uint32_t &c) const;
+
+    OpfPrime opf;
+    size_t s;           ///< words per element
+    uint32_t pTopWord;  ///< p's most significant word: u << 16
+    BigUInt rModP;      ///< R mod p
+
+    mutable OpfOpStats stats;
+    mutable unsigned maxAccBitsSeen = 0;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_FIELD_OPF_FIELD_HH

@@ -1,0 +1,103 @@
+#include "field/prime_field.hh"
+
+#include "nt/primality.hh"
+#include "nt/sqrt_mod.hh"
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+PrimeField::PrimeField(const BigUInt &modulus) : p(modulus)
+{
+    if (p.isZero() || !p.isOdd())
+        fatal("PrimeField: modulus must be an odd prime");
+    pBits = p.bitLength();
+}
+
+BigUInt
+PrimeField::add(const BigUInt &a, const BigUInt &b) const
+{
+    if (counter)
+        counter->add++;
+    return a.addMod(b, p);
+}
+
+BigUInt
+PrimeField::sub(const BigUInt &a, const BigUInt &b) const
+{
+    if (counter)
+        counter->sub++;
+    return a.subMod(b, p);
+}
+
+BigUInt
+PrimeField::neg(const BigUInt &a) const
+{
+    if (counter)
+        counter->sub++;
+    if (a.isZero())
+        return a;
+    return p - a;
+}
+
+BigUInt
+PrimeField::mul(const BigUInt &a, const BigUInt &b) const
+{
+    if (counter)
+        counter->mul++;
+    return reduceProduct(a * b);
+}
+
+BigUInt
+PrimeField::sqr(const BigUInt &a) const
+{
+    if (counter)
+        counter->sqr++;
+    return reduceProduct(a * a);
+}
+
+BigUInt
+PrimeField::mulSmall(const BigUInt &a, uint32_t c) const
+{
+    if (counter)
+        counter->mulSmall++;
+    return reduceProduct(a * BigUInt(c));
+}
+
+BigUInt
+PrimeField::inv(const BigUInt &a) const
+{
+    if (counter)
+        counter->inv++;
+    if (a.isZero())
+        panic("PrimeField::inv of zero");
+    return a.invMod(p);
+}
+
+BigUInt
+PrimeField::exp(const BigUInt &a, const BigUInt &e) const
+{
+    return a.powMod(e, p);
+}
+
+bool
+PrimeField::isSquare(const BigUInt &a) const
+{
+    if (a.isZero())
+        return true;
+    return jacobi(a, p) == 1;
+}
+
+std::optional<BigUInt>
+PrimeField::sqrt(const BigUInt &a, Rng &rng) const
+{
+    return sqrtMod(a, p, rng);
+}
+
+BigUInt
+PrimeField::reduceProduct(const BigUInt &t) const
+{
+    return t % p;
+}
+
+} // namespace jaavr

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Generic prime-field arithmetic context (the host "golden model").
+ *
+ * Elements are BigUInt values kept in the least non-negative residue
+ * range [0, p). Subclasses may override reduceProduct() with a fast
+ * prime-specific reduction (pseudo-Mersenne for secp160r1); the OPF
+ * word-level model in opf_field.hh mirrors the AVR implementation and
+ * is cross-checked against this class.
+ */
+
+#ifndef JAAVR_FIELD_PRIME_FIELD_HH
+#define JAAVR_FIELD_PRIME_FIELD_HH
+
+#include <optional>
+
+#include "bigint/big_int.hh"
+#include "bigint/big_uint.hh"
+#include "field/op_counts.hh"
+#include "support/random.hh"
+
+namespace jaavr
+{
+
+class PrimeField
+{
+  public:
+    /** @param p odd prime modulus (primality is the caller's duty). */
+    explicit PrimeField(const BigUInt &p);
+    virtual ~PrimeField() = default;
+
+    const BigUInt &modulus() const { return p; }
+    unsigned bits() const { return pBits; }
+
+    BigUInt add(const BigUInt &a, const BigUInt &b) const;
+    BigUInt sub(const BigUInt &a, const BigUInt &b) const;
+    BigUInt neg(const BigUInt &a) const;
+    BigUInt mul(const BigUInt &a, const BigUInt &b) const;
+    BigUInt sqr(const BigUInt &a) const;
+
+    /**
+     * Multiplication by a small constant (at most 16 bits). Counted
+     * separately: the paper measures it at 0.25-0.3 of a full field
+     * multiplication (Section II-B).
+     */
+    BigUInt mulSmall(const BigUInt &a, uint32_t c) const;
+
+    /** Multiplicative inverse (extended Euclid); panics on zero. */
+    BigUInt inv(const BigUInt &a) const;
+
+    /** a^e mod p. Not op-counted (used only in setup paths). */
+    BigUInt exp(const BigUInt &a, const BigUInt &e) const;
+
+    /** Legendre symbol test. */
+    bool isSquare(const BigUInt &a) const;
+
+    /** Square root if it exists. */
+    std::optional<BigUInt> sqrt(const BigUInt &a, Rng &rng) const;
+
+    /** Reduce an arbitrary BigUInt into [0, p). */
+    BigUInt reduce(const BigUInt &a) const { return a % p; }
+
+    /** Reduce a signed value into [0, p). */
+    BigUInt reduceSigned(const BigInt &a) const { return a.mod(p); }
+
+    BigUInt fromUint(uint64_t v) const { return reduce(BigUInt(v)); }
+    BigUInt fromHex(const std::string &h) const
+    {
+        return reduce(BigUInt::fromHex(h));
+    }
+    BigUInt random(Rng &rng) const { return BigUInt::random(rng, p); }
+
+    /**
+     * Attach an operation counter; all subsequent counted operations
+     * increment it. Pass nullptr to detach.
+     */
+    void attachCounter(FieldOpCounts *c) const { counter = c; }
+    FieldOpCounts *attachedCounter() const { return counter; }
+
+  protected:
+    /** Reduce a product (< p^2) into [0, p); overridable per prime. */
+    virtual BigUInt reduceProduct(const BigUInt &t) const;
+
+    BigUInt p;
+    unsigned pBits;
+    mutable FieldOpCounts *counter = nullptr;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_FIELD_PRIME_FIELD_HH

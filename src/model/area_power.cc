@@ -1,0 +1,35 @@
+#include "model/area_power.hh"
+
+namespace jaavr
+{
+
+double
+AreaModel::coreGe(CpuMode mode)
+{
+    switch (mode) {
+      case CpuMode::CA:
+        return 6166;  // the bare ATmega128-compatible core
+      case CpuMode::FAST:
+        return 6800;  // +634 GE of single-cycle load/store/mul logic
+      case CpuMode::ISE:
+        return 8344;  // +1.5 kGE for the (32x4)-bit MAC unit
+    }
+    return 0;
+}
+
+double
+PowerModel::cpuUw(CpuMode mode)
+{
+    // Averages of the per-curve CPU power values in Table III.
+    switch (mode) {
+      case CpuMode::CA:
+        return 17.9;
+      case CpuMode::FAST:
+        return 19.0;
+      case CpuMode::ISE:
+        return 20.2;
+    }
+    return 0;
+}
+
+} // namespace jaavr

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Area and power models (DESIGN.md substitution #2).
+ *
+ * We cannot run the paper's 130 nm UMC standard-cell flow, so these
+ * are analytic models calibrated against the paper's own reported
+ * breakdowns:
+ *
+ *  - JAAVR core gate counts per mode come from Table I (6,166 GE for
+ *    the CA core, +634 GE for the FAST CPI logic, +~1.5 kGE for the
+ *    MAC unit);
+ *  - program memory synthesized from logic cells costs ~1.44 GE per
+ *    byte (the slope of Table III's ROM-bytes -> ROM-GE pairs);
+ *  - the one-port register-file RAM macros fit GE = 1425 + 5.81 *
+ *    bytes (fitted through Table III's (505, 4359) and (865, 6450)
+ *    points; the intercept is the macro periphery).
+ *
+ * Power at 1 MHz: CPU ~18-20 uW by mode, ROM ~0.0108 uW/byte, RAM
+ * ~0.0066 uW/byte — coarse averages of Table III's simulated values;
+ * the paper itself notes ROM power varies with the access pattern.
+ */
+
+#ifndef JAAVR_MODEL_AREA_POWER_HH
+#define JAAVR_MODEL_AREA_POWER_HH
+
+#include <cstdint>
+
+#include "avr/timing.hh"
+
+namespace jaavr
+{
+
+/** Chip-area estimate in gate equivalents. */
+struct AreaBreakdown
+{
+    double coreGe = 0;
+    double romGe = 0;
+    double ramGe = 0;
+
+    double total() const { return coreGe + romGe + ramGe; }
+};
+
+/** Power estimate in microwatts at 1 MHz. */
+struct PowerBreakdown
+{
+    double cpuUw = 0;
+    double romUw = 0;
+    double ramUw = 0;
+
+    double total() const { return cpuUw + romUw + ramUw; }
+};
+
+class AreaModel
+{
+  public:
+    /** JAAVR core size per mode (Table I calibration). */
+    static double coreGe(CpuMode mode);
+
+    /** Synthesized program memory. */
+    static double romGe(size_t rom_bytes) { return 1.44 * rom_bytes; }
+
+    /** One-port register-file RAM macro. */
+    static double ramGe(size_t ram_bytes)
+    {
+        return 1425.0 + 5.81 * ram_bytes;
+    }
+
+    static AreaBreakdown
+    chip(CpuMode mode, size_t rom_bytes, size_t ram_bytes)
+    {
+        AreaBreakdown a;
+        a.coreGe = coreGe(mode);
+        a.romGe = romGe(rom_bytes);
+        a.ramGe = ramGe(ram_bytes);
+        return a;
+    }
+};
+
+class PowerModel
+{
+  public:
+    static double cpuUw(CpuMode mode);
+    static double romUw(size_t rom_bytes) { return 0.0108 * rom_bytes; }
+    static double ramUw(size_t ram_bytes) { return 0.0066 * ram_bytes; }
+
+    static PowerBreakdown
+    chip(CpuMode mode, size_t rom_bytes, size_t ram_bytes)
+    {
+        PowerBreakdown p;
+        p.cpuUw = cpuUw(mode);
+        p.romUw = romUw(rom_bytes);
+        p.ramUw = ramUw(ram_bytes);
+        return p;
+    }
+
+    /** Energy of a computation at 1 MHz, in microjoules. */
+    static double
+    energyUj(const PowerBreakdown &p, uint64_t cycles)
+    {
+        return p.total() * (static_cast<double>(cycles) / 1e6);
+    }
+};
+
+/**
+ * Scaled Area-Runtime Product of Table III: normalized so the
+ * reference configuration scores 1.00; HIGHER is BETTER (the paper:
+ * "higher SARP value means better area-runtime product").
+ */
+inline double
+sarp(double ref_area, uint64_t ref_cycles, double area, uint64_t cycles)
+{
+    return (ref_area * static_cast<double>(ref_cycles)) /
+           (area * static_cast<double>(cycles));
+}
+
+} // namespace jaavr
+
+#endif // JAAVR_MODEL_AREA_POWER_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The hybrid cycle-accounting executor (DESIGN.md substitution #3):
+ * runs the real curve arithmetic on the host golden model while a
+ * FieldOpCounts counter records every field operation, then converts
+ * the counts into JAAVR cycles using the ISS-measured per-operation
+ * costs. Data-dependent behaviour (NAF/JSF digit patterns, dummy
+ * operations, ladder length) is captured exactly because the real
+ * algorithms run.
+ */
+
+#ifndef JAAVR_MODEL_CYCLE_EXECUTOR_HH
+#define JAAVR_MODEL_CYCLE_EXECUTOR_HH
+
+#include <functional>
+
+#include "field/prime_field.hh"
+#include "model/field_costs.hh"
+
+namespace jaavr
+{
+
+/** Outcome of one cycle-accounted run. */
+struct MeasuredRun
+{
+    FieldOpCounts ops;   ///< exact operation counts
+    uint64_t cycles = 0; ///< modeled JAAVR cycles
+
+    /** Total number of field-routine calls (for overhead charging). */
+    uint64_t
+    totalCalls() const
+    {
+        return ops.mul + ops.sqr + ops.add + ops.sub + ops.mulSmall +
+               ops.inv;
+    }
+};
+
+class CycleExecutor
+{
+  public:
+    explicit CycleExecutor(const FieldCycleCosts &costs) : c(costs) {}
+
+    /** Convert already-collected counts into cycles. */
+    uint64_t
+    cyclesFor(const FieldOpCounts &ops) const
+    {
+        uint64_t calls = ops.mul + ops.sqr + ops.add + ops.sub +
+                         ops.mulSmall + ops.inv;
+        return ops.mul * c.mul + ops.sqr * c.sqr + ops.add * c.add +
+               ops.sub * c.sub + ops.mulSmall * c.mulSmall +
+               ops.inv * c.inv + calls * c.callOverhead;
+    }
+
+    /**
+     * Run @p body with a counter attached to @p field and account the
+     * operations it performs.
+     */
+    MeasuredRun
+    measure(const PrimeField &field,
+            const std::function<void()> &body) const
+    {
+        FieldOpCounts counts;
+        FieldOpCounts *prev = field.attachedCounter();
+        field.attachCounter(&counts);
+        body();
+        field.attachCounter(prev);
+        MeasuredRun run;
+        run.ops = counts;
+        run.cycles = cyclesFor(counts);
+        return run;
+    }
+
+    const FieldCycleCosts &costs() const { return c; }
+
+  private:
+    FieldCycleCosts c;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_MODEL_CYCLE_EXECUTOR_HH

@@ -1,0 +1,79 @@
+#include "model/field_costs.hh"
+
+#include <map>
+#include <tuple>
+
+#include "avrgen/opf_harness.hh"
+#include "avrgen/secp160_harness.hh"
+#include "field/secp160.hh"
+#include "support/random.hh"
+
+namespace jaavr
+{
+
+const FieldCycleCosts &
+opfFieldCosts(const OpfPrime &prime, CpuMode mode)
+{
+    using Key = std::tuple<uint32_t, unsigned, CpuMode>;
+    static std::map<Key, FieldCycleCosts> cache;
+    Key key{prime.u, prime.k, mode};
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    OpfField field(prime);
+    OpfAvrLibrary lib(prime, mode);
+    Rng rng(0xc057);
+    auto a = field.fromBig(BigUInt::randomBits(rng, field.bits()));
+    auto b = field.fromBig(BigUInt::randomBits(rng, field.bits()));
+
+    FieldCycleCosts c;
+    c.add = lib.add(a, b).cycles;
+    c.sub = lib.sub(a, b).cycles;
+    c.mul = lib.mul(a, b).cycles;
+    c.sqr = c.mul;
+    c.mulSmall = c.mul * 28 / 100;
+    // Inversion is data-dependent (the Kaliski loop); use the mean of
+    // several measured runs of the generated routine.
+    const int inv_samples = 5;
+    uint64_t inv_total = 0;
+    for (int i = 0; i < inv_samples; i++) {
+        BigUInt x = BigUInt(1) +
+                    BigUInt::random(rng, prime.p - BigUInt(1));
+        inv_total += lib.inv(field.fromBig(x)).cycles;
+    }
+    c.inv = inv_total / inv_samples;
+    return cache.emplace(key, c).first->second;
+}
+
+FieldCycleCosts
+secp160r1FieldCosts(CpuMode mode)
+{
+    static std::map<CpuMode, FieldCycleCosts> cache;
+    auto it = cache.find(mode);
+    if (it != cache.end())
+        return it->second;
+
+    Secp160AvrLibrary lib(mode);
+    Rng rng(0x5ec0);
+    const BigUInt p = Secp160r1Field::primeValue();
+    auto a = BigUInt::random(rng, p).toWords(5);
+    auto b = BigUInt::random(rng, p).toWords(5);
+
+    FieldCycleCosts c;
+    c.add = lib.add(a, b).cycles;
+    c.sub = lib.sub(a, b).cycles;
+    c.mul = lib.mul(a, b).cycles;
+    c.sqr = c.mul;
+    c.mulSmall = c.mul * 28 / 100;
+    const int inv_samples = 5;
+    uint64_t inv_total = 0;
+    for (int i = 0; i < inv_samples; i++) {
+        BigUInt x = BigUInt(1) + BigUInt::random(rng, p - BigUInt(1));
+        inv_total += lib.inv(x.toWords(5)).cycles;
+    }
+    c.inv = inv_total / inv_samples;
+    return cache.emplace(mode, c).first->second;
+}
+
+} // namespace jaavr

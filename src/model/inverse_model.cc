@@ -1,0 +1,56 @@
+#include "model/inverse_model.hh"
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace jaavr
+{
+
+uint64_t
+kaliskiIterations(const BigUInt &a, const BigUInt &p)
+{
+    if (a.isZero())
+        panic("kaliskiIterations: inversion of zero");
+    BigUInt u = p, v = a % p;
+    uint64_t k = 0;
+    // Phase 1 of Kaliski's algorithm; r/s coefficient updates cost the
+    // same per iteration and do not change the count, so only u/v are
+    // tracked here.
+    while (!v.isZero()) {
+        if (!u.isOdd())
+            u = u >> 1;
+        else if (!v.isOdd())
+            v = v >> 1;
+        else if (u > v)
+            u = (u - v) >> 1;
+        else
+            v = (v - u) >> 1;
+        k++;
+    }
+    return k;
+}
+
+uint64_t
+kaliskiAverageIterations(unsigned bits)
+{
+    // Empirical average for random field elements is very close to
+    // 1.41 * bits * ... just measure it once per size.
+    static thread_local unsigned cached_bits = 0;
+    static thread_local uint64_t cached_avg = 0;
+    if (cached_bits == bits)
+        return cached_avg;
+
+    Rng rng(0x17e4);
+    BigUInt p = (BigUInt(0xff4c) << (bits - 16)) + BigUInt(1);
+    uint64_t total = 0;
+    const int samples = 50;
+    for (int i = 0; i < samples; i++) {
+        BigUInt a = BigUInt(1) + BigUInt::random(rng, p - BigUInt(1));
+        total += kaliskiIterations(a, p);
+    }
+    cached_bits = bits;
+    cached_avg = total / samples;
+    return cached_avg;
+}
+
+} // namespace jaavr

@@ -1,0 +1,93 @@
+#include "nt/cornacchia.hh"
+
+#include "nt/intsqrt.hh"
+#include "nt/primality.hh"
+#include "nt/sqrt_mod.hh"
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+std::optional<CornacchiaSolution>
+cornacchia(const BigUInt &p, uint32_t d, Rng &rng)
+{
+    BigUInt dd(d);
+    if (p <= dd)
+        return std::nullopt;
+
+    // r0 = sqrt(-d) mod p.
+    BigUInt neg_d = p - (dd % p);
+    auto r0 = sqrtMod(neg_d, p, rng);
+    if (!r0)
+        return std::nullopt;
+
+    // Use the root in (p/2, p); either root works for the descent but
+    // the classical presentation takes the larger one.
+    BigUInt r = *r0;
+    if (r < (p >> 1))
+        r = p - r;
+
+    // Euclidean descent: stop at the first remainder below sqrt(p).
+    BigUInt a = p, b = r;
+    BigUInt lim = isqrt(p);
+    while (b > lim) {
+        BigUInt t = a % b;
+        a = b;
+        b = t;
+    }
+
+    // Check p - b^2 = d * y^2 with y integral.
+    BigUInt b2 = b * b;
+    BigUInt rest = p - b2;
+    BigUInt q, rem;
+    BigUInt::divMod(rest, dd, q, rem);
+    if (!rem.isZero())
+        return std::nullopt;
+    BigUInt y;
+    if (!isPerfectSquare(q, y))
+        return std::nullopt;
+    return CornacchiaSolution{b, y};
+}
+
+CmDecomposition
+cmDecompose4p(const BigUInt &p, Rng &rng)
+{
+    if ((p % BigUInt(3)).toUint64() != 1)
+        panic("cmDecompose4p: p must be 1 mod 3");
+
+    auto sol = cornacchia(p, 3, rng);
+    if (!sol)
+        panic("cmDecompose4p: no a^2 + 3 b^2 representation; "
+              "p is not prime?");
+    const BigUInt &a = sol->x, &b = sol->y;
+
+    // 4p = (2a)^2 + 3 (2b)^2 = (a+3b)^2 + 3 (a-b)^2
+    //    = (a-3b)^2 + 3 (a+b)^2; exactly one second component is
+    // divisible by 3, giving 4p = L^2 + 27 M^2.
+    struct Cand { BigUInt first, second; };
+    BigUInt a3b_hi = a + BigUInt(3) * b;
+    BigUInt ab_sum = a + b;
+    BigUInt ab_diff = a >= b ? a - b : b - a;
+    BigUInt a3b_lo = a >= BigUInt(3) * b ? a - BigUInt(3) * b
+                                         : BigUInt(3) * b - a;
+    Cand cands[] = {
+        {a << 1, b << 1},
+        {a3b_hi, ab_diff},
+        {a3b_lo, ab_sum},
+    };
+    for (const Cand &c : cands) {
+        BigUInt q, rem;
+        BigUInt::divMod(c.second, BigUInt(3), q, rem);
+        if (!rem.isZero())
+            continue;
+        CmDecomposition out{c.first, q};
+        // Defensive verification of the identity.
+        BigUInt check = out.l * out.l + BigUInt(27) * out.m * out.m;
+        if (check != (p << 2))
+            panic("cmDecompose4p: identity check failed");
+        return out;
+    }
+    panic("cmDecompose4p: no candidate divisible by 3");
+}
+
+} // namespace jaavr

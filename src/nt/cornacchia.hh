@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cornacchia's algorithm and the CM decomposition 4p = L^2 + 27 M^2
+ * used to compute the exact group orders of j-invariant-0 curves
+ * (the GLV family y^2 = x^3 + b).
+ */
+
+#ifndef JAAVR_NT_CORNACCHIA_HH
+#define JAAVR_NT_CORNACCHIA_HH
+
+#include <optional>
+
+#include "bigint/big_uint.hh"
+#include "support/random.hh"
+
+namespace jaavr
+{
+
+/** A representation p = x^2 + d * y^2. */
+struct CornacchiaSolution
+{
+    BigUInt x;
+    BigUInt y;
+};
+
+/**
+ * Solve p = x^2 + d*y^2 for an odd prime p and small d > 0.
+ * Returns nullopt when no representation exists (i.e. -d is a
+ * non-residue mod p or the descent fails the divisibility check).
+ */
+std::optional<CornacchiaSolution>
+cornacchia(const BigUInt &p, uint32_t d, Rng &rng);
+
+/**
+ * Decomposition 4p = L^2 + 27 M^2 for a prime p = 1 (mod 3).
+ * Derived from the d = 3 Cornacchia representation p = a^2 + 3 b^2 by
+ * picking the variant of (a, b) whose second component is divisible
+ * by 3. Panics if p != 1 (mod 3) or the representation is missing
+ * (which cannot happen for a genuine prime).
+ */
+struct CmDecomposition
+{
+    BigUInt l; ///< |L|
+    BigUInt m; ///< |M|
+};
+
+CmDecomposition cmDecompose4p(const BigUInt &p, Rng &rng);
+
+} // namespace jaavr
+
+#endif // JAAVR_NT_CORNACCHIA_HH

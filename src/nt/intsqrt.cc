@@ -1,0 +1,33 @@
+#include "nt/intsqrt.hh"
+
+namespace jaavr
+{
+
+BigUInt
+isqrt(const BigUInt &n)
+{
+    if (n.isZero())
+        return BigUInt(0);
+    // Newton iteration with a power-of-two starting point above the
+    // root; monotonically decreasing, so terminate when it stops.
+    BigUInt x = BigUInt::powerOfTwo(n.bitLength() / 2 + 1);
+    for (;;) {
+        BigUInt y = (x + n / x) >> 1;
+        if (y >= x)
+            return x;
+        x = y;
+    }
+}
+
+bool
+isPerfectSquare(const BigUInt &n, BigUInt &root)
+{
+    BigUInt r = isqrt(n);
+    if (r * r == n) {
+        root = r;
+        return true;
+    }
+    return false;
+}
+
+} // namespace jaavr

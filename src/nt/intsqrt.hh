@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Integer square root over BigUInt.
+ */
+
+#ifndef JAAVR_NT_INTSQRT_HH
+#define JAAVR_NT_INTSQRT_HH
+
+#include "bigint/big_uint.hh"
+
+namespace jaavr
+{
+
+/** Floor of the square root of @p n. */
+BigUInt isqrt(const BigUInt &n);
+
+/** True iff @p n is a perfect square; @p root receives sqrt(n) if so. */
+bool isPerfectSquare(const BigUInt &n, BigUInt &root);
+
+} // namespace jaavr
+
+#endif // JAAVR_NT_INTSQRT_HH

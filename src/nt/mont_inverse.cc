@@ -1,0 +1,61 @@
+#include "nt/mont_inverse.hh"
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+AlmostInverse
+almostMontInverse(const BigUInt &a, const BigUInt &p)
+{
+    if (a.isZero())
+        panic("almostMontInverse: inversion of zero");
+    BigUInt u = p, v = a % p;
+    BigUInt r(0), s(1);
+    uint64_t k = 0;
+
+    while (!v.isZero()) {
+        if (!u.isOdd()) {
+            u = u >> 1;
+            s = s << 1;
+        } else if (!v.isOdd()) {
+            v = v >> 1;
+            r = r << 1;
+        } else if (u > v) {
+            u = (u - v) >> 1;
+            r = r + s;
+            s = s << 1;
+        } else {
+            // v >= u (equality routes here so u keeps the gcd).
+            v = (v - u) >> 1;
+            s = s + r;
+            r = r << 1;
+        }
+        k++;
+    }
+    if (!u.isOne())
+        panic("almostMontInverse: gcd(a, p) != 1");
+    if (r >= p)
+        r = r - p;
+    // Here r = -a^-1 * 2^k; negate into [0, p).
+    return AlmostInverse{p - r, k};
+}
+
+BigUInt
+montInverse(const BigUInt &a, const BigUInt &p, unsigned n)
+{
+    AlmostInverse ai = almostMontInverse(a, p);
+    if (ai.k < n)
+        panic("montInverse: k < n");
+    BigUInt x = ai.r;
+    // Phase 2: k - n modular halvings.
+    for (uint64_t i = n; i < ai.k; i++) {
+        if (x.isOdd())
+            x = (x + p) >> 1;
+        else
+            x = x >> 1;
+    }
+    return x;
+}
+
+} // namespace jaavr

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Kaliski's Montgomery inverse (the algorithm the paper uses for the
+ * projective-to-affine conversion; Table I's "Inversion" row).
+ *
+ * Phase 1 (the "almost Montgomery inverse") computes r and k with
+ * r = a^-1 * 2^k (mod p), n <= k <= 2n, using only shifts, adds and
+ * subtracts. Phase 2 halves the result k - n times modulo p, giving
+ * the Montgomery-domain inverse a^-1 * 2^n (mod p).
+ *
+ * This host implementation is the bit-exact reference for the
+ * generated AVR assembly routine in src/avrgen.
+ */
+
+#ifndef JAAVR_NT_MONT_INVERSE_HH
+#define JAAVR_NT_MONT_INVERSE_HH
+
+#include <cstdint>
+
+#include "bigint/big_uint.hh"
+
+namespace jaavr
+{
+
+/** Result of the almost Montgomery inverse. */
+struct AlmostInverse
+{
+    BigUInt r;   ///< a^-1 * 2^k (mod p)
+    uint64_t k;  ///< exponent, bits(p) <= k <= 2*bits(p)
+};
+
+/** Phase 1: the almost Montgomery inverse of a mod the odd prime p. */
+AlmostInverse almostMontInverse(const BigUInt &a, const BigUInt &p);
+
+/**
+ * Full Montgomery-domain inverse: a^-1 * 2^n (mod p) with
+ * n = bits(p). Bit-exact mirror of the generated AVR routine.
+ */
+BigUInt montInverse(const BigUInt &a, const BigUInt &p, unsigned n);
+
+} // namespace jaavr
+
+#endif // JAAVR_NT_MONT_INVERSE_HH

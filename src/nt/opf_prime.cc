@@ -1,0 +1,66 @@
+#include "nt/opf_prime.hh"
+
+#include "nt/primality.hh"
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+OpfPrime
+makeOpf(uint32_t u, unsigned k)
+{
+    if (u == 0 || u > 0xffff)
+        fatal("makeOpf: u must be a non-zero 16-bit value (got %u)", u);
+    OpfPrime o;
+    o.u = u;
+    o.k = k;
+    o.p = (BigUInt(u) << k) + BigUInt(1);
+    return o;
+}
+
+std::optional<OpfPrime>
+findOpfPrime(unsigned k, uint32_t u_start, Rng &rng,
+             const std::function<bool(const OpfPrime &)> &accept)
+{
+    for (uint32_t u = u_start; u >= 1; u--) {
+        OpfPrime cand = makeOpf(u, k);
+        if (accept && !accept(cand))
+            continue;
+        if (isProbablePrime(cand.p, rng))
+            return cand;
+        if (u == 1)
+            break;
+    }
+    return std::nullopt;
+}
+
+const OpfPrime &
+paperOpfPrime()
+{
+    static const OpfPrime prime = [] {
+        OpfPrime o = makeOpf(65356, 144);
+        Rng rng(0x0bf5);
+        if (!isProbablePrime(o.p, rng))
+            panic("paper OPF prime 65356 * 2^144 + 1 failed primality");
+        return o;
+    }();
+    return prime;
+}
+
+const OpfPrime &
+glvOpfPrime()
+{
+    static const OpfPrime prime = [] {
+        Rng rng(0x61f6);
+        // p = u * 2^144 + 1 = u + 1 (mod 3) since 2^144 = 1 (mod 3);
+        // GLV needs p = 1 (mod 3), i.e. u = 0 (mod 3).
+        auto found = findOpfPrime(144, 0xffff, rng,
+            [](const OpfPrime &o) { return o.u % 3 == 0; });
+        if (!found)
+            panic("no GLV-compatible OPF prime found");
+        return *found;
+    }();
+    return prime;
+}
+
+} // namespace jaavr

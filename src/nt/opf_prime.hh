@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Optimal Prime Field primes: p = u * 2^k + 1 with u of at most
+ * 16 bits (paper, Section II-A). Only the two most significant bytes
+ * and the least significant byte of p are non-zero, which is what
+ * makes the Montgomery reduction linear in word multiplications.
+ */
+
+#ifndef JAAVR_NT_OPF_PRIME_HH
+#define JAAVR_NT_OPF_PRIME_HH
+
+#include <functional>
+#include <optional>
+
+#include "bigint/big_uint.hh"
+#include "support/random.hh"
+
+namespace jaavr
+{
+
+/** An OPF prime p = u * 2^k + 1. */
+struct OpfPrime
+{
+    uint32_t u;  ///< 16-bit multiplier (two AVR registers)
+    unsigned k;  ///< power-of-two exponent (144 for 160-bit fields)
+    BigUInt p;   ///< the prime itself
+};
+
+/** Construct p = u * 2^k + 1 (no primality check). */
+OpfPrime makeOpf(uint32_t u, unsigned k);
+
+/**
+ * Search downward from @p u_start for the largest u <= u_start such
+ * that p = u * 2^k + 1 is prime and @p accept (if given) returns true.
+ * Returns nullopt if the search space is exhausted.
+ */
+std::optional<OpfPrime>
+findOpfPrime(unsigned k, uint32_t u_start, Rng &rng,
+             const std::function<bool(const OpfPrime &)> &accept = {});
+
+/**
+ * The paper's reference 160-bit OPF prime, p = 65356 * 2^144 + 1
+ * (hex ff4c0000...0001). Primality is checked once and cached.
+ */
+const OpfPrime &paperOpfPrime();
+
+/**
+ * A 160-bit OPF prime with p = 1 (mod 3), as required by the GLV
+ * curve family y^2 = x^3 + b (paper, Section II-D). Found by the
+ * downward search with the congruence filter; deterministic.
+ */
+const OpfPrime &glvOpfPrime();
+
+} // namespace jaavr
+
+#endif // JAAVR_NT_OPF_PRIME_HH

@@ -1,0 +1,69 @@
+#include "nt/primality.hh"
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+bool
+isProbablePrime(const BigUInt &n, Rng &rng, unsigned rounds)
+{
+    if (n < BigUInt(2))
+        return false;
+    for (uint64_t small : {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}) {
+        BigUInt s(small);
+        if (n == s)
+            return true;
+        if ((n % s).isZero())
+            return false;
+    }
+
+    // Write n - 1 = d * 2^r with d odd.
+    BigUInt nm1 = n - BigUInt(1);
+    unsigned r = nm1.trailingZeros();
+    BigUInt d = nm1 >> r;
+
+    for (unsigned i = 0; i < rounds; i++) {
+        // Base in [2, n - 2].
+        BigUInt a = BigUInt(2) + BigUInt::random(rng, n - BigUInt(3));
+        BigUInt x = a.powMod(d, n);
+        if (x.isOne() || x == nm1)
+            continue;
+        bool composite = true;
+        for (unsigned j = 0; j + 1 < r; j++) {
+            x = x.mulMod(x, n);
+            if (x == nm1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite)
+            return false;
+    }
+    return true;
+}
+
+int
+jacobi(const BigUInt &a_in, const BigUInt &n_in)
+{
+    if (!n_in.isOdd())
+        panic("jacobi: n must be odd");
+    BigUInt a = a_in % n_in;
+    BigUInt n = n_in;
+    int result = 1;
+    while (!a.isZero()) {
+        while (!a.isOdd()) {
+            a = a >> 1;
+            uint32_t n_mod8 = n.low32() & 7;
+            if (n_mod8 == 3 || n_mod8 == 5)
+                result = -result;
+        }
+        std::swap(a, n);
+        if ((a.low32() & 3) == 3 && (n.low32() & 3) == 3)
+            result = -result;
+        a = a % n;
+    }
+    return n.isOne() ? result : 0;
+}
+
+} // namespace jaavr

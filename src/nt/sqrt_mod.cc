@@ -1,0 +1,61 @@
+#include "nt/sqrt_mod.hh"
+
+#include "nt/primality.hh"
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+std::optional<BigUInt>
+sqrtMod(const BigUInt &a_in, const BigUInt &p, Rng &rng)
+{
+    BigUInt a = a_in % p;
+    if (a.isZero())
+        return BigUInt(0);
+    if (jacobi(a, p) != 1)
+        return std::nullopt;
+
+    if ((p.low32() & 3) == 3) {
+        // r = a^((p+1)/4)
+        BigUInt e = (p + BigUInt(1)) >> 2;
+        return a.powMod(e, p);
+    }
+
+    // Tonelli-Shanks. Write p - 1 = q * 2^s with q odd.
+    BigUInt pm1 = p - BigUInt(1);
+    unsigned s = pm1.trailingZeros();
+    BigUInt q = pm1 >> s;
+
+    // Find a quadratic non-residue z.
+    BigUInt z(2);
+    while (jacobi(z, p) != -1)
+        z = BigUInt(2) + BigUInt::random(rng, p - BigUInt(2));
+
+    BigUInt c = z.powMod(q, p);
+    BigUInt t = a.powMod(q, p);
+    BigUInt r = a.powMod((q + BigUInt(1)) >> 1, p);
+    unsigned m = s;
+
+    while (!t.isOne()) {
+        // Find the least i with t^(2^i) == 1.
+        unsigned i = 0;
+        BigUInt t2 = t;
+        while (!t2.isOne()) {
+            t2 = t2.mulMod(t2, p);
+            i++;
+            if (i == m)
+                panic("sqrtMod: non-residue slipped through");
+        }
+        // b = c^(2^(m - i - 1))
+        BigUInt b = c;
+        for (unsigned j = 0; j + i + 1 < m; j++)
+            b = b.mulMod(b, p);
+        m = i;
+        c = b.mulMod(b, p);
+        t = t.mulMod(c, p);
+        r = r.mulMod(b, p);
+    }
+    return r;
+}
+
+} // namespace jaavr

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Square roots modulo an odd prime (Tonelli-Shanks).
+ */
+
+#ifndef JAAVR_NT_SQRT_MOD_HH
+#define JAAVR_NT_SQRT_MOD_HH
+
+#include <optional>
+
+#include "bigint/big_uint.hh"
+#include "support/random.hh"
+
+namespace jaavr
+{
+
+/**
+ * Square root of @p a modulo the odd prime @p p.
+ *
+ * @return a value r with r^2 = a (mod p), or std::nullopt if a is a
+ *         non-residue. The other root is p - r.
+ *
+ * Handles the full Tonelli-Shanks loop; the OPF primes used in this
+ * project have 2-adicity >= 144, so the p = 3 (mod 4) shortcut alone
+ * would not suffice.
+ */
+std::optional<BigUInt> sqrtMod(const BigUInt &a, const BigUInt &p, Rng &rng);
+
+} // namespace jaavr
+
+#endif // JAAVR_NT_SQRT_MOD_HH

@@ -1,0 +1,117 @@
+#include "scalar/glv_decompose.hh"
+
+#include "nt/intsqrt.hh"
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+namespace
+{
+
+/** Nearest integer to num / den (den > 0), round-half-up. */
+BigInt
+roundDiv(const BigInt &num, const BigUInt &den)
+{
+    // round(x / d) = floor((2x + d) / (2d)) for the positive branch;
+    // mirror for negatives.
+    BigUInt d2 = den << 1;
+    BigUInt mag2 = (num.magnitude() << 1);
+    if (!num.isNegative()) {
+        BigUInt q = (mag2 + den) / d2;
+        return BigInt(q);
+    }
+    BigUInt q = (mag2 + den) / d2;
+    // round(-x/d) = -round(x/d) except exactly-half cases; a half-ulp
+    // bias here is harmless (k1, k2 merely change by one).
+    return BigInt(q, true);
+}
+
+} // anonymous namespace
+
+GlvDecomposer::GlvDecomposer(const BigUInt &order, const BigUInt &lambda)
+    : n(order), lam(lambda)
+{
+    if (lam.isZero() || lam >= n)
+        fatal("GlvDecomposer: lambda must be in (0, n)");
+
+    // Extended Euclid on (n, lambda), keeping (r_i, t_i) with
+    // s_i * n + t_i * lambda = r_i. Each (r_i, -t_i) is a lattice
+    // vector: r_i + (-t_i) * lambda = -s_i * n = 0 (mod n).
+    BigUInt r0 = n, r1 = lam;
+    BigInt t0(0), t1(1);
+    BigUInt root = isqrt(n);
+
+    // Iterate until the remainder drops below sqrt(n); remember the
+    // previous row (the last with r >= sqrt(n)).
+    BigUInt prev_r = r0;
+    BigInt prev_t = t0;
+    while (r1 >= root) {
+        BigUInt q = r0 / r1;
+        BigUInt r2 = r0 - q * r1;
+        BigInt t2 = t0 - BigInt(q) * t1;
+        prev_r = r1;
+        prev_t = t1;
+        r0 = r1;
+        r1 = r2;
+        t0 = t1;
+        t1 = t2;
+    }
+    // Now r1 < sqrt(n) <= prev_r = r0's predecessor chain.
+    // v1 = (r1, -t1).
+    a1_ = BigInt(r1);
+    b1_ = -t1;
+
+    // v2 = (prev_r, -prev_t) or the next row, whichever is shorter.
+    BigUInt q = r0 / r1;
+    BigUInt r2 = r0 - q * r1;
+    BigInt t2 = t0 - BigInt(q) * t1;
+    BigUInt len_prev = prev_r * prev_r + prev_t.magnitude() * prev_t.magnitude();
+    BigUInt len_next = r2 * r2 + t2.magnitude() * t2.magnitude();
+    if (len_prev <= len_next) {
+        a2_ = BigInt(prev_r);
+        b2_ = -prev_t;
+    } else {
+        a2_ = BigInt(r2);
+        b2_ = -t2;
+    }
+
+    // Sanity: both vectors must lie in the lattice.
+    auto in_lattice = [&](const BigInt &a, const BigInt &b) {
+        return (a + b * BigInt(lam)).mod(n).isZero();
+    };
+    if (!in_lattice(a1_, b1_) || !in_lattice(a2_, b2_))
+        panic("GlvDecomposer: basis vectors not in lattice");
+}
+
+GlvSplit
+GlvDecomposer::decompose(const BigUInt &k_in) const
+{
+    BigUInt k = k_in % n;
+    // Solve (k, 0) = beta1 * v1 + beta2 * v2 over the rationals and
+    // round: beta1 = b2*k / det, beta2 = -b1*k / det with
+    // det = a1*b2 - a2*b1 = +-n.
+    BigInt det = a1_ * b2_ - a2_ * b1_;
+    if (det.magnitude() != n)
+        panic("GlvDecomposer: |det| != n");
+    bool det_neg = det.isNegative();
+
+    BigInt c1 = roundDiv(b2_ * BigInt(k), n);
+    BigInt c2 = roundDiv(-(b1_ * BigInt(k)), n);
+    if (det_neg) {
+        c1 = -c1;
+        c2 = -c2;
+    }
+
+    GlvSplit out;
+    out.k1 = BigInt(k) - c1 * a1_ - c2 * a2_;
+    out.k2 = -(c1 * b1_) - c2 * b2_;
+
+    // Verify k1 + k2 * lambda = k (mod n).
+    BigUInt check = (out.k1 + out.k2 * BigInt(lam)).mod(n);
+    if (check != k)
+        panic("GlvDecomposer: decomposition check failed");
+    return out;
+}
+
+} // namespace jaavr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GLV scalar decomposition (Gallant-Lambert-Vanstone, CRYPTO 2001).
+ *
+ * Given the group order n and the endomorphism eigenvalue lambda
+ * (a root of the characteristic polynomial mod n), a scalar k is
+ * rewritten as k = k1 + k2 * lambda (mod n) with |k1|, |k2| about
+ * sqrt(n), so that k*P = k1*P + k2*phi(P) can be computed with two
+ * half-length scalars via Shamir's trick (paper, Section II-D).
+ */
+
+#ifndef JAAVR_SCALAR_GLV_DECOMPOSE_HH
+#define JAAVR_SCALAR_GLV_DECOMPOSE_HH
+
+#include "bigint/big_int.hh"
+#include "bigint/big_uint.hh"
+
+namespace jaavr
+{
+
+/** Signed half-length scalar pair with k = k1 + k2 * lambda (mod n). */
+struct GlvSplit
+{
+    BigInt k1;
+    BigInt k2;
+};
+
+/**
+ * Precomputed short lattice basis for a fixed (n, lambda) pair.
+ *
+ * Construction runs the extended Euclidean algorithm on (n, lambda)
+ * and takes the two shortest vectors (r_i, -t_i) around the sqrt(n)
+ * threshold (Hankerson et al., Alg. 3.74).
+ */
+class GlvDecomposer
+{
+  public:
+    GlvDecomposer(const BigUInt &n, const BigUInt &lambda);
+
+    /** Decompose k (reduced mod n) into the half-length pair. */
+    GlvSplit decompose(const BigUInt &k) const;
+
+    const BigUInt &order() const { return n; }
+    const BigUInt &lambda() const { return lam; }
+
+    /** Basis vectors (exposed for tests). */
+    const BigInt &a1() const { return a1_; }
+    const BigInt &b1() const { return b1_; }
+    const BigInt &a2() const { return a2_; }
+    const BigInt &b2() const { return b2_; }
+
+  private:
+    BigUInt n;
+    BigUInt lam;
+    // Lattice basis v1 = (a1, b1), v2 = (a2, b2) with
+    // a + b*lambda = 0 (mod n) for both vectors.
+    BigInt a1_, b1_, a2_, b2_;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_SCALAR_GLV_DECOMPOSE_HH

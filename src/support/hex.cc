@@ -1,0 +1,65 @@
+#include "support/hex.hh"
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+std::string
+hexEncode(const std::vector<uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+hexDecode(const std::string &hex)
+{
+    std::string digits;
+    digits.reserve(hex.size());
+
+    size_t start = 0;
+    if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X'))
+        start = 2;
+
+    for (size_t i = start; i < hex.size(); i++) {
+        char c = hex[i];
+        if (c == '_' || c == ' ')
+            continue;
+        if (hexDigit(c) < 0)
+            fatal("hexDecode: invalid character '%c' in \"%s\"",
+                  c, hex.c_str());
+        digits.push_back(c);
+    }
+
+    std::vector<uint8_t> out;
+    out.reserve((digits.size() + 1) / 2);
+    size_t i = 0;
+    if (digits.size() % 2 == 1) {
+        out.push_back(hexDigit(digits[0]));
+        i = 1;
+    }
+    for (; i + 1 < digits.size() + 1 && i < digits.size(); i += 2)
+        out.push_back((hexDigit(digits[i]) << 4) | hexDigit(digits[i + 1]));
+    return out;
+}
+
+} // namespace jaavr

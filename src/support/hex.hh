@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Hexadecimal encoding/decoding helpers shared by bigint I/O and tests.
+ */
+
+#ifndef JAAVR_SUPPORT_HEX_HH
+#define JAAVR_SUPPORT_HEX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jaavr
+{
+
+/** Encode bytes (most-significant first) as a lowercase hex string. */
+std::string hexEncode(const std::vector<uint8_t> &bytes);
+
+/**
+ * Decode a hex string into bytes (most-significant first).
+ * Accepts an optional "0x" prefix, underscores and spaces as
+ * separators, and an odd number of digits (implied leading zero).
+ * Calls fatal() on any other malformed input.
+ */
+std::vector<uint8_t> hexDecode(const std::string &hex);
+
+/** Value of one hex digit, or -1 if the character is not a hex digit. */
+int hexDigit(char c);
+
+} // namespace jaavr
+
+#endif // JAAVR_SUPPORT_HEX_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for conditions caused
+ * by the caller or the environment (bad arguments, malformed assembly,
+ * unsatisfiable configuration). warn()/inform() never terminate.
+ */
+
+#ifndef JAAVR_SUPPORT_LOGGING_HH
+#define JAAVR_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace jaavr
+{
+
+/** Print a formatted message and abort(). Use for internal bugs only. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1). Use for user-caused errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a non-fatal warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace jaavr
+
+#endif // JAAVR_SUPPORT_LOGGING_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic, seedable pseudo-random generator for tests and
+ * benchmark workload generation. Not cryptographically secure; the
+ * library's crypto examples document this explicitly.
+ */
+
+#ifndef JAAVR_SUPPORT_RANDOM_HH
+#define JAAVR_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+
+namespace jaavr
+{
+
+/**
+ * xorshift128+ generator, seeded through SplitMix64. Deterministic
+ * across platforms so tests and benchmark workloads are reproducible.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        uint64_t state = seed;
+        s0 = splitMix64(state);
+        s1 = splitMix64(state);
+        if (s0 == 0 && s1 == 0)
+            s1 = 1;
+    }
+
+    /** Next 64 uniformly random bits. */
+    uint64_t
+    next64()
+    {
+        uint64_t x = s0;
+        const uint64_t y = s1;
+        s0 = y;
+        x ^= x << 23;
+        s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1 + y;
+    }
+
+    /** Next 32 uniformly random bits. */
+    uint32_t next32() { return static_cast<uint32_t>(next64() >> 32); }
+
+    /** Uniform value in [0, bound). bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            uint64_t r = next64();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Bernoulli(1/2). */
+    bool flip() { return next64() & 1; }
+
+  private:
+    /** One SplitMix64 step; advances @p state and returns the output. */
+    static uint64_t
+    splitMix64(uint64_t &state)
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t s0 = 0, s1 = 0;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_SUPPORT_RANDOM_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4). Used by the ECDSA layer and the examples to
+ * hash messages; self-contained, no dependencies.
+ */
+
+#ifndef JAAVR_SUPPORT_SHA256_HH
+#define JAAVR_SUPPORT_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jaavr
+{
+
+class Sha256
+{
+  public:
+    static constexpr size_t digestSize = 32;
+
+    Sha256();
+
+    /** Absorb @p len bytes. */
+    void update(const uint8_t *data, size_t len);
+    void update(const std::vector<uint8_t> &data)
+    {
+        update(data.data(), data.size());
+    }
+    void update(const std::string &s)
+    {
+        update(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+    }
+
+    /** Finish and return the digest; the object must not be reused. */
+    std::array<uint8_t, digestSize> finish();
+
+    /** One-shot convenience. */
+    static std::array<uint8_t, digestSize>
+    digest(const std::string &message);
+    static std::array<uint8_t, digestSize>
+    digest(const std::vector<uint8_t> &message);
+
+  private:
+    void processBlock(const uint8_t *block);
+
+    std::array<uint32_t, 8> h;
+    std::array<uint8_t, 64> buffer;
+    size_t bufferLen;
+    uint64_t totalLen;
+    bool finished;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_SUPPORT_SHA256_HH

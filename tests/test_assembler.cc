@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the two-pass assembler: encodings round-trip through the
+ * independent decoder, labels and directives resolve, and operand
+ * violations are diagnosed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "avr/isa.hh"
+#include "avrasm/assembler.hh"
+
+using namespace jaavr;
+
+namespace
+{
+
+/** Assemble a single line and decode its first word(s). */
+Inst
+one(const std::string &line)
+{
+    Program p = assemble(line, "test");
+    EXPECT_GE(p.words.size(), 1u);
+    uint16_t w1 = p.words.size() > 1 ? p.words[1] : 0;
+    return decode(p.words[0], w1);
+}
+
+} // anonymous namespace
+
+TEST(Assembler, RegisterRegisterOps)
+{
+    struct Case { const char *src; Op op; int rd, rr; };
+    Case cases[] = {
+        {"add r0, r31", Op::ADD, 0, 31},
+        {"adc r15, r16", Op::ADC, 15, 16},
+        {"sub r1, r2", Op::SUB, 1, 2},
+        {"sbc r30, r29", Op::SBC, 30, 29},
+        {"and r7, r8", Op::AND, 7, 8},
+        {"or r9, r10", Op::OR, 9, 10},
+        {"eor r11, r12", Op::EOR, 11, 12},
+        {"mov r13, r14", Op::MOV, 13, 14},
+        {"cp r5, r6", Op::CP, 5, 6},
+        {"cpc r3, r4", Op::CPC, 3, 4},
+        {"cpse r17, r18", Op::CPSE, 17, 18},
+        {"mul r19, r20", Op::MUL, 19, 20},
+    };
+    for (const Case &c : cases) {
+        Inst i = one(c.src);
+        EXPECT_EQ(i.op, c.op) << c.src;
+        EXPECT_EQ(i.rd, c.rd) << c.src;
+        EXPECT_EQ(i.rr, c.rr) << c.src;
+    }
+}
+
+TEST(Assembler, ImmediateOps)
+{
+    Inst i = one("ldi r16, 0xff");
+    EXPECT_EQ(i.op, Op::LDI);
+    EXPECT_EQ(i.rd, 16);
+    EXPECT_EQ(i.imm, 0xff);
+
+    i = one("subi r24, 42");
+    EXPECT_EQ(i.op, Op::SUBI);
+    EXPECT_EQ(i.rd, 24);
+    EXPECT_EQ(i.imm, 42);
+
+    i = one("cpi r31, 0b1010");
+    EXPECT_EQ(i.op, Op::CPI);
+    EXPECT_EQ(i.imm, 10);
+
+    i = one("andi r20, lo8(0x1234)");
+    EXPECT_EQ(i.imm, 0x34);
+    i = one("ori r20, hi8(0x1234)");
+    EXPECT_EQ(i.imm, 0x12);
+}
+
+TEST(Assembler, AliasesExpand)
+{
+    Inst i = one("lsl r5");
+    EXPECT_EQ(i.op, Op::ADD);
+    EXPECT_EQ(i.rd, 5);
+    EXPECT_EQ(i.rr, 5);
+
+    i = one("rol r6");
+    EXPECT_EQ(i.op, Op::ADC);
+    EXPECT_EQ(i.rr, 6);
+
+    i = one("clr r7");
+    EXPECT_EQ(i.op, Op::EOR);
+
+    i = one("tst r8");
+    EXPECT_EQ(i.op, Op::AND);
+
+    i = one("ser r17");
+    EXPECT_EQ(i.op, Op::LDI);
+    EXPECT_EQ(i.imm, 0xff);
+
+    i = one("sec");
+    EXPECT_EQ(i.op, Op::BSET);
+    EXPECT_EQ(i.bit, 0);
+    i = one("clz");
+    EXPECT_EQ(i.op, Op::BCLR);
+    EXPECT_EQ(i.bit, 1);
+    i = one("set");
+    EXPECT_EQ(i.op, Op::BSET);
+    EXPECT_EQ(i.bit, 6);
+}
+
+TEST(Assembler, LoadsAndStores)
+{
+    Inst i = one("ld r24, X+");
+    EXPECT_EQ(i.op, Op::LD_X_INC);
+    EXPECT_EQ(i.rd, 24);
+
+    i = one("ld r0, -Y");
+    EXPECT_EQ(i.op, Op::LD_Y_DEC);
+
+    i = one("ldd r16, Y+3");
+    EXPECT_EQ(i.op, Op::LDD_Y);
+    EXPECT_EQ(i.disp, 3);
+
+    i = one("ldd r24, Z+63");
+    EXPECT_EQ(i.op, Op::LDD_Z);
+    EXPECT_EQ(i.disp, 63);
+
+    i = one("ld r5, Y");
+    EXPECT_EQ(i.op, Op::LDD_Y);
+    EXPECT_EQ(i.disp, 0);
+
+    i = one("std Z+17, r9");
+    EXPECT_EQ(i.op, Op::STD_Z);
+    EXPECT_EQ(i.disp, 17);
+    EXPECT_EQ(i.rd, 9);
+
+    i = one("st X+, r1");
+    EXPECT_EQ(i.op, Op::ST_X_INC);
+
+    i = one("lds r8, 0x0123");
+    EXPECT_EQ(i.op, Op::LDS);
+    EXPECT_EQ(i.k, 0x0123u);
+    EXPECT_EQ(i.words, 2);
+
+    i = one("sts 0x0456, r9");
+    EXPECT_EQ(i.op, Op::STS);
+    EXPECT_EQ(i.k, 0x0456u);
+
+    i = one("push r10");
+    EXPECT_EQ(i.op, Op::PUSH);
+    i = one("pop r11");
+    EXPECT_EQ(i.op, Op::POP);
+}
+
+TEST(Assembler, WordOpsAndBits)
+{
+    Inst i = one("movw r24, r0");
+    EXPECT_EQ(i.op, Op::MOVW);
+    EXPECT_EQ(i.rd, 24);
+    EXPECT_EQ(i.rr, 0);
+
+    i = one("adiw r26, 63");
+    EXPECT_EQ(i.op, Op::ADIW);
+    EXPECT_EQ(i.rd, 26);
+    EXPECT_EQ(i.imm, 63);
+
+    i = one("sbiw r30, 1");
+    EXPECT_EQ(i.op, Op::SBIW);
+    EXPECT_EQ(i.rd, 30);
+
+    i = one("sbrc r12, 5");
+    EXPECT_EQ(i.op, Op::SBRC);
+    EXPECT_EQ(i.bit, 5);
+
+    i = one("bld r13, 2");
+    EXPECT_EQ(i.op, Op::BLD);
+
+    i = one("in r25, 0x3f");
+    EXPECT_EQ(i.op, Op::IN);
+    EXPECT_EQ(i.imm, 0x3f);
+
+    i = one("out 0x3c, r2");
+    EXPECT_EQ(i.op, Op::OUT);
+    EXPECT_EQ(i.imm, 0x3c);
+    EXPECT_EQ(i.rd, 2);
+}
+
+TEST(Assembler, ControlFlowAndLabels)
+{
+    Program p = assemble(R"(
+        start:
+            ldi r16, 1
+        loop:
+            dec r16
+            brne loop
+            rjmp start
+            ret
+    )", "cf");
+    EXPECT_EQ(p.label("start"), 0u);
+    EXPECT_EQ(p.label("loop"), 1u);
+
+    // brne loop: at addr 2, target 1, offset -2.
+    Inst br = decode(p.words[2], 0);
+    EXPECT_EQ(br.op, Op::BRBC);
+    EXPECT_EQ(br.bit, 1);  // Z flag
+    EXPECT_EQ(br.disp, -2);
+
+    Inst rj = decode(p.words[3], 0);
+    EXPECT_EQ(rj.op, Op::RJMP);
+    EXPECT_EQ(rj.disp, -4);
+
+    EXPECT_EQ(decode(p.words[4], 0).op, Op::RET);
+}
+
+TEST(Assembler, CallAndJmp)
+{
+    Program p = assemble(R"(
+            call func
+            jmp func
+        func:
+            ret
+    )", "cj");
+    Inst c = decode(p.words[0], p.words[1]);
+    EXPECT_EQ(c.op, Op::CALL);
+    EXPECT_EQ(c.k, 4u);
+    Inst j = decode(p.words[2], p.words[3]);
+    EXPECT_EQ(j.op, Op::JMP);
+    EXPECT_EQ(j.k, 4u);
+}
+
+TEST(Assembler, DirectivesEquOrgDw)
+{
+    Program p = assemble(R"(
+        .equ FRAME = 0x0200
+        .equ SIZE = 5 * 4
+            ldi r26, lo8(FRAME)
+            ldi r27, hi8(FRAME)
+            ldi r16, SIZE
+        .org 0x10
+        table:
+            .dw 0x1234, table
+    )", "dir");
+    EXPECT_EQ(decode(p.words[0], 0).imm, 0x00);
+    EXPECT_EQ(decode(p.words[1], 0).imm, 0x02);
+    EXPECT_EQ(decode(p.words[2], 0).imm, 20);
+    EXPECT_EQ(p.label("table"), 0x10u);
+    EXPECT_EQ(p.words[0x10], 0x1234);
+    EXPECT_EQ(p.words[0x11], 0x10);
+}
+
+TEST(Assembler, DiagnosesErrors)
+{
+    EXPECT_DEATH(assemble("ldi r5, 1", "e"), "r16..r31");
+    EXPECT_DEATH(assemble("adiw r25, 1", "e"), "r24/r26/r28/r30");
+    EXPECT_DEATH(assemble("ldd r0, Y+64", "e"), "displacement");
+    EXPECT_DEATH(assemble("frobnicate r1", "e"), "unknown mnemonic");
+    EXPECT_DEATH(assemble("rjmp nowhere", "e"), "undefined symbol");
+    EXPECT_DEATH(assemble("movw r1, r2", "e"), "even");
+    EXPECT_DEATH(assemble("x: nop\nx: nop", "e"), "duplicate label");
+}
+
+TEST(Assembler, DisassemblyRoundTrip)
+{
+    // Assemble a sampler, disassemble, re-assemble: encodings match.
+    const char *src = R"(
+        ldi r24, 0x42
+        add r0, r1
+        ldd r16, Y+9
+        std Z+5, r17
+        mul r20, r21
+        adiw r30, 12
+        push r2
+        ret
+    )";
+    Program p1 = assemble(src, "rt1");
+    std::string redis;
+    for (size_t i = 0; i < p1.words.size();) {
+        Inst inst = decode(p1.words[i],
+                           i + 1 < p1.words.size() ? p1.words[i + 1] : 0);
+        redis += disassemble(inst) + "\n";
+        i += inst.words;
+    }
+    Program p2 = assemble(redis, "rt2");
+    EXPECT_EQ(p1.words, p2.words);
+}
+
+TEST(Assembler, RomBytes)
+{
+    Program p = assemble("nop\nnop\ncall x\nx: ret", "rb");
+    EXPECT_EQ(p.romBytes(), 2u * 5u);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the signed BigInt wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bigint/big_int.hh"
+#include "support/random.hh"
+
+using namespace jaavr;
+
+TEST(BigInt, ConstructFromInt64)
+{
+    EXPECT_TRUE(BigInt(0).isZero());
+    EXPECT_FALSE(BigInt(0).isNegative());
+    EXPECT_TRUE(BigInt(-5).isNegative());
+    EXPECT_EQ(BigInt(-5).magnitude().toUint64(), 5u);
+    EXPECT_EQ(BigInt(INT64_MIN).magnitude().toUint64(),
+              static_cast<uint64_t>(1) << 63);
+}
+
+TEST(BigInt, NegativeZeroNormalized)
+{
+    BigInt z(BigUInt(0), true);
+    EXPECT_FALSE(z.isNegative());
+    EXPECT_EQ(z, BigInt(0));
+}
+
+TEST(BigInt, AdditionSignCases)
+{
+    EXPECT_EQ(BigInt(3) + BigInt(4), BigInt(7));
+    EXPECT_EQ(BigInt(3) + BigInt(-4), BigInt(-1));
+    EXPECT_EQ(BigInt(-3) + BigInt(4), BigInt(1));
+    EXPECT_EQ(BigInt(-3) + BigInt(-4), BigInt(-7));
+    EXPECT_EQ(BigInt(5) + BigInt(-5), BigInt(0));
+}
+
+TEST(BigInt, SubtractionSignCases)
+{
+    EXPECT_EQ(BigInt(3) - BigInt(4), BigInt(-1));
+    EXPECT_EQ(BigInt(-3) - BigInt(-4), BigInt(1));
+    EXPECT_EQ(BigInt(3) - BigInt(-4), BigInt(7));
+}
+
+TEST(BigInt, MultiplicationSigns)
+{
+    EXPECT_EQ(BigInt(-3) * BigInt(4), BigInt(-12));
+    EXPECT_EQ(BigInt(-3) * BigInt(-4), BigInt(12));
+    EXPECT_EQ(BigInt(3) * BigInt(0), BigInt(0));
+}
+
+TEST(BigInt, TruncatedDivision)
+{
+    EXPECT_EQ(BigInt(7) / BigInt(2), BigInt(3));
+    EXPECT_EQ(BigInt(-7) / BigInt(2), BigInt(-3));
+    EXPECT_EQ(BigInt(7) / BigInt(-2), BigInt(-3));
+    EXPECT_EQ(BigInt(-7) % BigInt(2), BigInt(-1));
+    EXPECT_EQ(BigInt(7) % BigInt(-2), BigInt(1));
+}
+
+TEST(BigInt, DivModConsistencyProperty)
+{
+    Rng rng(11);
+    for (int i = 0; i < 200; i++) {
+        BigInt a(BigUInt::randomBits(rng, 150), rng.flip());
+        BigInt b(BigUInt::randomBits(rng, 80), rng.flip());
+        if (b.isZero())
+            continue;
+        BigInt q = a / b, r = a % b;
+        EXPECT_EQ(q * b + r, a);
+        EXPECT_LT(r.magnitude(), b.magnitude());
+    }
+}
+
+TEST(BigInt, LeastNonNegativeResidue)
+{
+    BigUInt m(10);
+    EXPECT_EQ(BigInt(-1).mod(m).toUint64(), 9u);
+    EXPECT_EQ(BigInt(-10).mod(m).toUint64(), 0u);
+    EXPECT_EQ(BigInt(23).mod(m).toUint64(), 3u);
+    Rng rng(12);
+    BigUInt mm = BigUInt::randomBits(rng, 100) + BigUInt(1);
+    for (int i = 0; i < 100; i++) {
+        BigInt a(BigUInt::randomBits(rng, 200), rng.flip());
+        BigUInt r = a.mod(mm);
+        EXPECT_LT(r, mm);
+        // (a - r) divisible by mm.
+        BigInt diff = a - BigInt(r);
+        EXPECT_TRUE((diff.magnitude() % mm).isZero());
+    }
+}
+
+TEST(BigInt, CompareAcrossSigns)
+{
+    EXPECT_LT(BigInt(-5), BigInt(3));
+    EXPECT_LT(BigInt(-5), BigInt(-3));
+    EXPECT_GT(BigInt(5), BigInt(3));
+    EXPECT_LT(BigInt(0), BigInt(1));
+    EXPECT_GT(BigInt(0), BigInt(-1));
+}
+
+TEST(BigInt, ToString)
+{
+    EXPECT_EQ(BigInt(-255).toString(), "-ff");
+    EXPECT_EQ(BigInt(255).toString(), "ff");
+    EXPECT_EQ(BigInt(0).toString(), "0");
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ECDSA tests over the curves of the paper: the standardized
+ * secp160r1/secp160k1 and the constructed GLV OPF curve (whose exact
+ * order the CM machinery provides).
+ */
+
+#include <gtest/gtest.h>
+
+#include "curves/ecdsa.hh"
+#include "curves/standard_curves.hh"
+
+using namespace jaavr;
+
+namespace
+{
+
+Ecdsa
+secp160r1Ecdsa()
+{
+    return Ecdsa(secp160r1Curve(), secp160r1Generator().g,
+                 secp160r1Generator().order);
+}
+
+} // anonymous namespace
+
+TEST(Ecdsa, SignVerifyRoundTripSecp160r1)
+{
+    Ecdsa dsa = secp160r1Ecdsa();
+    Rng rng(120);
+    EcdsaKeyPair kp = dsa.generateKey(rng);
+    for (int i = 0; i < 5; i++) {
+        std::string msg = "sensor reading #" + std::to_string(i);
+        EcdsaSignature sig = dsa.sign(msg, kp.d, rng);
+        EXPECT_TRUE(dsa.verify(msg, sig, kp.q)) << msg;
+    }
+}
+
+TEST(Ecdsa, SignVerifyRoundTripGlvOpf)
+{
+    Ecdsa dsa(glvOpfCurve());
+    Rng rng(121);
+    EcdsaKeyPair kp = dsa.generateKey(rng);
+    EcdsaSignature sig = dsa.sign("glv message", kp.d, rng);
+    EXPECT_TRUE(dsa.verify("glv message", sig, kp.q));
+}
+
+TEST(Ecdsa, SignVerifyRoundTripSecp160k1)
+{
+    Ecdsa dsa(secp160k1Curve());
+    Rng rng(122);
+    EcdsaKeyPair kp = dsa.generateKey(rng);
+    EcdsaSignature sig = dsa.sign("k1 message", kp.d, rng);
+    EXPECT_TRUE(dsa.verify("k1 message", sig, kp.q));
+}
+
+TEST(Ecdsa, WrongMessageRejected)
+{
+    Ecdsa dsa = secp160r1Ecdsa();
+    Rng rng(123);
+    EcdsaKeyPair kp = dsa.generateKey(rng);
+    EcdsaSignature sig = dsa.sign("original", kp.d, rng);
+    EXPECT_FALSE(dsa.verify("tampered", sig, kp.q));
+}
+
+TEST(Ecdsa, WrongKeyRejected)
+{
+    Ecdsa dsa = secp160r1Ecdsa();
+    Rng rng(124);
+    EcdsaKeyPair kp1 = dsa.generateKey(rng);
+    EcdsaKeyPair kp2 = dsa.generateKey(rng);
+    EcdsaSignature sig = dsa.sign("msg", kp1.d, rng);
+    EXPECT_FALSE(dsa.verify("msg", sig, kp2.q));
+}
+
+TEST(Ecdsa, MalformedSignatureRejected)
+{
+    Ecdsa dsa = secp160r1Ecdsa();
+    Rng rng(125);
+    EcdsaKeyPair kp = dsa.generateKey(rng);
+    EcdsaSignature sig = dsa.sign("msg", kp.d, rng);
+
+    EcdsaSignature zero_r = sig;
+    zero_r.r = BigUInt(0);
+    EXPECT_FALSE(dsa.verify("msg", zero_r, kp.q));
+
+    EcdsaSignature big_s = sig;
+    big_s.s = dsa.order();
+    EXPECT_FALSE(dsa.verify("msg", big_s, kp.q));
+
+    EcdsaSignature flipped = sig;
+    flipped.s = dsa.order() - sig.s;  // valid for -R: wrong here
+    EXPECT_FALSE(flipped.s == sig.s);
+}
+
+TEST(Ecdsa, SignatureBitFlipsRejected)
+{
+    Ecdsa dsa = secp160r1Ecdsa();
+    Rng rng(126);
+    EcdsaKeyPair kp = dsa.generateKey(rng);
+    EcdsaSignature sig = dsa.sign("bit flip test", kp.d, rng);
+    for (unsigned bit : {0u, 17u, 80u, 159u}) {
+        EcdsaSignature bad = sig;
+        BigUInt mask = BigUInt::powerOfTwo(bit);
+        // XOR via add/sub on the bit.
+        bad.s = bad.s.bit(bit) ? bad.s - mask : bad.s + mask;
+        if (bad.s.isZero() || bad.s >= dsa.order())
+            continue;
+        EXPECT_FALSE(dsa.verify("bit flip test", bad, kp.q)) << bit;
+    }
+}
+
+TEST(Ecdsa, OffCurvePublicKeyRejected)
+{
+    Ecdsa dsa = secp160r1Ecdsa();
+    Rng rng(127);
+    EcdsaKeyPair kp = dsa.generateKey(rng);
+    EcdsaSignature sig = dsa.sign("msg", kp.d, rng);
+    AffinePoint bogus(kp.q.x, secp160r1Field().add(kp.q.y, BigUInt(1)));
+    EXPECT_FALSE(dsa.verify("msg", sig, bogus));
+}
+
+TEST(Ecdsa, GlvAndNafSignaturesInteroperate)
+{
+    // A signature produced with the endomorphism-accelerated signer
+    // verifies with the plain-NAF verifier and vice versa.
+    const GlvCurve &c = secp160k1Curve();
+    Ecdsa fast(c);
+    Ecdsa plain(c, c.generator(), c.order());
+    Rng rng(128);
+    EcdsaKeyPair kp = fast.generateKey(rng);
+    EcdsaSignature sig = fast.sign("interop", kp.d, rng);
+    EXPECT_TRUE(plain.verify("interop", sig, kp.q));
+    EcdsaSignature sig2 = plain.sign("interop2", kp.d, rng);
+    EXPECT_TRUE(fast.verify("interop2", sig2, kp.q));
+}

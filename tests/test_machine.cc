@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for the AVR machine model: instruction semantics, SREG flags,
+ * stack and control flow, CA vs FAST timing, and execution statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "avr/machine.hh"
+#include "avrasm/assembler.hh"
+
+using namespace jaavr;
+
+namespace
+{
+
+/** Assemble, load, run from word 0 until RET; return the machine. */
+std::unique_ptr<Machine>
+run(const std::string &src, CpuMode mode = CpuMode::CA,
+    const std::function<void(Machine &)> &setup = {})
+{
+    auto m = std::make_unique<Machine>(mode);
+    m->loadProgram(assemble(src + "\nret\n", "test").words);
+    if (setup)
+        setup(*m);
+    m->call(0);
+    return m;
+}
+
+} // anonymous namespace
+
+TEST(Machine, LdiAndMov)
+{
+    auto m = run("ldi r16, 0xab\nmov r0, r16");
+    EXPECT_EQ(m->reg(16), 0xab);
+    EXPECT_EQ(m->reg(0), 0xab);
+}
+
+TEST(Machine, AddCarryChain)
+{
+    // 0x00ff + 0x0001 across two bytes = 0x0100.
+    auto m = run(R"(
+        ldi r16, 0xff
+        ldi r17, 0x00
+        ldi r18, 0x01
+        ldi r19, 0x00
+        add r16, r18
+        adc r17, r19
+    )");
+    EXPECT_EQ(m->reg(16), 0x00);
+    EXPECT_EQ(m->reg(17), 0x01);
+}
+
+TEST(Machine, AddFlags)
+{
+    // 0x80 + 0x80 = 0x00 with C=1, V=1, Z=1, N=0.
+    auto m = run("ldi r16, 0x80\nldi r17, 0x80\nadd r16, r17");
+    uint8_t s = m->sreg();
+    EXPECT_TRUE(s & 0x01);   // C
+    EXPECT_TRUE(s & 0x02);   // Z
+    EXPECT_FALSE(s & 0x04);  // N
+    EXPECT_TRUE(s & 0x08);   // V
+}
+
+TEST(Machine, SubAndCompareFlags)
+{
+    // 5 - 7 borrows.
+    auto m = run("ldi r16, 5\nldi r17, 7\nsub r16, r17");
+    EXPECT_EQ(m->reg(16), 0xfe);
+    EXPECT_TRUE(m->sreg() & 0x01);   // C (borrow)
+    EXPECT_TRUE(m->sreg() & 0x04);   // N
+
+    // cp equal sets Z.
+    m = run("ldi r16, 9\nldi r17, 9\ncp r16, r17");
+    EXPECT_TRUE(m->sreg() & 0x02);
+}
+
+TEST(Machine, SbcZPropagation)
+{
+    // 16-bit compare: 0x0100 - 0x0100: Z stays set through cpc.
+    auto m = run(R"(
+        ldi r16, 0x00
+        ldi r17, 0x01
+        ldi r18, 0x00
+        ldi r19, 0x01
+        sub r16, r18
+        sbc r17, r19
+    )");
+    EXPECT_TRUE(m->sreg() & 0x02);
+    EXPECT_EQ(m->reg(17), 0);
+}
+
+TEST(Machine, MulProducesR1R0)
+{
+    auto m = run("ldi r20, 200\nldi r21, 100\nmul r20, r21");
+    // 200 * 100 = 20000 = 0x4e20.
+    EXPECT_EQ(m->reg(0), 0x20);
+    EXPECT_EQ(m->reg(1), 0x4e);
+    EXPECT_FALSE(m->sreg() & 0x01);  // C = bit15 = 0
+}
+
+TEST(Machine, MulsSignedProduct)
+{
+    // -2 * 3 = -6 = 0xfffa.
+    auto m = run("ldi r16, 0xfe\nldi r17, 3\nmuls r16, r17");
+    EXPECT_EQ(m->reg(0), 0xfa);
+    EXPECT_EQ(m->reg(1), 0xff);
+    EXPECT_TRUE(m->sreg() & 0x01);  // C = bit15
+}
+
+TEST(Machine, MovwAdiwSbiw)
+{
+    auto m = run(R"(
+        ldi r26, 0x34
+        ldi r27, 0x12
+        movw r30, r26
+        adiw r30, 63
+        sbiw r26, 1
+    )");
+    EXPECT_EQ(m->z(), 0x1234 + 63);
+    EXPECT_EQ(m->x(), 0x1233);
+}
+
+TEST(Machine, LogicAndShifts)
+{
+    auto m = run(R"(
+        ldi r16, 0b1100
+        ldi r17, 0b1010
+        and r16, r17
+        ldi r18, 0x81
+        lsr r18
+        ldi r19, 0x81
+        asr r19
+        ldi r20, 0x0f
+        swap r20
+        ldi r21, 0xf0
+        com r21
+        ldi r22, 1
+        neg r22
+    )");
+    EXPECT_EQ(m->reg(16), 0b1000);
+    EXPECT_EQ(m->reg(18), 0x40);
+    EXPECT_EQ(m->reg(19), 0xc0);
+    EXPECT_EQ(m->reg(20), 0xf0);
+    EXPECT_EQ(m->reg(21), 0x0f);
+    EXPECT_EQ(m->reg(22), 0xff);
+    EXPECT_TRUE(m->sreg() & 0x01);  // C from neg of non-zero
+}
+
+TEST(Machine, RorUsesCarry)
+{
+    auto m = run("sec\nldi r16, 0x02\nror r16");
+    EXPECT_EQ(m->reg(16), 0x81);
+    EXPECT_FALSE(m->sreg() & 0x01);
+}
+
+TEST(Machine, LoadStoreAndPointers)
+{
+    auto m = run(R"(
+        .equ BUF = 0x0200
+        ldi r26, lo8(BUF)
+        ldi r27, hi8(BUF)
+        ldi r16, 0x11
+        st X+, r16
+        ldi r16, 0x22
+        st X+, r16
+        ldi r28, lo8(BUF)
+        ldi r29, hi8(BUF)
+        ldd r0, Y+0
+        ldd r1, Y+1
+        sts 0x0300, r1
+        lds r2, 0x0300
+    )");
+    EXPECT_EQ(m->reg(0), 0x11);
+    EXPECT_EQ(m->reg(1), 0x22);
+    EXPECT_EQ(m->reg(2), 0x22);
+    EXPECT_EQ(m->readData(0x0200), 0x11);
+    EXPECT_EQ(m->x(), 0x0202);
+}
+
+TEST(Machine, PreDecrementPostIncrement)
+{
+    auto m = run(R"(
+        .equ BUF = 0x0240
+        ldi r30, lo8(BUF)
+        ldi r31, hi8(BUF)
+        ldi r16, 0xaa
+        st Z+, r16
+        ldi r16, 0xbb
+        st Z, r16
+        ld r5, -Z
+    )");
+    EXPECT_EQ(m->reg(5), 0xaa);
+    EXPECT_EQ(m->z(), 0x0240);
+    EXPECT_EQ(m->readData(0x0241), 0xbb);
+}
+
+TEST(Machine, PushPopStack)
+{
+    auto m = run(R"(
+        ldi r16, 0x5a
+        push r16
+        ldi r16, 0x00
+        pop r17
+    )");
+    EXPECT_EQ(m->reg(17), 0x5a);
+}
+
+TEST(Machine, CallRetNesting)
+{
+    auto m = run(R"(
+            call sub1
+            ldi r20, 3
+            rjmp done
+        sub1:
+            call sub2
+            ldi r21, 2
+            ret
+        sub2:
+            ldi r22, 1
+            ret
+        done:
+    )");
+    EXPECT_EQ(m->reg(20), 3);
+    EXPECT_EQ(m->reg(21), 2);
+    EXPECT_EQ(m->reg(22), 1);
+}
+
+TEST(Machine, BranchLoop)
+{
+    // Sum 1..10 via a loop.
+    auto m = run(R"(
+        ldi r16, 10
+        ldi r17, 0
+    loop:
+        add r17, r16
+        dec r16
+        brne loop
+    )");
+    EXPECT_EQ(m->reg(17), 55);
+}
+
+TEST(Machine, SkipInstructions)
+{
+    auto m = run(R"(
+        ldi r16, 0b100
+        sbrc r16, 2
+        ldi r17, 1      ; skipped? no: bit 2 is set -> not skipped
+        sbrc r16, 1
+        ldi r18, 1      ; bit 1 clear -> skipped
+        sbrs r16, 2
+        ldi r19, 1      ; bit 2 set -> skipped
+    )");
+    EXPECT_EQ(m->reg(17), 1);
+    EXPECT_EQ(m->reg(18), 0);
+    EXPECT_EQ(m->reg(19), 0);
+}
+
+TEST(Machine, SkipOverTwoWordInstruction)
+{
+    auto m = run(R"(
+        ldi r16, 0
+        sbrc r16, 0
+        call never
+        ldi r17, 7
+        rjmp end
+    never:
+        ldi r18, 9
+    end:
+    )");
+    EXPECT_EQ(m->reg(17), 7);
+    EXPECT_EQ(m->reg(18), 0);
+}
+
+TEST(Machine, InOutSreg)
+{
+    auto m = run(R"(
+        sec
+        in r16, 0x3f
+        out 0x3c, r16
+    )");
+    EXPECT_EQ(m->reg(16) & 1, 1);
+    EXPECT_EQ(m->maccr(), m->reg(16));
+}
+
+TEST(Machine, BstBld)
+{
+    auto m = run(R"(
+        ldi r16, 0b1000
+        bst r16, 3
+        ldi r17, 0
+        bld r17, 6
+    )");
+    EXPECT_EQ(m->reg(17), 0x40);
+}
+
+TEST(Machine, LpmReadsFlash)
+{
+    auto m = run(R"(
+            ldi r30, lo8(tbl * 2)
+            ldi r31, hi8(tbl * 2)
+            lpm r16, Z+
+            lpm r17, Z
+            rjmp end
+        tbl:
+            .dw 0xbeef
+        end:
+    )");
+    EXPECT_EQ(m->reg(16), 0xef);
+    EXPECT_EQ(m->reg(17), 0xbe);
+}
+
+TEST(MachineTiming, CaMatchesDatasheet)
+{
+    // ldi(1) + mul(2) + ld(2) + st(2) + push(2) + pop(2) + nop(1)
+    // + adiw(2) + ret(4): executed linearly.
+    const char *src = R"(
+        ldi r26, 0x00
+        ldi r27, 0x02
+        ldi r16, 5
+        mul r16, r16
+        ld r17, X
+        st X, r17
+        push r17
+        pop r18
+        nop
+        adiw r26, 1
+    )";
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble(std::string(src) + "\nret\n", "t").words);
+    uint64_t c = m.call(0);
+    // 3*ldi(3) + mul(2) + ld(2) + st(2) + push(2) + pop(2) + nop(1)
+    // + adiw(2) + ret(4) = 20.
+    EXPECT_EQ(c, 20u);
+}
+
+TEST(MachineTiming, FastImprovesLoadsStoresMul)
+{
+    const char *src = R"(
+        ldi r26, 0x00
+        ldi r27, 0x02
+        ldi r16, 5
+        mul r16, r16
+        ld r17, X
+        st X, r17
+        push r17
+        pop r18
+        nop
+        adiw r26, 1
+    )";
+    Machine m(CpuMode::FAST);
+    m.loadProgram(assemble(std::string(src) + "\nret\n", "t").words);
+    uint64_t c = m.call(0);
+    // mul, ld, st, push, pop now 1 cycle each: 20 - 5 = 15.
+    EXPECT_EQ(c, 15u);
+}
+
+TEST(MachineTiming, BranchTakenCostsExtra)
+{
+    // Loop of 3 iterations: dec(1) + brne(2 taken, 1 final).
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble(R"(
+        ldi r16, 3
+    loop:
+        dec r16
+        brne loop
+        ret
+    )", "t").words);
+    uint64_t c = m.call(0);
+    // ldi(1) + 3*dec(3) + 2 taken branches(4) + 1 not-taken(1) + ret(4).
+    EXPECT_EQ(c, 1 + 3 + 4 + 1 + 4u);
+}
+
+TEST(MachineTiming, CallLdsTiming)
+{
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble(R"(
+            call f
+            lds r16, 0x0200
+            ret
+        f:  ret
+    )", "t").words);
+    uint64_t c = m.call(0);
+    // call(4) + ret(4) + lds(2) + ret(4) = 14.
+    EXPECT_EQ(c, 14u);
+}
+
+TEST(Machine, StatsHistogram)
+{
+    auto m = run("ldi r16, 2\nldi r17, 3\nmul r16, r17\nnop");
+    EXPECT_EQ(m->stats().count(Op::LDI), 2u);
+    EXPECT_EQ(m->stats().count(Op::MUL), 1u);
+    EXPECT_EQ(m->stats().count(Op::NOP), 1u);
+    EXPECT_EQ(m->stats().count(Op::RET), 1u);
+    EXPECT_EQ(m->stats().instructions, 5u);
+}
+
+TEST(Machine, CycleBudgetPanics)
+{
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble("loop: rjmp loop", "t").words);
+    EXPECT_DEATH(m.call(0, 1000), "cycle budget");
+}
+
+TEST(Machine, InvalidOpcodePanics)
+{
+    Machine m(CpuMode::CA);
+    m.loadProgram({0x9404});  // reserved one-operand encoding
+    EXPECT_DEATH(m.call(0), "invalid opcode");
+}
+
+TEST(Machine, WriteReadBytesHelpers)
+{
+    Machine m(CpuMode::CA);
+    m.writeBytes(0x0300, {1, 2, 3, 4});
+    auto v = m.readBytes(0x0300, 4);
+    EXPECT_EQ(v, (std::vector<uint8_t>{1, 2, 3, 4}));
+}

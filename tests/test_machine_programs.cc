@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Whole-program tests of the AVR machine model: small but complete
+ * algorithms in assembly (string ops, sorting, jump tables, 16/32-bit
+ * arithmetic idioms) that collectively exercise the addressing modes,
+ * skip/branch instructions, the stack, and the multiplier the ECC
+ * routines rely on — plus disassembler/assembler consistency over the
+ * whole generated OPF code base.
+ */
+
+#include <gtest/gtest.h>
+
+#include "avr/machine.hh"
+#include "avrasm/assembler.hh"
+#include "avrgen/opf_routines.hh"
+#include "nt/opf_prime.hh"
+
+using namespace jaavr;
+
+TEST(MachinePrograms, MemcpyViaPostIncrement)
+{
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble(R"(
+        ; copy r16 bytes from X to Z
+        copy:
+            ld r18, X+
+            st Z+, r18
+            dec r16
+            brne copy
+            ret
+    )", "memcpy").words);
+    m.writeBytes(0x0200, {1, 2, 3, 4, 5, 6, 7, 8});
+    m.setX(0x0200);
+    m.setZ(0x0300);
+    m.setReg(16, 8);
+    m.call(0);
+    EXPECT_EQ(m.readBytes(0x0300, 8),
+              (std::vector<uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(MachinePrograms, BubbleSortEightBytes)
+{
+    Machine m(CpuMode::FAST);
+    m.loadProgram(assemble(R"(
+        .equ BUF = 0x0200
+        ; bubble sort 8 bytes at BUF (unsigned)
+        outer:
+            ldi r20, 7          ; inner iterations
+            ldi r26, lo8(BUF)
+            ldi r27, hi8(BUF)
+            clr r21             ; swapped flag
+        inner:
+            ld r18, X+
+            ld r19, X
+            cp r19, r18
+            brsh noswap         ; already ordered
+            st X, r18
+            st -X, r19
+            adiw r26, 1
+            ldi r21, 1
+        noswap:
+            dec r20
+            brne inner
+            tst r21
+            brne outer
+            ret
+    )", "sort").words);
+    m.writeBytes(0x0200, {42, 7, 99, 1, 200, 13, 77, 5});
+    m.call(0);
+    EXPECT_EQ(m.readBytes(0x0200, 8),
+              (std::vector<uint8_t>{1, 5, 7, 13, 42, 77, 99, 200}));
+}
+
+TEST(MachinePrograms, JumpTableViaIjmp)
+{
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble(R"(
+            ; dispatch on r16 through a flash jump table
+            ldi r30, lo8(table)
+            ldi r31, hi8(table)
+            add r30, r16
+            clr r17
+            adc r31, r17
+            ; load the handler address from the table
+            ; (word table: each entry is a code address)
+            lsl r30
+            rol r31
+            lpm r18, Z+
+            lpm r19, Z
+            mov r30, r18
+            mov r31, r19
+            ijmp
+        table:
+            .dw h0, h1, h2
+        h0: ldi r24, 10
+            ret
+        h1: ldi r24, 20
+            ret
+        h2: ldi r24, 30
+            ret
+    )", "jt").words);
+    for (uint8_t sel = 0; sel < 3; sel++) {
+        m.setReg(16, sel);
+        m.call(0);
+        EXPECT_EQ(m.reg(24), 10 * (sel + 1));
+    }
+}
+
+TEST(MachinePrograms, SixteenBitDivisionByShiftSubtract)
+{
+    // 16/8-bit restoring division: quotient in r24, remainder r25.
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble(R"(
+        ; dividend r25:r24, divisor r22
+        div:
+            ldi r20, 16
+            clr r26            ; remainder
+        dloop:
+            lsl r24
+            rol r25
+            rol r26
+            cp r26, r22
+            brlo skip
+            sub r26, r22
+            inc r24
+        skip:
+            dec r20
+            brne dloop
+            mov r25, r26
+            ret
+    )", "div").words);
+    struct Case { uint16_t n; uint8_t d; };
+    for (Case c : {Case{50000, 7}, Case{1234, 5}, Case{255, 16},
+                   Case{9, 10}}) {
+        m.setReg(24, c.n & 0xff);
+        m.setReg(25, c.n >> 8);
+        m.setReg(22, c.d);
+        m.call(0);
+        uint16_t q = m.reg(24) | (unsigned(m.reg(1)) << 8);
+        (void)q;
+        EXPECT_EQ(m.reg(24), (c.n / c.d) & 0xff) << c.n;
+        EXPECT_EQ(m.reg(25), c.n % c.d) << c.n;
+    }
+}
+
+TEST(MachinePrograms, CpseSkipsAndSignedMul)
+{
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble(R"(
+        ; r24 = (r16 == r17) ? 1 : 0 via cpse
+            clr r24
+            cpse r16, r17
+            rjmp done
+            ldi r24, 1
+        done:
+        ; r0:r1 = (signed) r18 * r19 via muls
+            muls r18, r19
+            ret
+    )", "cpse").words);
+    m.setReg(16, 5);
+    m.setReg(17, 5);
+    m.setReg(18, 0xf8);  // -8
+    m.setReg(19, 3);
+    m.call(0);
+    EXPECT_EQ(m.reg(24), 1);
+    // -24 = 0xffe8.
+    EXPECT_EQ(m.reg(0), 0xe8);
+    EXPECT_EQ(m.reg(1), 0xff);
+
+    m.setReg(16, 5);
+    m.setReg(17, 6);
+    m.call(0);
+    EXPECT_EQ(m.reg(24), 0);
+}
+
+TEST(MachinePrograms, FmulFractionalShift)
+{
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble("fmul r16, r17\nret", "fmul").words);
+    m.setReg(16, 0x40);  // 0.5 in Q1.7
+    m.setReg(17, 0x40);
+    m.call(0);
+    // 0.5 * 0.5 = 0.25 -> 0x2000 in Q1.15 after the fractional shift.
+    EXPECT_EQ(m.reg(1), 0x20);
+    EXPECT_EQ(m.reg(0), 0x00);
+}
+
+TEST(MachinePrograms, StackDepthAndRecursion)
+{
+    // Recursive sum 1..N via rcall (stack discipline).
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble(R"(
+        ; r24 += r16; recurse with r16-1 until zero
+        sum:
+            tst r16
+            breq base
+            add r24, r16
+            dec r16
+            rcall sum
+        base:
+            ret
+    )", "rec").words);
+    m.setReg(16, 10);
+    m.setReg(24, 0);
+    m.call(0);
+    EXPECT_EQ(m.reg(24), 55);
+}
+
+TEST(MachinePrograms, SbiCbiSbisOnIo)
+{
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble(R"(
+        .equ PORT = 0x18
+            sbi PORT, 3
+            sbi PORT, 5
+            cbi PORT, 3
+            sbis PORT, 5
+            ldi r24, 99       ; skipped (bit 5 set)
+            sbic PORT, 3
+            ldi r25, 99       ; skipped: sbic skips when the bit is clear
+            ret
+    )", "io").words);
+    m.call(0);
+    EXPECT_EQ(m.readData(0x20 + 0x18), 0x20);
+    EXPECT_EQ(m.reg(24), 0);
+    EXPECT_EQ(m.reg(25), 0);
+}
+
+TEST(MachinePrograms, DisassemblerCoversGeneratedCode)
+{
+    // Every instruction of every generated OPF routine decodes to a
+    // valid operation and disassembles to a non-empty string.
+    OpfPrime prime = paperOpfPrime();
+    for (const std::string &src :
+         {genOpfAddSub(prime, false), genOpfAddSub(prime, true),
+          genOpfMulNative(prime), genOpfMulIse(prime),
+          genOpfMontInverse(prime)}) {
+        Program prog = assemble(src, "cover");
+        for (size_t i = 0; i < prog.words.size();) {
+            uint16_t w1 =
+                i + 1 < prog.words.size() ? prog.words[i + 1] : 0;
+            Inst inst = decode(prog.words[i], w1);
+            EXPECT_NE(inst.op, Op::INVALID) << "word " << i;
+            EXPECT_FALSE(disassemble(inst).empty());
+            i += inst.words;
+        }
+    }
+}

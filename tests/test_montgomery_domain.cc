@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the general-modulus word-level Montgomery domain: product
+ * correctness against BigUInt, the 2s^2 + s MAC count that motivates
+ * OPFs, and exponentiation (the RSA building block).
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/montgomery_domain.hh"
+#include "field/opf_field.hh"
+#include "nt/opf_prime.hh"
+#include "nt/primality.hh"
+#include "support/random.hh"
+
+using namespace jaavr;
+
+TEST(MontgomeryDomain, MulMatchesBigUInt)
+{
+    Rng rng(140);
+    // An arbitrary odd 160-bit modulus (not low-weight).
+    BigUInt m = BigUInt::randomBits(rng, 160);
+    if (!m.isOdd())
+        m += BigUInt(1);
+    MontgomeryDomain d(m);
+    for (int i = 0; i < 100; i++) {
+        BigUInt a = BigUInt::random(rng, m);
+        BigUInt b = BigUInt::random(rng, m);
+        BigUInt r = d.fromMont(d.montMul(d.toMont(a), d.toMont(b)));
+        EXPECT_EQ(r, a.mulMod(b, m));
+    }
+}
+
+TEST(MontgomeryDomain, MacCountIsTwoSSquaredPlusS)
+{
+    Rng rng(141);
+    for (unsigned bits : {64u, 160u, 256u, 512u}) {
+        BigUInt m = BigUInt::randomBits(rng, bits);
+        if (!m.isOdd())
+            m += BigUInt(1);
+        if (m.bitLength() < bits)
+            m += BigUInt::powerOfTwo(bits - 1);
+        MontgomeryDomain d(m);
+        auto a = d.toMont(BigUInt::random(rng, m));
+        auto b = d.toMont(BigUInt::random(rng, m));
+        d.montMul(a, b);
+        uint64_t s = d.words();
+        EXPECT_EQ(d.lastWordMacs(), 2 * s * s + s) << bits;
+    }
+}
+
+TEST(MontgomeryDomain, OpfHalvesTheMacs)
+{
+    // The OPF field needs s^2 + s MACs where the general modulus
+    // needs 2s^2 + s: the property the paper's Section II-A claims.
+    Rng rng(142);
+    OpfField opf(paperOpfPrime());
+    MontgomeryDomain gen(paperOpfPrime().p);
+    auto a = BigUInt::random(rng, paperOpfPrime().p);
+    auto b = BigUInt::random(rng, paperOpfPrime().p);
+    opf.montMul(opf.toMont(a), opf.toMont(b));
+    gen.montMul(gen.toMont(a), gen.toMont(b));
+    EXPECT_EQ(opf.lastStats().wordMacs, 5u * 5u + 5u);
+    EXPECT_EQ(gen.lastWordMacs(), 2u * 5u * 5u + 5u);
+    // And both compute the same product.
+    EXPECT_EQ(opf.fromMont(opf.montMul(opf.toMont(a), opf.toMont(b))),
+              gen.fromMont(gen.montMul(gen.toMont(a), gen.toMont(b))));
+}
+
+TEST(MontgomeryDomain, ExpMatchesPowMod)
+{
+    Rng rng(143);
+    BigUInt m = BigUInt::randomBits(rng, 192);
+    if (!m.isOdd())
+        m += BigUInt(1);
+    MontgomeryDomain d(m);
+    for (int i = 0; i < 10; i++) {
+        BigUInt base = BigUInt::random(rng, m);
+        BigUInt e = BigUInt::randomBits(rng, 64);
+        BigUInt r = d.fromMont(d.montExp(d.toMont(base), e));
+        EXPECT_EQ(r, base.powMod(e, m));
+    }
+}
+
+TEST(MontgomeryDomain, RsaStyleRoundTrip)
+{
+    // Tiny RSA (two 96-bit primes) end to end: the Section IV-A
+    // "even RSA" claim, functionally.
+    Rng rng(144);
+    auto find_prime = [&](unsigned bits) {
+        for (;;) {
+            BigUInt c = BigUInt::randomBits(rng, bits);
+            c = c + BigUInt::powerOfTwo(bits - 1);
+            if (!c.isOdd())
+                c += BigUInt(1);
+            if (isProbablePrime(c, rng))
+                return c;
+        }
+    };
+    BigUInt p = find_prime(96), q = find_prime(96);
+    BigUInt n = p * q;
+    BigUInt phi = (p - BigUInt(1)) * (q - BigUInt(1));
+    BigUInt e(65537);
+    BigUInt dExp = e.invMod(phi);
+
+    MontgomeryDomain dom(n);
+    BigUInt msg = BigUInt::fromHex("badc0ffee0ddf00d");
+    BigUInt ct = dom.fromMont(dom.montExp(dom.toMont(msg), e));
+    BigUInt pt = dom.fromMont(dom.montExp(dom.toMont(ct), dExp));
+    EXPECT_EQ(pt, msg);
+    EXPECT_NE(ct, msg);
+}
+
+TEST(MontgomeryDomain, RejectsEvenModulus)
+{
+    EXPECT_DEATH(MontgomeryDomain(BigUInt(100)), "odd");
+}

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for the number-theory module: primality, Jacobi symbols,
+ * modular square roots, Cornacchia, and OPF prime search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nt/cornacchia.hh"
+#include "nt/intsqrt.hh"
+#include "nt/opf_prime.hh"
+#include "nt/primality.hh"
+#include "nt/sqrt_mod.hh"
+
+using namespace jaavr;
+
+TEST(Primality, SmallKnownValues)
+{
+    Rng rng(1);
+    uint64_t primes[] = {2, 3, 5, 7, 11, 13, 97, 65537, 1000000007};
+    uint64_t composites[] = {0, 1, 4, 6, 9, 15, 91, 341, 561, 1000000008};
+    for (uint64_t p : primes)
+        EXPECT_TRUE(isProbablePrime(BigUInt(p), rng)) << p;
+    for (uint64_t c : composites)
+        EXPECT_FALSE(isProbablePrime(BigUInt(c), rng)) << c;
+}
+
+TEST(Primality, CarmichaelNumbers)
+{
+    // Fermat pseudoprimes to many bases; Miller-Rabin must reject.
+    Rng rng(2);
+    for (uint64_t n : {561ULL, 1105ULL, 1729ULL, 2465ULL, 6601ULL})
+        EXPECT_FALSE(isProbablePrime(BigUInt(n), rng)) << n;
+}
+
+TEST(Primality, LargeKnownPrime)
+{
+    Rng rng(3);
+    // 2^127 - 1 is a Mersenne prime; 2^128 + 1 is composite.
+    EXPECT_TRUE(isProbablePrime(
+        BigUInt::powerOfTwo(127) - BigUInt(1), rng));
+    EXPECT_FALSE(isProbablePrime(
+        BigUInt::powerOfTwo(128) + BigUInt(1), rng));
+}
+
+TEST(Primality, PaperOpfPrimeIsPrime)
+{
+    // The paper's example p = 65356 * 2^144 + 1 (Section II-A).
+    const OpfPrime &o = paperOpfPrime();
+    EXPECT_EQ(o.u, 65356u);
+    EXPECT_EQ(o.p.toHex(), "ff4c" + std::string(35, '0') + "1");
+    EXPECT_EQ(o.p.bitLength(), 160u);
+}
+
+TEST(Jacobi, MatchesEulerCriterion)
+{
+    Rng rng(4);
+    BigUInt p(1000003);
+    BigUInt e = (p - BigUInt(1)) >> 1;
+    for (int i = 0; i < 100; i++) {
+        BigUInt a = BigUInt(1) + BigUInt::random(rng, p - BigUInt(1));
+        BigUInt ls = a.powMod(e, p);
+        int expect = ls.isOne() ? 1 : -1;
+        EXPECT_EQ(jacobi(a, p), expect);
+    }
+}
+
+TEST(Jacobi, ZeroAndMultiples)
+{
+    EXPECT_EQ(jacobi(BigUInt(0), BigUInt(7)), 0);
+    EXPECT_EQ(jacobi(BigUInt(14), BigUInt(7)), 0);
+    EXPECT_EQ(jacobi(BigUInt(1), BigUInt(9)), 1);
+}
+
+TEST(Jacobi, KnownSmallTable)
+{
+    // (a/7): QRs mod 7 are {1, 2, 4}.
+    EXPECT_EQ(jacobi(BigUInt(1), BigUInt(7)), 1);
+    EXPECT_EQ(jacobi(BigUInt(2), BigUInt(7)), 1);
+    EXPECT_EQ(jacobi(BigUInt(3), BigUInt(7)), -1);
+    EXPECT_EQ(jacobi(BigUInt(4), BigUInt(7)), 1);
+    EXPECT_EQ(jacobi(BigUInt(5), BigUInt(7)), -1);
+    EXPECT_EQ(jacobi(BigUInt(6), BigUInt(7)), -1);
+}
+
+TEST(SqrtMod, RoundTripSmallPrime)
+{
+    Rng rng(5);
+    BigUInt p(10007);  // p = 3 mod 4
+    for (int i = 0; i < 50; i++) {
+        BigUInt a = BigUInt::random(rng, p);
+        BigUInt sq = a.mulMod(a, p);
+        auto r = sqrtMod(sq, p, rng);
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(r->mulMod(*r, p), sq);
+    }
+}
+
+TEST(SqrtMod, HighTwoAdicityPrime)
+{
+    // The OPF primes have 2-adicity 144+, exercising the full
+    // Tonelli-Shanks loop rather than the p = 3 (mod 4) shortcut.
+    Rng rng(6);
+    const BigUInt &p = paperOpfPrime().p;
+    for (int i = 0; i < 10; i++) {
+        BigUInt a = BigUInt::random(rng, p);
+        BigUInt sq = a.mulMod(a, p);
+        auto r = sqrtMod(sq, p, rng);
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(r->mulMod(*r, p), sq);
+    }
+}
+
+TEST(SqrtMod, NonResidueReturnsNullopt)
+{
+    Rng rng(7);
+    BigUInt p(10007);
+    int nones = 0;
+    for (uint64_t a = 2; a < 60; a++) {
+        if (jacobi(BigUInt(a), p) == -1) {
+            EXPECT_FALSE(sqrtMod(BigUInt(a), p, rng).has_value());
+            nones++;
+        }
+    }
+    EXPECT_GT(nones, 10);
+}
+
+TEST(SqrtMod, ZeroMapsToZero)
+{
+    Rng rng(8);
+    auto r = sqrtMod(BigUInt(0), BigUInt(10007), rng);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->isZero());
+}
+
+TEST(IntSqrt, ExactAndFloor)
+{
+    EXPECT_EQ(isqrt(BigUInt(0)).toUint64(), 0u);
+    EXPECT_EQ(isqrt(BigUInt(1)).toUint64(), 1u);
+    EXPECT_EQ(isqrt(BigUInt(15)).toUint64(), 3u);
+    EXPECT_EQ(isqrt(BigUInt(16)).toUint64(), 4u);
+    EXPECT_EQ(isqrt(BigUInt(17)).toUint64(), 4u);
+    Rng rng(9);
+    for (int i = 0; i < 100; i++) {
+        BigUInt a = BigUInt::randomBits(rng, 170);
+        BigUInt r = isqrt(a);
+        EXPECT_LE(r * r, a);
+        EXPECT_GT((r + BigUInt(1)) * (r + BigUInt(1)), a);
+    }
+}
+
+TEST(IntSqrt, PerfectSquareDetection)
+{
+    Rng rng(10);
+    for (int i = 0; i < 50; i++) {
+        BigUInt a = BigUInt::randomBits(rng, 90);
+        BigUInt root;
+        EXPECT_TRUE(isPerfectSquare(a * a, root));
+        EXPECT_EQ(root, a);
+        if (!a.isZero()) {
+            BigUInt r2;
+            EXPECT_FALSE(isPerfectSquare(a * a + BigUInt(1), r2) &&
+                         r2 * r2 != a * a + BigUInt(1));
+        }
+    }
+}
+
+TEST(Cornacchia, KnownSmallRepresentation)
+{
+    // 31 = 2^2 + 3 * 3^2.
+    Rng rng(11);
+    auto sol = cornacchia(BigUInt(31), 3, rng);
+    ASSERT_TRUE(sol.has_value());
+    BigUInt check = sol->x * sol->x + BigUInt(3) * sol->y * sol->y;
+    EXPECT_EQ(check.toUint64(), 31u);
+}
+
+TEST(Cornacchia, RepresentationProperty)
+{
+    Rng rng(12);
+    // p = 1 mod 3 primes are exactly those representable as a^2+3b^2.
+    for (uint64_t p : {7ULL, 13ULL, 19ULL, 31ULL, 37ULL, 43ULL, 61ULL}) {
+        auto sol = cornacchia(BigUInt(p), 3, rng);
+        ASSERT_TRUE(sol.has_value()) << p;
+        EXPECT_EQ((sol->x * sol->x + BigUInt(3) * sol->y * sol->y)
+                      .toUint64(), p);
+    }
+    // p = 2 mod 3 primes are not representable.
+    for (uint64_t p : {5ULL, 11ULL, 17ULL, 23ULL, 29ULL})
+        EXPECT_FALSE(cornacchia(BigUInt(p), 3, rng).has_value()) << p;
+}
+
+TEST(Cornacchia, LargePrimeD1)
+{
+    // p = 1 mod 4 is a sum of two squares (d = 1).
+    Rng rng(13);
+    const BigUInt &p = paperOpfPrime().p;  // p = 1 mod 4 by shape
+    auto sol = cornacchia(p, 1, rng);
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(sol->x * sol->x + sol->y * sol->y, p);
+}
+
+TEST(Cornacchia, CmDecomposition4p)
+{
+    Rng rng(14);
+    const OpfPrime &glv = glvOpfPrime();
+    ASSERT_EQ(glv.p % BigUInt(3), BigUInt(1));
+    CmDecomposition d = cmDecompose4p(glv.p, rng);
+    BigUInt check = d.l * d.l + BigUInt(27) * d.m * d.m;
+    EXPECT_EQ(check, glv.p << 2);
+}
+
+TEST(Cornacchia, CmDecompositionSmall)
+{
+    // p = 7: 4*7 = 28 = 1 + 27 = 1^2 + 27*1^2.
+    Rng rng(15);
+    CmDecomposition d = cmDecompose4p(BigUInt(7), rng);
+    EXPECT_EQ((d.l * d.l + BigUInt(27) * d.m * d.m).toUint64(), 28u);
+}
+
+TEST(OpfPrime, MakeOpfShape)
+{
+    OpfPrime o = makeOpf(0xff4c, 144);
+    EXPECT_EQ(o.p.bitLength(), 160u);
+    EXPECT_EQ(o.p.low32(), 1u);
+    // Middle words are all zero: only MSW and LSW non-zero.
+    auto w = o.p.toWords(5);
+    EXPECT_EQ(w[1], 0u);
+    EXPECT_EQ(w[2], 0u);
+    EXPECT_EQ(w[3], 0u);
+    EXPECT_EQ(w[4], 0xff4c0000u);
+}
+
+TEST(OpfPrime, RejectsBadU)
+{
+    EXPECT_DEATH(makeOpf(0, 144), "16-bit");
+    EXPECT_DEATH(makeOpf(0x10000, 144), "16-bit");
+}
+
+TEST(OpfPrime, SearchFindsPaperPrime)
+{
+    Rng rng(16);
+    // Searching down from 65356 must find 65356 itself.
+    auto found = findOpfPrime(144, 65356, rng);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->u, 65356u);
+}
+
+TEST(OpfPrime, GlvPrimeHasRightCongruence)
+{
+    const OpfPrime &o = glvOpfPrime();
+    EXPECT_EQ(o.p % BigUInt(3), BigUInt(1));
+    EXPECT_EQ(o.u % 3, 0u);
+    EXPECT_EQ(o.p.bitLength(), 160u);
+    Rng rng(17);
+    EXPECT_TRUE(isProbablePrime(o.p, rng));
+}

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests of the word-level OPF model against the generic golden field,
+ * plus the paper's structural claims: s^2 + s word MACs per Montgomery
+ * multiplication, a 72-bit accumulator bound, incomplete-reduction
+ * semantics, and the 2^-32 borrow-ripple corner case.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bigint/big_int.hh"
+#include "field/opf_field.hh"
+#include "field/prime_field.hh"
+#include "nt/opf_prime.hh"
+
+using namespace jaavr;
+
+namespace
+{
+
+class OpfFieldTest : public ::testing::Test
+{
+  protected:
+    OpfFieldTest() : opf(paperOpfPrime()), f(opf), gold(opf.p) {}
+
+    OpfPrime opf;
+    OpfField f;
+    PrimeField gold;
+};
+
+} // anonymous namespace
+
+TEST_F(OpfFieldTest, LayoutConstants)
+{
+    EXPECT_EQ(f.words(), 5u);
+    EXPECT_EQ(f.bits(), 160u);
+    EXPECT_EQ(f.montR(), BigUInt::powerOfTwo(160) % opf.p);
+}
+
+TEST_F(OpfFieldTest, RoundTripConversions)
+{
+    Rng rng(40);
+    for (int i = 0; i < 50; i++) {
+        BigUInt a = gold.random(rng);
+        EXPECT_EQ(f.toBig(f.fromBig(a)), a);
+        EXPECT_EQ(f.fromMont(f.toMont(a)), a);
+    }
+}
+
+TEST_F(OpfFieldTest, AddMatchesGolden)
+{
+    Rng rng(41);
+    for (int i = 0; i < 500; i++) {
+        // Operands may be incompletely reduced: anywhere in [0, 2^160).
+        BigUInt a = BigUInt::randomBits(rng, 160);
+        BigUInt b = BigUInt::randomBits(rng, 160);
+        auto r = f.add(f.fromBig(a), f.fromBig(b));
+        EXPECT_EQ(f.canonical(r), (a + b) % opf.p);
+        // Result stays within the incomplete range (5 words).
+        EXPECT_LE(f.toBig(r).bitLength(), 160u);
+    }
+}
+
+TEST_F(OpfFieldTest, SubMatchesGolden)
+{
+    Rng rng(42);
+    for (int i = 0; i < 500; i++) {
+        BigUInt a = BigUInt::randomBits(rng, 160);
+        BigUInt b = BigUInt::randomBits(rng, 160);
+        auto r = f.sub(f.fromBig(a), f.fromBig(b));
+        BigUInt expect = (BigInt(a) - BigInt(b)).mod(opf.p);
+        EXPECT_EQ(f.canonical(r), expect);
+    }
+}
+
+TEST_F(OpfFieldTest, MontMulMatchesGolden)
+{
+    Rng rng(43);
+    for (int i = 0; i < 500; i++) {
+        BigUInt a = gold.random(rng);
+        BigUInt b = gold.random(rng);
+        auto r = f.montMul(f.toMont(a), f.toMont(b));
+        EXPECT_EQ(f.fromMont(r), gold.mul(a, b));
+    }
+}
+
+TEST_F(OpfFieldTest, MontMulAcceptsIncompleteOperands)
+{
+    Rng rng(44);
+    for (int i = 0; i < 200; i++) {
+        // Raw 160-bit operands (not reduced below p).
+        BigUInt a = BigUInt::randomBits(rng, 160);
+        BigUInt b = BigUInt::randomBits(rng, 160);
+        auto r = f.montMul(f.fromBig(a), f.fromBig(b));
+        // r = a*b*R^-1 mod p.
+        BigUInt rinv = f.montR().invMod(opf.p);
+        BigUInt expect = a.mulMod(b, opf.p).mulMod(rinv, opf.p);
+        EXPECT_EQ(f.canonical(r), expect);
+    }
+}
+
+TEST_F(OpfFieldTest, MacCountIsSSquaredPlusS)
+{
+    // Paper, Section III-B: the FIPS method on a low-weight prime
+    // needs s^2 + s word-level multiplications (25 + 5 for s = 5).
+    Rng rng(45);
+    auto a = f.toMont(gold.random(rng));
+    auto b = f.toMont(gold.random(rng));
+    f.montMul(a, b);
+    EXPECT_EQ(f.lastStats().wordMacs, 5u * 5u + 5u);
+}
+
+TEST_F(OpfFieldTest, AccumulatorFitsIn72Bits)
+{
+    // Paper, Section IV-A: the hardware accumulator is 72 bits wide.
+    Rng rng(46);
+    // Stress with all-ones operands, the worst case for column sums.
+    OpfField::Words ones(f.words(), 0xffffffffu);
+    f.montMul(ones, ones);
+    for (int i = 0; i < 200; i++) {
+        auto a = f.fromBig(BigUInt::randomBits(rng, 160));
+        auto b = f.fromBig(BigUInt::randomBits(rng, 160));
+        f.montMul(a, b);
+    }
+    EXPECT_LE(f.maxAccBits(), 72u);
+    EXPECT_GE(f.maxAccBits(), 64u);  // the accumulator really is wide
+}
+
+TEST_F(OpfFieldTest, SqrMatchesMul)
+{
+    Rng rng(47);
+    for (int i = 0; i < 100; i++) {
+        auto a = f.toMont(gold.random(rng));
+        EXPECT_EQ(f.montSqr(a), f.montMul(a, a));
+    }
+}
+
+TEST_F(OpfFieldTest, BorrowRippleCornerCase)
+{
+    // Construct the paper's 2^-32 corner: an addition whose sum has a
+    // zero LSW while the carry bit is set, so subtracting c*p borrows
+    // out of the LSW and ripples through the zero middle words.
+    // a + b = 2^160 + 2^32 * x with low word 0.
+    BigUInt a = BigUInt::powerOfTwo(159) + BigUInt::powerOfTwo(32);
+    BigUInt b = BigUInt::powerOfTwo(159);
+    auto r = f.add(f.fromBig(a), f.fromBig(b));
+    EXPECT_EQ(f.canonical(r), (a + b) % opf.p);
+    EXPECT_GE(f.lastStats().borrowRipples, 1u);
+}
+
+TEST_F(OpfFieldTest, TypicalAddHasNoRipple)
+{
+    Rng rng(48);
+    uint64_t ripples = 0;
+    for (int i = 0; i < 1000; i++) {
+        auto a = f.fromBig(BigUInt::randomBits(rng, 160));
+        auto b = f.fromBig(BigUInt::randomBits(rng, 160));
+        f.add(a, b);
+        ripples += f.lastStats().borrowRipples;
+    }
+    // Probability ~2^-32 per op; seeing even one in 1000 would be
+    // astronomically unlikely.
+    EXPECT_EQ(ripples, 0u);
+}
+
+TEST_F(OpfFieldTest, MulByOneInMontDomain)
+{
+    Rng rng(49);
+    auto one_m = f.toMont(BigUInt(1));
+    for (int i = 0; i < 20; i++) {
+        BigUInt a = gold.random(rng);
+        auto am = f.toMont(a);
+        EXPECT_EQ(f.fromMont(f.montMul(am, one_m)), a);
+    }
+}
+
+TEST_F(OpfFieldTest, ZeroAbsorbs)
+{
+    Rng rng(50);
+    OpfField::Words zero(f.words(), 0);
+    auto a = f.toMont(gold.random(rng));
+    EXPECT_TRUE(f.fromMont(f.montMul(a, zero)).isZero());
+    EXPECT_EQ(f.canonical(f.add(a, zero)), f.fromMont(a).mulMod(
+        f.montR(), opf.p));
+}
+
+TEST(OpfFieldGlv, WorksOverGlvPrime)
+{
+    // The whole machinery also runs over the second OPF prime used by
+    // the GLV curve.
+    OpfField f(glvOpfPrime());
+    PrimeField gold(glvOpfPrime().p);
+    Rng rng(51);
+    for (int i = 0; i < 100; i++) {
+        BigUInt a = gold.random(rng), b = gold.random(rng);
+        EXPECT_EQ(f.fromMont(f.montMul(f.toMont(a), f.toMont(b))),
+                  gold.mul(a, b));
+        EXPECT_EQ(f.canonical(f.add(f.fromBig(a), f.fromBig(b))),
+                  gold.add(a, b));
+    }
+}
+
+TEST(OpfFieldCtor, RejectsMisalignedK)
+{
+    EXPECT_DEATH(OpfField(makeOpf(3, 128)), "16 mod 32");
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * SHA-256 against the FIPS 180-4 known-answer vectors, plus streaming
+ * and boundary-length behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/hex.hh"
+#include "support/sha256.hh"
+
+using namespace jaavr;
+
+namespace
+{
+
+std::string
+hexDigest(const std::array<uint8_t, 32> &d)
+{
+    return hexEncode(std::vector<uint8_t>(d.begin(), d.end()));
+}
+
+} // anonymous namespace
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(hexDigest(Sha256::digest(std::string())),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(hexDigest(Sha256::digest(std::string("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(hexDigest(Sha256::digest(std::string(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                  "nopq"))),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+              "19db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 s;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; i++)
+        s.update(chunk);
+    EXPECT_EQ(hexDigest(s.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39cc"
+              "c7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot)
+{
+    std::string msg = "the quick brown fox jumps over the lazy dog";
+    for (size_t split = 0; split <= msg.size(); split++) {
+        Sha256 s;
+        s.update(msg.substr(0, split));
+        s.update(msg.substr(split));
+        EXPECT_EQ(hexDigest(s.finish()),
+                  hexDigest(Sha256::digest(msg)))
+            << "split at " << split;
+    }
+}
+
+TEST(Sha256, PaddingBoundaries)
+{
+    // Lengths around the 56-byte padding boundary and the block size.
+    for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+        std::string msg(len, 'x');
+        Sha256 a;
+        a.update(msg);
+        auto d1 = a.finish();
+        auto d2 = Sha256::digest(msg);
+        EXPECT_EQ(hexDigest(d1), hexDigest(d2)) << len;
+    }
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests)
+{
+    auto a = Sha256::digest(std::string("message-a"));
+    auto b = Sha256::digest(std::string("message-b"));
+    EXPECT_NE(hexDigest(a), hexDigest(b));
+}
+
+TEST(Sha256, ReuseAfterFinishPanics)
+{
+    Sha256 s;
+    s.update(std::string("x"));
+    s.finish();
+    EXPECT_DEATH(s.finish(), "finish");
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the support utilities (hex codec, RNG, logging).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/hex.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+using namespace jaavr;
+
+TEST(Hex, EncodeDecodeRoundTrip)
+{
+    std::vector<uint8_t> bytes = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x01};
+    EXPECT_EQ(hexEncode(bytes), "deadbeef0001");
+    EXPECT_EQ(hexDecode("deadbeef0001"), bytes);
+    EXPECT_EQ(hexDecode("0xDEADBEEF0001"), bytes);
+    EXPECT_EQ(hexDecode("de_ad be ef_00 01"), bytes);
+}
+
+TEST(Hex, OddLengthGetsLeadingZero)
+{
+    std::vector<uint8_t> expect = {0x0a, 0xbc};
+    EXPECT_EQ(hexDecode("abc"), expect);
+}
+
+TEST(Hex, EmptyInput)
+{
+    EXPECT_TRUE(hexDecode("").empty());
+    EXPECT_EQ(hexEncode({}), "");
+}
+
+TEST(Hex, InvalidCharacterIsFatal)
+{
+    EXPECT_DEATH(hexDecode("xyz"), "invalid character");
+}
+
+TEST(Hex, DigitValues)
+{
+    EXPECT_EQ(hexDigit('0'), 0);
+    EXPECT_EQ(hexDigit('9'), 9);
+    EXPECT_EQ(hexDigit('a'), 10);
+    EXPECT_EQ(hexDigit('F'), 15);
+    EXPECT_EQ(hexDigit('g'), -1);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next64() == b.next64())
+            same++;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(rng.below(17), 17u);
+    // All residues hit eventually.
+    bool seen[17] = {};
+    for (int i = 0; i < 2000; i++)
+        seen[rng.below(17)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Logging, Csprintf)
+{
+    EXPECT_EQ(csprintf("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
