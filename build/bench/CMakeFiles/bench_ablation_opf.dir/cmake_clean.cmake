@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_opf.dir/bench_ablation_opf.cc.o"
+  "CMakeFiles/bench_ablation_opf.dir/bench_ablation_opf.cc.o.d"
+  "bench_ablation_opf"
+  "bench_ablation_opf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_opf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rsa.dir/bench_ext_rsa.cc.o"
+  "CMakeFiles/bench_ext_rsa.dir/bench_ext_rsa.cc.o.d"
+  "bench_ext_rsa"
+  "bench_ext_rsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mac.dir/bench_fig1_mac.cc.o"
+  "CMakeFiles/bench_fig1_mac.dir/bench_fig1_mac.cc.o.d"
+  "bench_fig1_mac"
+  "bench_fig1_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

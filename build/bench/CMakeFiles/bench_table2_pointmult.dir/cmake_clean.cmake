@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pointmult.dir/bench_table2_pointmult.cc.o"
+  "CMakeFiles/bench_table2_pointmult.dir/bench_table2_pointmult.cc.o.d"
+  "bench_table2_pointmult"
+  "bench_table2_pointmult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pointmult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_modes.dir/bench_table3_modes.cc.o"
+  "CMakeFiles/bench_table3_modes.dir/bench_table3_modes.cc.o.d"
+  "bench_table3_modes"
+  "bench_table3_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_related_hw.dir/bench_table4_related_hw.cc.o"
+  "CMakeFiles/bench_table4_related_hw.dir/bench_table4_related_hw.cc.o.d"
+  "bench_table4_related_hw"
+  "bench_table4_related_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_related_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

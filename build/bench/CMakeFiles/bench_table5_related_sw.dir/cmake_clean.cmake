@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_related_sw.dir/bench_table5_related_sw.cc.o"
+  "CMakeFiles/bench_table5_related_sw.dir/bench_table5_related_sw.cc.o.d"
+  "bench_table5_related_sw"
+  "bench_table5_related_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_related_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

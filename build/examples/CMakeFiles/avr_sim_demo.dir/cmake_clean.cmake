@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avr_sim_demo.dir/avr_sim_demo.cpp.o"
+  "CMakeFiles/avr_sim_demo.dir/avr_sim_demo.cpp.o.d"
+  "avr_sim_demo"
+  "avr_sim_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avr_sim_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

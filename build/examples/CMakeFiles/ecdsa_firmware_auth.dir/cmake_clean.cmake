@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdsa_firmware_auth.dir/ecdsa_firmware_auth.cpp.o"
+  "CMakeFiles/ecdsa_firmware_auth.dir/ecdsa_firmware_auth.cpp.o.d"
+  "ecdsa_firmware_auth"
+  "ecdsa_firmware_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdsa_firmware_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

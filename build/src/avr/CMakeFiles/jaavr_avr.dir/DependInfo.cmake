@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/avr/isa.cc" "src/avr/CMakeFiles/jaavr_avr.dir/isa.cc.o" "gcc" "src/avr/CMakeFiles/jaavr_avr.dir/isa.cc.o.d"
+  "/root/repo/src/avr/machine.cc" "src/avr/CMakeFiles/jaavr_avr.dir/machine.cc.o" "gcc" "src/avr/CMakeFiles/jaavr_avr.dir/machine.cc.o.d"
+  "/root/repo/src/avr/timing.cc" "src/avr/CMakeFiles/jaavr_avr.dir/timing.cc.o" "gcc" "src/avr/CMakeFiles/jaavr_avr.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jaavr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaavr_avr.dir/isa.cc.o"
+  "CMakeFiles/jaavr_avr.dir/isa.cc.o.d"
+  "CMakeFiles/jaavr_avr.dir/machine.cc.o"
+  "CMakeFiles/jaavr_avr.dir/machine.cc.o.d"
+  "CMakeFiles/jaavr_avr.dir/timing.cc.o"
+  "CMakeFiles/jaavr_avr.dir/timing.cc.o.d"
+  "libjaavr_avr.a"
+  "libjaavr_avr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaavr_avr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaavr_avrasm.dir/assembler.cc.o"
+  "CMakeFiles/jaavr_avrasm.dir/assembler.cc.o.d"
+  "libjaavr_avrasm.a"
+  "libjaavr_avrasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaavr_avrasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaavr_avrgen.dir/opf_harness.cc.o"
+  "CMakeFiles/jaavr_avrgen.dir/opf_harness.cc.o.d"
+  "CMakeFiles/jaavr_avrgen.dir/opf_routines.cc.o"
+  "CMakeFiles/jaavr_avrgen.dir/opf_routines.cc.o.d"
+  "CMakeFiles/jaavr_avrgen.dir/secp160_harness.cc.o"
+  "CMakeFiles/jaavr_avrgen.dir/secp160_harness.cc.o.d"
+  "CMakeFiles/jaavr_avrgen.dir/secp160_routines.cc.o"
+  "CMakeFiles/jaavr_avrgen.dir/secp160_routines.cc.o.d"
+  "libjaavr_avrgen.a"
+  "libjaavr_avrgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaavr_avrgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jaavr_avrgen.
+# This may be replaced when dependencies are built.

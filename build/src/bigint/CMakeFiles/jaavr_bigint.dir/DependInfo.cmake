@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigint/big_int.cc" "src/bigint/CMakeFiles/jaavr_bigint.dir/big_int.cc.o" "gcc" "src/bigint/CMakeFiles/jaavr_bigint.dir/big_int.cc.o.d"
+  "/root/repo/src/bigint/big_uint.cc" "src/bigint/CMakeFiles/jaavr_bigint.dir/big_uint.cc.o" "gcc" "src/bigint/CMakeFiles/jaavr_bigint.dir/big_uint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jaavr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaavr_bigint.dir/big_int.cc.o"
+  "CMakeFiles/jaavr_bigint.dir/big_int.cc.o.d"
+  "CMakeFiles/jaavr_bigint.dir/big_uint.cc.o"
+  "CMakeFiles/jaavr_bigint.dir/big_uint.cc.o.d"
+  "libjaavr_bigint.a"
+  "libjaavr_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaavr_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

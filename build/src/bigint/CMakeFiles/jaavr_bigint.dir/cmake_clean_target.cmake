@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjaavr_bigint.a"
+)

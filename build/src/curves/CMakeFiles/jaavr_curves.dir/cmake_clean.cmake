@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaavr_curves.dir/ecdsa.cc.o"
+  "CMakeFiles/jaavr_curves.dir/ecdsa.cc.o.d"
+  "CMakeFiles/jaavr_curves.dir/edwards.cc.o"
+  "CMakeFiles/jaavr_curves.dir/edwards.cc.o.d"
+  "CMakeFiles/jaavr_curves.dir/glv.cc.o"
+  "CMakeFiles/jaavr_curves.dir/glv.cc.o.d"
+  "CMakeFiles/jaavr_curves.dir/montgomery.cc.o"
+  "CMakeFiles/jaavr_curves.dir/montgomery.cc.o.d"
+  "CMakeFiles/jaavr_curves.dir/standard_curves.cc.o"
+  "CMakeFiles/jaavr_curves.dir/standard_curves.cc.o.d"
+  "CMakeFiles/jaavr_curves.dir/weierstrass.cc.o"
+  "CMakeFiles/jaavr_curves.dir/weierstrass.cc.o.d"
+  "libjaavr_curves.a"
+  "libjaavr_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaavr_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaavr_field.dir/montgomery_domain.cc.o"
+  "CMakeFiles/jaavr_field.dir/montgomery_domain.cc.o.d"
+  "CMakeFiles/jaavr_field.dir/opf_field.cc.o"
+  "CMakeFiles/jaavr_field.dir/opf_field.cc.o.d"
+  "CMakeFiles/jaavr_field.dir/prime_field.cc.o"
+  "CMakeFiles/jaavr_field.dir/prime_field.cc.o.d"
+  "CMakeFiles/jaavr_field.dir/secp160.cc.o"
+  "CMakeFiles/jaavr_field.dir/secp160.cc.o.d"
+  "libjaavr_field.a"
+  "libjaavr_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaavr_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

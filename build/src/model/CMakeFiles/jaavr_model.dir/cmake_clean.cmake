@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaavr_model.dir/area_power.cc.o"
+  "CMakeFiles/jaavr_model.dir/area_power.cc.o.d"
+  "CMakeFiles/jaavr_model.dir/experiments.cc.o"
+  "CMakeFiles/jaavr_model.dir/experiments.cc.o.d"
+  "CMakeFiles/jaavr_model.dir/field_costs.cc.o"
+  "CMakeFiles/jaavr_model.dir/field_costs.cc.o.d"
+  "CMakeFiles/jaavr_model.dir/inverse_model.cc.o"
+  "CMakeFiles/jaavr_model.dir/inverse_model.cc.o.d"
+  "libjaavr_model.a"
+  "libjaavr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaavr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

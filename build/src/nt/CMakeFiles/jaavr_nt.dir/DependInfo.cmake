@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nt/cornacchia.cc" "src/nt/CMakeFiles/jaavr_nt.dir/cornacchia.cc.o" "gcc" "src/nt/CMakeFiles/jaavr_nt.dir/cornacchia.cc.o.d"
+  "/root/repo/src/nt/intsqrt.cc" "src/nt/CMakeFiles/jaavr_nt.dir/intsqrt.cc.o" "gcc" "src/nt/CMakeFiles/jaavr_nt.dir/intsqrt.cc.o.d"
+  "/root/repo/src/nt/mont_inverse.cc" "src/nt/CMakeFiles/jaavr_nt.dir/mont_inverse.cc.o" "gcc" "src/nt/CMakeFiles/jaavr_nt.dir/mont_inverse.cc.o.d"
+  "/root/repo/src/nt/opf_prime.cc" "src/nt/CMakeFiles/jaavr_nt.dir/opf_prime.cc.o" "gcc" "src/nt/CMakeFiles/jaavr_nt.dir/opf_prime.cc.o.d"
+  "/root/repo/src/nt/primality.cc" "src/nt/CMakeFiles/jaavr_nt.dir/primality.cc.o" "gcc" "src/nt/CMakeFiles/jaavr_nt.dir/primality.cc.o.d"
+  "/root/repo/src/nt/sqrt_mod.cc" "src/nt/CMakeFiles/jaavr_nt.dir/sqrt_mod.cc.o" "gcc" "src/nt/CMakeFiles/jaavr_nt.dir/sqrt_mod.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/jaavr_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jaavr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

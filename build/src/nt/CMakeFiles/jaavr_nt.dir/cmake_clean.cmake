@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaavr_nt.dir/cornacchia.cc.o"
+  "CMakeFiles/jaavr_nt.dir/cornacchia.cc.o.d"
+  "CMakeFiles/jaavr_nt.dir/intsqrt.cc.o"
+  "CMakeFiles/jaavr_nt.dir/intsqrt.cc.o.d"
+  "CMakeFiles/jaavr_nt.dir/mont_inverse.cc.o"
+  "CMakeFiles/jaavr_nt.dir/mont_inverse.cc.o.d"
+  "CMakeFiles/jaavr_nt.dir/opf_prime.cc.o"
+  "CMakeFiles/jaavr_nt.dir/opf_prime.cc.o.d"
+  "CMakeFiles/jaavr_nt.dir/primality.cc.o"
+  "CMakeFiles/jaavr_nt.dir/primality.cc.o.d"
+  "CMakeFiles/jaavr_nt.dir/sqrt_mod.cc.o"
+  "CMakeFiles/jaavr_nt.dir/sqrt_mod.cc.o.d"
+  "libjaavr_nt.a"
+  "libjaavr_nt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaavr_nt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalar/glv_decompose.cc" "src/scalar/CMakeFiles/jaavr_scalar.dir/glv_decompose.cc.o" "gcc" "src/scalar/CMakeFiles/jaavr_scalar.dir/glv_decompose.cc.o.d"
+  "/root/repo/src/scalar/recode.cc" "src/scalar/CMakeFiles/jaavr_scalar.dir/recode.cc.o" "gcc" "src/scalar/CMakeFiles/jaavr_scalar.dir/recode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/jaavr_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/nt/CMakeFiles/jaavr_nt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jaavr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaavr_scalar.dir/glv_decompose.cc.o"
+  "CMakeFiles/jaavr_scalar.dir/glv_decompose.cc.o.d"
+  "CMakeFiles/jaavr_scalar.dir/recode.cc.o"
+  "CMakeFiles/jaavr_scalar.dir/recode.cc.o.d"
+  "libjaavr_scalar.a"
+  "libjaavr_scalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaavr_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

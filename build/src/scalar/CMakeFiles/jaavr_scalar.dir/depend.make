@@ -1,0 +1,2 @@
+# Empty dependencies file for jaavr_scalar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaavr_support.dir/hex.cc.o"
+  "CMakeFiles/jaavr_support.dir/hex.cc.o.d"
+  "CMakeFiles/jaavr_support.dir/logging.cc.o"
+  "CMakeFiles/jaavr_support.dir/logging.cc.o.d"
+  "CMakeFiles/jaavr_support.dir/sha256.cc.o"
+  "CMakeFiles/jaavr_support.dir/sha256.cc.o.d"
+  "libjaavr_support.a"
+  "libjaavr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaavr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

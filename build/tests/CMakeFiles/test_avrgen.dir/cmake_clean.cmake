@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avrgen.dir/test_avrgen.cc.o"
+  "CMakeFiles/test_avrgen.dir/test_avrgen.cc.o.d"
+  "test_avrgen"
+  "test_avrgen.pdb"
+  "test_avrgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avrgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

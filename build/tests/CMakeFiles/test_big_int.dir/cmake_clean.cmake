@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_big_int.dir/test_big_int.cc.o"
+  "CMakeFiles/test_big_int.dir/test_big_int.cc.o.d"
+  "test_big_int"
+  "test_big_int.pdb"
+  "test_big_int[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_big_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

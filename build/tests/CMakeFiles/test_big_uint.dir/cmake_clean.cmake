@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_big_uint.dir/test_big_uint.cc.o"
+  "CMakeFiles/test_big_uint.dir/test_big_uint.cc.o.d"
+  "test_big_uint"
+  "test_big_uint.pdb"
+  "test_big_uint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_big_uint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glv.dir/test_glv.cc.o"
+  "CMakeFiles/test_glv.dir/test_glv.cc.o.d"
+  "test_glv"
+  "test_glv.pdb"
+  "test_glv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mac_unit.dir/test_mac_unit.cc.o"
+  "CMakeFiles/test_mac_unit.dir/test_mac_unit.cc.o.d"
+  "test_mac_unit"
+  "test_mac_unit.pdb"
+  "test_mac_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mac_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_alu_exhaustive.dir/test_machine_alu_exhaustive.cc.o"
+  "CMakeFiles/test_machine_alu_exhaustive.dir/test_machine_alu_exhaustive.cc.o.d"
+  "test_machine_alu_exhaustive"
+  "test_machine_alu_exhaustive.pdb"
+  "test_machine_alu_exhaustive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_alu_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

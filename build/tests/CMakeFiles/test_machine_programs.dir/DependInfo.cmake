@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_machine_programs.cc" "tests/CMakeFiles/test_machine_programs.dir/test_machine_programs.cc.o" "gcc" "tests/CMakeFiles/test_machine_programs.dir/test_machine_programs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/avrgen/CMakeFiles/jaavr_avrgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nt/CMakeFiles/jaavr_nt.dir/DependInfo.cmake"
+  "/root/repo/build/src/avr/CMakeFiles/jaavr_avr.dir/DependInfo.cmake"
+  "/root/repo/build/src/avrasm/CMakeFiles/jaavr_avrasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/jaavr_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/jaavr_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jaavr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_montgomery_domain.dir/test_montgomery_domain.cc.o"
+  "CMakeFiles/test_montgomery_domain.dir/test_montgomery_domain.cc.o.d"
+  "test_montgomery_domain"
+  "test_montgomery_domain.pdb"
+  "test_montgomery_domain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_montgomery_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

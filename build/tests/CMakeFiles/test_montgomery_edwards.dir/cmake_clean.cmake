@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_montgomery_edwards.dir/test_montgomery_edwards.cc.o"
+  "CMakeFiles/test_montgomery_edwards.dir/test_montgomery_edwards.cc.o.d"
+  "test_montgomery_edwards"
+  "test_montgomery_edwards.pdb"
+  "test_montgomery_edwards[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_montgomery_edwards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

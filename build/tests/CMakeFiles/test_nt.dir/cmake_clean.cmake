@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nt.dir/test_nt.cc.o"
+  "CMakeFiles/test_nt.dir/test_nt.cc.o.d"
+  "test_nt"
+  "test_nt.pdb"
+  "test_nt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

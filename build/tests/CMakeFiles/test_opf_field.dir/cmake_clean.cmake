@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opf_field.dir/test_opf_field.cc.o"
+  "CMakeFiles/test_opf_field.dir/test_opf_field.cc.o.d"
+  "test_opf_field"
+  "test_opf_field.pdb"
+  "test_opf_field[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opf_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

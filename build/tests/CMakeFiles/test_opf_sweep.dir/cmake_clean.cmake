@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opf_sweep.dir/test_opf_sweep.cc.o"
+  "CMakeFiles/test_opf_sweep.dir/test_opf_sweep.cc.o.d"
+  "test_opf_sweep"
+  "test_opf_sweep.pdb"
+  "test_opf_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recode.dir/test_recode.cc.o"
+  "CMakeFiles/test_recode.dir/test_recode.cc.o.d"
+  "test_recode"
+  "test_recode.pdb"
+  "test_recode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secp160_asm.dir/test_secp160_asm.cc.o"
+  "CMakeFiles/test_secp160_asm.dir/test_secp160_asm.cc.o.d"
+  "test_secp160_asm"
+  "test_secp160_asm.pdb"
+  "test_secp160_asm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secp160_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weierstrass.dir/test_weierstrass.cc.o"
+  "CMakeFiles/test_weierstrass.dir/test_weierstrass.cc.o.d"
+  "test_weierstrass"
+  "test_weierstrass.pdb"
+  "test_weierstrass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weierstrass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

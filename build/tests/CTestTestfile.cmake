@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_big_uint[1]_include.cmake")
+include("/root/repo/build/tests/test_big_int[1]_include.cmake")
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_nt[1]_include.cmake")
+include("/root/repo/build/tests/test_prime_field[1]_include.cmake")
+include("/root/repo/build/tests/test_opf_field[1]_include.cmake")
+include("/root/repo/build/tests/test_recode[1]_include.cmake")
+include("/root/repo/build/tests/test_weierstrass[1]_include.cmake")
+include("/root/repo/build/tests/test_montgomery_edwards[1]_include.cmake")
+include("/root/repo/build/tests/test_glv[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_mac_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_avrgen[1]_include.cmake")
+include("/root/repo/build/tests/test_sha256[1]_include.cmake")
+include("/root/repo/build/tests/test_ecdsa[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_montgomery_domain[1]_include.cmake")
+include("/root/repo/build/tests/test_opf_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_programs[1]_include.cmake")
+include("/root/repo/build/tests/test_secp160_asm[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_alu_exhaustive[1]_include.cmake")
