@@ -11,6 +11,7 @@
 #ifndef JAAVR_AVR_ISA_HH
 #define JAAVR_AVR_ISA_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -52,6 +53,9 @@ enum class Op : uint8_t
 
     INVALID,
 };
+
+/** Number of Op values (INVALID included); sizes per-op tables. */
+constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::INVALID) + 1;
 
 /** Decoded instruction. */
 struct Inst

@@ -1,15 +1,136 @@
 #include "avr/machine.hh"
 
+#include <cstdlib>
+
 #include "support/logging.hh"
 
 namespace jaavr
 {
 
+namespace
+{
+
+bool
+envForceReference()
+{
+    const char *v = std::getenv("JAAVR_ISS_REFERENCE");
+    return v && *v && *v != '0';
+}
+
+// SREG bit masks (indices as in Machine: C Z N V S H T I).
+constexpr uint8_t mC = 0x01, mZ = 0x02, mN = 0x04, mV = 0x08,
+                  mS = 0x10, mH = 0x20;
+
+/*
+ * Branchless equivalents of the Machine's setFlag-based helpers,
+ * used only by the predecoded fast path: one read-modify-write of
+ * SREG per instruction instead of one per flag. The reference path
+ * keeps the original helpers; tests/test_decode_cache.cc pins the
+ * two to bit-identical SREG values.
+ */
+
+/** addFlags(): writes H, S, V, N, Z, C. */
+inline void
+addFlagsB(uint8_t &sreg, uint8_t d, uint8_t s, uint8_t r)
+{
+    uint8_t carries = (d & s) | (s & ~r) | (~r & d);
+    uint8_t ovf = (d & s & ~r) | (~d & ~s & r);
+    uint8_t n = (r >> 7) & 1;
+    uint8_t v = (ovf >> 7) & 1;
+    uint8_t f = static_cast<uint8_t>((carries >> 7) & 1);      // C
+    f |= static_cast<uint8_t>(r == 0) << 1;                    // Z
+    f |= n << 2;                                               // N
+    f |= v << 3;                                               // V
+    f |= (n ^ v) << 4;                                         // S
+    f |= ((carries >> 3) & 1) << 5;                            // H
+    sreg = (sreg & 0xc0) | f;
+}
+
+/** subFlags(): writes H, S, V, N, Z, C; Z sticky when @p keep_z. */
+inline void
+subFlagsB(uint8_t &sreg, uint8_t d, uint8_t s, uint8_t r, bool keep_z)
+{
+    uint8_t borrows = (~d & s) | (s & r) | (r & ~d);
+    uint8_t ovf = (d & ~s & ~r) | (~d & s & r);
+    uint8_t n = (r >> 7) & 1;
+    uint8_t v = (ovf >> 7) & 1;
+    uint8_t z = static_cast<uint8_t>(r == 0);
+    if (keep_z)  // constant at every call site
+        z &= (sreg >> 1) & 1;
+    uint8_t f = static_cast<uint8_t>((borrows >> 7) & 1);
+    f |= z << 1;
+    f |= n << 2;
+    f |= v << 3;
+    f |= (n ^ v) << 4;
+    f |= ((borrows >> 3) & 1) << 5;
+    sreg = (sreg & 0xc0) | f;
+}
+
+/** AND/OR/EOR flags: V=0, S=N, plus N and Z; C and H untouched. */
+inline void
+logicFlagsB(uint8_t &sreg, uint8_t r)
+{
+    uint8_t n = (r >> 7) & 1;
+    uint8_t f = static_cast<uint8_t>(static_cast<uint8_t>(r == 0) << 1 |
+                                     n << 2 | n << 4);
+    sreg = (sreg & ~(mZ | mN | mV | mS)) | f;
+}
+
+/** INC/DEC flags: S, V (given), N, Z; C and H untouched. */
+inline void
+incDecFlagsB(uint8_t &sreg, uint8_t r, bool v)
+{
+    uint8_t n = (r >> 7) & 1;
+    uint8_t vb = v ? 1 : 0;
+    uint8_t f = static_cast<uint8_t>(static_cast<uint8_t>(r == 0) << 1 |
+                                     n << 2 | vb << 3 | (n ^ vb) << 4);
+    sreg = (sreg & ~(mZ | mN | mV | mS)) | f;
+}
+
+/** ASR/LSR/ROR flags: S, V=N^C, N, Z, C; H untouched. */
+inline void
+shiftFlagsB(uint8_t &sreg, uint8_t r, uint8_t carry_bit)
+{
+    uint8_t n = (r >> 7) & 1;
+    uint8_t c = carry_bit & 1;
+    uint8_t v = n ^ c;
+    uint8_t f = static_cast<uint8_t>(c | static_cast<uint8_t>(r == 0) << 1 |
+                                     n << 2 | v << 3 | (n ^ v) << 4);
+    sreg = (sreg & ~(mC | mZ | mN | mV | mS)) | f;
+}
+
+/** ADIW/SBIW flags on the 16-bit result: S, V, N, Z, C; H untouched. */
+inline void
+wideFlagsB(uint8_t &sreg, uint16_t r, bool v, bool c)
+{
+    uint8_t n = (r >> 15) & 1;
+    uint8_t vb = v ? 1 : 0;
+    uint8_t f = static_cast<uint8_t>((c ? 1 : 0) |
+                                     static_cast<uint8_t>(r == 0) << 1 |
+                                     n << 2 | vb << 3 | (n ^ vb) << 4);
+    sreg = (sreg & ~(mC | mZ | mN | mV | mS)) | f;
+}
+
+/** MUL/MULS/MULSU/FMUL* flags: Z and C only. */
+inline void
+mulFlagsB(uint8_t &sreg, uint16_t product, bool carry)
+{
+    uint8_t f = static_cast<uint8_t>((carry ? 1 : 0) |
+                                     static_cast<uint8_t>(product == 0)
+                                         << 1);
+    sreg = (sreg & ~(mC | mZ)) | f;
+}
+
+} // anonymous namespace
+
 Machine::Machine(CpuMode mode)
-    : cpuMode(mode),
+    : forceReference(envForceReference()),
+      cpuMode(mode),
       sram(dataSpace - sramBase, 0),
       flash(flashWords, 0xffff)
 {
+    // Erased flash is uniform, so one decode fills the whole cache.
+    decodeCache.assign(flashWords, makeDecoded(0xffff, 0xffff));
     reset();
 }
 
@@ -20,6 +141,30 @@ Machine::loadProgram(const std::vector<uint16_t> &words, uint32_t word_addr)
         fatal("Machine::loadProgram: program does not fit in flash");
     for (size_t i = 0; i < words.size(); i++)
         flash[word_addr + i] = words[i];
+    // Refresh the predecode cache over [word_addr - 1, word_addr + n):
+    // the preceding word is included because the store may have
+    // changed its two-word operand.
+    for (size_t i = 0; i <= words.size(); i++) {
+        uint32_t a = (word_addr + static_cast<uint32_t>(i) - 1) &
+                     (flashWords - 1);
+        decodeCache[a] = makeDecoded(flash[a], fetch(a + 1));
+    }
+}
+
+DecodedInst
+Machine::makeDecoded(uint16_t w0, uint16_t w1) const
+{
+    DecodedInst d;
+    d.inst = decode(w0, w1);
+    d.cycles = baseCycleTable(cpuMode)[static_cast<size_t>(d.inst.op)];
+    d.touchesMac = touchesMacRegs(d.inst);
+    d.macLoadForm =
+        d.inst.rd == 24 &&
+        (d.inst.op == Op::LDD_Y || d.inst.op == Op::LDD_Z ||
+         d.inst.op == Op::LD_X || d.inst.op == Op::LD_X_INC ||
+         d.inst.op == Op::LD_Y_INC || d.inst.op == Op::LD_Z_INC ||
+         d.inst.op == Op::LDS);
+    return d;
 }
 
 void
@@ -741,20 +886,644 @@ Machine::step()
     return cycles;
 }
 
+void
+Machine::runReference(uint64_t max_cycles)
+{
+    uint64_t start = execStats.cycles;
+    while (pcWord != exitAddress) {
+        step();
+        if (execStats.cycles - start >= max_cycles)
+            panic("Machine::run: cycle budget exceeded "
+                  "(pc=0x%x, %llu cycles)", pcWord,
+                  static_cast<unsigned long long>(execStats.cycles - start));
+    }
+}
+
+/**
+ * The predecoded fast path: executes from the decode cache with the
+ * trace branch removed, the MAC shadow logic compiled out unless
+ * @p Ise, and the instruction/cycle counters batched in locals that
+ * are flushed on every exit (including the panic exits, so observed
+ * state is always consistent with the reference path).
+ *
+ * The instruction semantics below mirror step() case for case;
+ * tests/test_decode_cache.cc pins the two paths to identical
+ * architectural state and cycle counts.
+ */
+template <bool Ise>
+void
+Machine::runFast(uint64_t max_cycles)
+{
+    uint64_t consumed = 0;
+    uint64_t insts = 0;
+    uint32_t pc = pcWord;
+
+    /*
+     * Hot state lives in locals: byte stores into the simulated SRAM
+     * may alias any member through the uint8_t* (char aliasing), so
+     * member accesses cannot be cached across them by the compiler.
+     * SREG in particular is read and written by nearly every ALU
+     * instruction; the local copy keeps it in a host register.
+     */
+    uint8_t sreg = sregBits;
+    std::array<uint8_t, 32> r8 = regs;
+    std::array<uint32_t, kNumOps> op_count{};
+    // ISE-only hot state; dead (and optimized out) when !Ise.
+    [[maybe_unused]] uint8_t maccr = io[ioMaccr];
+    [[maybe_unused]] uint8_t shadow = macUnit.pendingShadow();
+    const DecodedInst *const cache = decodeCache.data();
+    uint8_t *const sram_data = sram.data();
+
+    auto pair = [&](unsigned i) -> uint16_t {
+        return static_cast<uint16_t>(r8[i]) |
+               (static_cast<uint16_t>(r8[i + 1]) << 8);
+    };
+    auto setPair = [&](unsigned i, uint16_t v) {
+        r8[i] = static_cast<uint8_t>(v);
+        r8[i + 1] = static_cast<uint8_t>(v >> 8);
+    };
+
+    // Delta-based so the periodic mid-loop flush cannot double-count.
+    uint64_t flushed_insts = 0;
+    uint64_t flushed_cycles = 0;
+    auto flush = [&] {
+        execStats.instructions += insts - flushed_insts;
+        execStats.cycles += consumed - flushed_cycles;
+        flushed_insts = insts;
+        flushed_cycles = consumed;
+        pcWord = pc & 0xffff;
+        sregBits = sreg;
+        regs = r8;
+        for (size_t i = 0; i < kNumOps; i++)
+            execStats.opCount[i] += op_count[i];
+        op_count.fill(0);
+        if constexpr (Ise)
+            macUnit.setPendingShadow(shadow);
+    };
+
+    // Data-space access with the SRAM case inlined; the register/IO
+    // fallback syncs the local SREG around readData/writeData, which
+    // can read or write SREG at data address 0x5f.
+    auto loadMem = [&](uint16_t a) -> uint8_t {
+        if (a >= sramBase) [[likely]]
+            return sram_data[a - sramBase];
+        sregBits = sreg;
+        regs = r8;
+        uint8_t v = readData(a);
+        sreg = sregBits;
+        r8 = regs;
+        return v;
+    };
+    auto storeMem = [&](uint16_t a, uint8_t v) {
+        if (a >= sramBase) [[likely]] {
+            sram_data[a - sramBase] = v;
+            return;
+        }
+        sregBits = sreg;
+        regs = r8;
+        if constexpr (Ise)
+            macUnit.setPendingShadow(shadow);
+        writeData(a, v);
+        sreg = sregBits;
+        r8 = regs;
+        if constexpr (Ise) {
+            maccr = io[ioMaccr];
+            shadow = macUnit.pendingShadow();
+        }
+    };
+    auto ioRead = [&](uint8_t ioaddr) -> uint8_t {
+        sregBits = sreg;
+        regs = r8;
+        uint8_t v = readData(ioBase + ioaddr);
+        sreg = sregBits;
+        r8 = regs;
+        return v;
+    };
+    auto ioWrite = [&](uint8_t ioaddr, uint8_t v) {
+        sregBits = sreg;
+        regs = r8;
+        if constexpr (Ise)
+            macUnit.setPendingShadow(shadow);
+        writeData(ioBase + ioaddr, v);
+        sreg = sregBits;
+        r8 = regs;
+        if constexpr (Ise) {
+            maccr = io[ioMaccr];
+            shadow = macUnit.pendingShadow();
+        }
+    };
+    auto pushB = [&](uint8_t v) {
+        storeMem(sp(), v);
+        setSp(sp() - 1);
+    };
+    auto popB = [&]() -> uint8_t {
+        setSp(sp() + 1);
+        return loadMem(sp());
+    };
+    auto pushRet = [&](uint32_t ret) {
+        pushB(static_cast<uint8_t>(ret));
+        pushB(static_cast<uint8_t>(ret >> 8));
+    };
+    auto popRet = [&]() -> uint32_t {
+        uint32_t hi = popB();
+        uint32_t lo = popB();
+        return (hi << 8) | lo;
+    };
+
+    while (pc != exitAddress) {
+        const DecodedInst &dc = cache[pc & (flashWords - 1)];
+        const Inst &inst = dc.inst;
+
+        if (inst.op == Op::INVALID) {
+            flush();
+            panic("invalid opcode 0x%04x at pc=0x%x",
+                  flash[pc & (flashWords - 1)], pc);
+        }
+
+        [[maybe_unused]] bool load_mac = false;
+        [[maybe_unused]] bool swap_mac = false;
+        if constexpr (Ise) {
+            load_mac = maccr & MacUnit::ctrlLoadMode;
+            swap_mac = maccr & MacUnit::ctrlSwapMode;
+            bool is_r24_load = load_mac && dc.macLoadForm;
+            if (shadow > 0 && dc.touchesMac && !is_r24_load) {
+                flush();
+                panic("MAC hazard: '%s' touches R0-R8/R16-R19 in the MAC "
+                      "shadow (pc=0x%x)", disassemble(inst).c_str(), pc);
+            }
+            if (shadow >= 2 && is_r24_load) {
+                flush();
+                panic("MAC hazard: back-to-back Algorithm-2 triggers "
+                      "(pc=0x%x)", pc);
+            }
+        }
+
+        uint32_t next_pc = pc + inst.words;
+        unsigned cycles = dc.cycles;
+        [[maybe_unused]] bool mac_triggered = false;
+
+        auto ld_trigger = [&]([[maybe_unused]] uint8_t v,
+                              [[maybe_unused]] uint8_t rd) {
+            if constexpr (Ise) {
+                if (load_mac && rd == 24) {
+                    // triggerLoadMac() on the local register file
+                    macUnit.mac(r8, v & 0x0f);
+                    macUnit.mac(r8, v >> 4);
+                    mac_triggered = true;
+                }
+            }
+        };
+
+        switch (inst.op) {
+          case Op::ADD: {
+            uint8_t d = r8[inst.rd], s = r8[inst.rr];
+            uint8_t r = d + s;
+            r8[inst.rd] = r;
+            addFlagsB(sreg, d, s, r);
+            break;
+          }
+          case Op::ADC: {
+            uint8_t d = r8[inst.rd], s = r8[inst.rr];
+            uint8_t r = d + s + (sreg & mC);
+            r8[inst.rd] = r;
+            addFlagsB(sreg, d, s, r);
+            break;
+          }
+          case Op::SUB: {
+            uint8_t d = r8[inst.rd], s = r8[inst.rr];
+            uint8_t r = d - s;
+            r8[inst.rd] = r;
+            subFlagsB(sreg, d, s, r, false);
+            break;
+          }
+          case Op::SBC: {
+            uint8_t d = r8[inst.rd], s = r8[inst.rr];
+            uint8_t r = d - s - (sreg & mC);
+            r8[inst.rd] = r;
+            subFlagsB(sreg, d, s, r, true);
+            break;
+          }
+          case Op::SUBI: {
+            uint8_t d = r8[inst.rd];
+            uint8_t r = d - inst.imm;
+            r8[inst.rd] = r;
+            subFlagsB(sreg, d, inst.imm, r, false);
+            break;
+          }
+          case Op::SBCI: {
+            uint8_t d = r8[inst.rd];
+            uint8_t r = d - inst.imm - (sreg & mC);
+            r8[inst.rd] = r;
+            subFlagsB(sreg, d, inst.imm, r, true);
+            break;
+          }
+          case Op::CP: {
+            uint8_t d = r8[inst.rd], s = r8[inst.rr];
+            subFlagsB(sreg, d, s, d - s, false);
+            break;
+          }
+          case Op::CPC: {
+            uint8_t d = r8[inst.rd], s = r8[inst.rr];
+            uint8_t r = d - s - (sreg & mC);
+            subFlagsB(sreg, d, s, r, true);
+            break;
+          }
+          case Op::CPI: {
+            uint8_t d = r8[inst.rd];
+            subFlagsB(sreg, d, inst.imm, d - inst.imm, false);
+            break;
+          }
+          case Op::AND: case Op::ANDI: {
+            uint8_t s = inst.op == Op::AND ? r8[inst.rr] : inst.imm;
+            uint8_t r = r8[inst.rd] & s;
+            r8[inst.rd] = r;
+            logicFlagsB(sreg, r);
+            break;
+          }
+          case Op::OR: case Op::ORI: {
+            uint8_t s = inst.op == Op::OR ? r8[inst.rr] : inst.imm;
+            uint8_t r = r8[inst.rd] | s;
+            r8[inst.rd] = r;
+            logicFlagsB(sreg, r);
+            break;
+          }
+          case Op::EOR: {
+            uint8_t r = r8[inst.rd] ^ r8[inst.rr];
+            r8[inst.rd] = r;
+            logicFlagsB(sreg, r);
+            break;
+          }
+          case Op::MOV:
+            r8[inst.rd] = r8[inst.rr];
+            break;
+          case Op::MOVW:
+            r8[inst.rd] = r8[inst.rr];
+            r8[inst.rd + 1] = r8[inst.rr + 1];
+            break;
+          case Op::LDI:
+            r8[inst.rd] = inst.imm;
+            break;
+          case Op::ADIW: {
+            uint16_t d = pair(inst.rd);
+            uint16_t r = d + inst.imm;
+            setPair(inst.rd, r);
+            wideFlagsB(sreg, r, !(d & 0x8000) && (r & 0x8000),
+                       !(r & 0x8000) && (d & 0x8000));
+            break;
+          }
+          case Op::SBIW: {
+            uint16_t d = pair(inst.rd);
+            uint16_t r = d - inst.imm;
+            setPair(inst.rd, r);
+            wideFlagsB(sreg, r, (d & 0x8000) && !(r & 0x8000),
+                       (r & 0x8000) && !(d & 0x8000));
+            break;
+          }
+          case Op::MUL: {
+            uint16_t p =
+                static_cast<uint16_t>(r8[inst.rd]) * r8[inst.rr];
+            r8[0] = static_cast<uint8_t>(p);
+            r8[1] = static_cast<uint8_t>(p >> 8);
+            mulFlagsB(sreg, p, p & 0x8000);
+            break;
+          }
+          case Op::MULS: {
+            int16_t p =
+                static_cast<int16_t>(static_cast<int8_t>(r8[inst.rd])) *
+                static_cast<int8_t>(r8[inst.rr]);
+            uint16_t u = static_cast<uint16_t>(p);
+            r8[0] = static_cast<uint8_t>(u);
+            r8[1] = static_cast<uint8_t>(u >> 8);
+            mulFlagsB(sreg, u, u & 0x8000);
+            break;
+          }
+          case Op::MULSU: {
+            int16_t p =
+                static_cast<int16_t>(static_cast<int8_t>(r8[inst.rd])) *
+                static_cast<uint8_t>(r8[inst.rr]);
+            uint16_t u = static_cast<uint16_t>(p);
+            r8[0] = static_cast<uint8_t>(u);
+            r8[1] = static_cast<uint8_t>(u >> 8);
+            mulFlagsB(sreg, u, u & 0x8000);
+            break;
+          }
+          case Op::FMUL: case Op::FMULS: case Op::FMULSU: {
+            int32_t p;
+            if (inst.op == Op::FMUL)
+                p = static_cast<uint16_t>(r8[inst.rd]) * r8[inst.rr];
+            else if (inst.op == Op::FMULS)
+                p = static_cast<int8_t>(r8[inst.rd]) *
+                    static_cast<int8_t>(r8[inst.rr]);
+            else
+                p = static_cast<int8_t>(r8[inst.rd]) * r8[inst.rr];
+            uint16_t u = static_cast<uint16_t>(p);
+            bool c = u & 0x8000;
+            u <<= 1;
+            r8[0] = static_cast<uint8_t>(u);
+            r8[1] = static_cast<uint8_t>(u >> 8);
+            mulFlagsB(sreg, u, c);
+            break;
+          }
+          case Op::COM: {
+            uint8_t r = ~r8[inst.rd];
+            r8[inst.rd] = r;
+            uint8_t n = (r >> 7) & 1;
+            sreg = (sreg & ~(mC | mZ | mN | mV | mS)) | mC |
+                   static_cast<uint8_t>(r == 0) << 1 | n << 2 | n << 4;
+            break;
+          }
+          case Op::NEG: {
+            uint8_t d = r8[inst.rd];
+            uint8_t r = -d;
+            r8[inst.rd] = r;
+            subFlagsB(sreg, 0, d, r, false);
+            break;
+          }
+          case Op::SWAP: {
+            uint8_t d = r8[inst.rd];
+            if constexpr (Ise) {
+                if (swap_mac)
+                    macUnit.mac(r8, d & 0x0f);
+            }
+            r8[inst.rd] = static_cast<uint8_t>((d << 4) | (d >> 4));
+            break;
+          }
+          case Op::INC: {
+            uint8_t r = r8[inst.rd] + 1;
+            r8[inst.rd] = r;
+            incDecFlagsB(sreg, r, r == 0x80);
+            break;
+          }
+          case Op::DEC: {
+            uint8_t r = r8[inst.rd] - 1;
+            r8[inst.rd] = r;
+            incDecFlagsB(sreg, r, r == 0x7f);
+            break;
+          }
+          case Op::ASR: {
+            uint8_t d = r8[inst.rd];
+            uint8_t r = static_cast<uint8_t>((d >> 1) | (d & 0x80));
+            r8[inst.rd] = r;
+            shiftFlagsB(sreg, r, d & 1);
+            break;
+          }
+          case Op::LSR: {
+            uint8_t d = r8[inst.rd];
+            uint8_t r = d >> 1;
+            r8[inst.rd] = r;
+            shiftFlagsB(sreg, r, d & 1);
+            break;
+          }
+          case Op::ROR: {
+            uint8_t d = r8[inst.rd];
+            uint8_t r = static_cast<uint8_t>(
+                (d >> 1) | (static_cast<unsigned>(sreg & mC) << 7));
+            r8[inst.rd] = r;
+            shiftFlagsB(sreg, r, d & 1);
+            break;
+          }
+          case Op::BSET:
+            sreg |= static_cast<uint8_t>(1u << inst.bit);
+            break;
+          case Op::BCLR:
+            sreg &= static_cast<uint8_t>(~(1u << inst.bit));
+            break;
+          case Op::BLD:
+            if (sreg & (1u << fT))
+                r8[inst.rd] |= 1u << inst.bit;
+            else
+                r8[inst.rd] &= ~(1u << inst.bit);
+            break;
+          case Op::BST:
+            sreg = static_cast<uint8_t>(
+                (sreg & ~(1u << fT)) |
+                (((r8[inst.rd] >> inst.bit) & 1u) << fT));
+            break;
+          case Op::SBI:
+            ioWrite(inst.imm, ioRead(inst.imm) | (1u << inst.bit));
+            break;
+          case Op::CBI:
+            ioWrite(inst.imm, ioRead(inst.imm) & ~(1u << inst.bit));
+            break;
+          case Op::SBIC: case Op::SBIS: {
+            bool bit = ioRead(inst.imm) & (1u << inst.bit);
+            bool skip = inst.op == Op::SBIS ? bit : !bit;
+            if (skip) {
+                bool two =
+                    cache[next_pc & (flashWords - 1)].inst.words == 2;
+                cycles += skipExtra(two);
+                next_pc += two ? 2 : 1;
+            }
+            break;
+          }
+          case Op::IN:
+            r8[inst.rd] = ioRead(inst.imm);
+            break;
+          case Op::OUT:
+            ioWrite(inst.imm, r8[inst.rd]);
+            break;
+
+          case Op::LD_X: case Op::LD_X_INC: case Op::LD_X_DEC: {
+            uint16_t a = pair(26);
+            if (inst.op == Op::LD_X_DEC)
+                setPair(26, --a);
+            uint8_t v = loadMem(a);
+            r8[inst.rd] = v;
+            if (inst.op == Op::LD_X_INC)
+                setPair(26, a + 1);
+            ld_trigger(v, inst.rd);
+            break;
+          }
+          case Op::LD_Y_INC: case Op::LD_Y_DEC: case Op::LDD_Y: {
+            uint16_t a = pair(28);
+            if (inst.op == Op::LD_Y_DEC)
+                setPair(28, --a);
+            else if (inst.op == Op::LDD_Y)
+                a += inst.disp;
+            uint8_t v = loadMem(a);
+            r8[inst.rd] = v;
+            if (inst.op == Op::LD_Y_INC)
+                setPair(28, a + 1);
+            ld_trigger(v, inst.rd);
+            break;
+          }
+          case Op::LD_Z_INC: case Op::LD_Z_DEC: case Op::LDD_Z: {
+            uint16_t a = pair(30);
+            if (inst.op == Op::LD_Z_DEC)
+                setPair(30, --a);
+            else if (inst.op == Op::LDD_Z)
+                a += inst.disp;
+            uint8_t v = loadMem(a);
+            r8[inst.rd] = v;
+            if (inst.op == Op::LD_Z_INC)
+                setPair(30, a + 1);
+            ld_trigger(v, inst.rd);
+            break;
+          }
+          case Op::LDS: {
+            uint8_t v = loadMem(static_cast<uint16_t>(inst.k));
+            r8[inst.rd] = v;
+            ld_trigger(v, inst.rd);
+            break;
+          }
+          case Op::ST_X: case Op::ST_X_INC: case Op::ST_X_DEC: {
+            uint16_t a = pair(26);
+            if (inst.op == Op::ST_X_DEC)
+                setPair(26, --a);
+            storeMem(a, r8[inst.rd]);
+            if (inst.op == Op::ST_X_INC)
+                setPair(26, a + 1);
+            break;
+          }
+          case Op::ST_Y_INC: case Op::ST_Y_DEC: case Op::STD_Y: {
+            uint16_t a = pair(28);
+            if (inst.op == Op::ST_Y_DEC)
+                setPair(28, --a);
+            else if (inst.op == Op::STD_Y)
+                a += inst.disp;
+            storeMem(a, r8[inst.rd]);
+            if (inst.op == Op::ST_Y_INC)
+                setPair(28, a + 1);
+            break;
+          }
+          case Op::ST_Z_INC: case Op::ST_Z_DEC: case Op::STD_Z: {
+            uint16_t a = pair(30);
+            if (inst.op == Op::ST_Z_DEC)
+                setPair(30, --a);
+            else if (inst.op == Op::STD_Z)
+                a += inst.disp;
+            storeMem(a, r8[inst.rd]);
+            if (inst.op == Op::ST_Z_INC)
+                setPair(30, a + 1);
+            break;
+          }
+          case Op::STS:
+            storeMem(static_cast<uint16_t>(inst.k), r8[inst.rd]);
+            break;
+          case Op::PUSH:
+            pushB(r8[inst.rd]);
+            break;
+          case Op::POP:
+            r8[inst.rd] = popB();
+            break;
+          case Op::LPM_R0: case Op::LPM: case Op::LPM_INC: {
+            uint16_t a = pair(30);
+            uint16_t w = flash[(a >> 1) & (flashWords - 1)];
+            uint8_t v = (a & 1) ? static_cast<uint8_t>(w >> 8)
+                                : static_cast<uint8_t>(w);
+            uint8_t rd = inst.op == Op::LPM_R0 ? 0 : inst.rd;
+            r8[rd] = v;
+            if (inst.op == Op::LPM_INC)
+                setPair(30, a + 1);
+            break;
+          }
+
+          case Op::RJMP:
+            next_pc = pc + 1 + inst.disp;
+            break;
+          case Op::RCALL:
+            pushRet(pc + 1);
+            next_pc = pc + 1 + inst.disp;
+            break;
+          case Op::JMP:
+            next_pc = inst.k;
+            break;
+          case Op::CALL:
+            pushRet(pc + 2);
+            next_pc = inst.k;
+            break;
+          case Op::IJMP:
+            next_pc = pair(30);
+            break;
+          case Op::ICALL:
+            pushRet(pc + 1);
+            next_pc = pair(30);
+            break;
+          case Op::RET: case Op::RETI:
+            next_pc = popRet();
+            if (inst.op == Op::RETI)
+                sreg |= static_cast<uint8_t>(1u << fI);
+            break;
+          case Op::BRBS:
+            if ((sreg >> inst.bit) & 1) {
+                next_pc = pc + 1 + inst.disp;
+                cycles += branchTakenExtra;
+            }
+            break;
+          case Op::BRBC:
+            if (!((sreg >> inst.bit) & 1)) {
+                next_pc = pc + 1 + inst.disp;
+                cycles += branchTakenExtra;
+            }
+            break;
+          case Op::CPSE: case Op::SBRC: case Op::SBRS: {
+            bool skip;
+            if (inst.op == Op::CPSE)
+                skip = r8[inst.rd] == r8[inst.rr];
+            else if (inst.op == Op::SBRC)
+                skip = !(r8[inst.rd] & (1u << inst.bit));
+            else
+                skip = r8[inst.rd] & (1u << inst.bit);
+            if (skip) {
+                bool two =
+                    cache[next_pc & (flashWords - 1)].inst.words == 2;
+                cycles += skipExtra(two);
+                next_pc += two ? 2 : 1;
+            }
+            break;
+          }
+
+          case Op::NOP: case Op::SLEEP: case Op::WDR: case Op::BREAK:
+            break;
+
+          case Op::INVALID:
+            break;
+        }
+
+        if constexpr (Ise) {
+            if (mac_triggered)
+                shadow = 2;
+            else
+                shadow = shadow > cycles
+                             ? shadow - static_cast<uint8_t>(cycles)
+                             : 0;
+        }
+
+        pc = next_pc & 0xffff;
+        op_count[static_cast<size_t>(inst.op)]++;
+        insts++;
+        consumed += cycles;
+        if ((insts & 0xffffffu) == 0)
+            flush();  // keep the 32-bit op_count entries from saturating
+        if (consumed >= max_cycles) {
+            flush();
+            panic("Machine::run: cycle budget exceeded "
+                  "(pc=0x%x, %llu cycles)", pc,
+                  static_cast<unsigned long long>(consumed));
+        }
+    }
+    flush();
+}
+
+uint64_t
+Machine::run(uint64_t max_cycles)
+{
+    uint64_t start = execStats.cycles;
+    if (trace || forceReference)
+        runReference(max_cycles);
+    else if (cpuMode == CpuMode::ISE)
+        runFast<true>(max_cycles);
+    else
+        runFast<false>(max_cycles);
+    return execStats.cycles - start;
+}
+
 uint64_t
 Machine::call(uint32_t word_addr, uint64_t max_cycles)
 {
     pushPc(exitAddress);
     pcWord = word_addr & 0xffff;
-    uint64_t start = execStats.cycles;
-    while (pcWord != exitAddress) {
-        step();
-        if (execStats.cycles - start > max_cycles)
-            panic("Machine::call: cycle budget exceeded "
-                  "(pc=0x%x, %llu cycles)", pcWord,
-                  static_cast<unsigned long long>(execStats.cycles - start));
-    }
-    return execStats.cycles - start;
+    return run(max_cycles);
 }
 
 } // namespace jaavr

@@ -28,7 +28,7 @@ namespace jaavr
 /** Per-mnemonic execution statistics. */
 struct ExecStats
 {
-    std::array<uint64_t, static_cast<size_t>(Op::INVALID) + 1> opCount{};
+    std::array<uint64_t, kNumOps> opCount{};
     uint64_t instructions = 0;
     uint64_t cycles = 0;
 
@@ -38,6 +38,22 @@ struct ExecStats
     }
 
     void reset() { *this = ExecStats(); }
+};
+
+/**
+ * One predecoded flash word: the decoded instruction plus everything
+ * the run loop would otherwise recompute per dynamic instruction
+ * (base cycle cost for the machine's mode, MAC hazard metadata).
+ * The Machine keeps one of these per flash word, refreshed
+ * incrementally by loadProgram(); see DESIGN.md, "ISS execution
+ * pipeline".
+ */
+struct DecodedInst
+{
+    Inst inst;
+    uint8_t cycles = 1;       ///< baseCycles(inst.op, mode)
+    bool touchesMac = false;  ///< reads/writes {R0..R8, R16..R19}
+    bool macLoadForm = false; ///< Algorithm-2 trigger shape (load to R24)
 };
 
 class Machine
@@ -97,15 +113,45 @@ class Machine
 
     // --- Execution ---------------------------------------------------
 
-    /** Execute one instruction; returns its cycle cost. */
+    /** Default runaway-program cycle budget for run()/call(). */
+    static constexpr uint64_t defaultCycleBudget = 100000000ULL;
+
+    /**
+     * Execute one instruction; returns its cycle cost.
+     *
+     * This is the *reference* path: it re-fetches and re-decodes the
+     * flash words on every call and evaluates the mode/trace/MAC
+     * branches at run time. run() normally executes through the
+     * predecoded fast path instead and is validated against this
+     * implementation (tests/test_decode_cache.cc).
+     */
     unsigned step();
+
+    /**
+     * Run from the current PC until it reaches exitAddress; returns
+     * the consumed cycles. Panics once @p max_cycles cycles have been
+     * consumed (>= semantics: consuming exactly the budget panics,
+     * identically on the fast and reference paths).
+     *
+     * Dispatches to a mode-specialized predecoded loop unless trace
+     * or forceReference is set, which select the step()-based
+     * reference loop.
+     */
+    uint64_t run(uint64_t max_cycles = defaultCycleBudget);
 
     /**
      * Call the routine at @p word_addr: pushes the exit sentinel,
      * runs until the matching RET, returns the consumed cycles.
-     * Panics if @p max_cycles is exceeded (runaway program).
+     * Budget semantics as in run().
      */
-    uint64_t call(uint32_t word_addr, uint64_t max_cycles = 100000000ULL);
+    uint64_t call(uint32_t word_addr,
+                  uint64_t max_cycles = defaultCycleBudget);
+
+    /** Predecoded view of flash word @p word_addr (fast-path source). */
+    const DecodedInst &decoded(uint32_t word_addr) const
+    {
+        return decodeCache[word_addr & (flashWords - 1)];
+    }
 
     const ExecStats &stats() const { return execStats; }
     void resetStats() { execStats.reset(); }
@@ -114,6 +160,13 @@ class Machine
 
     /** Enable per-instruction tracing to stderr. */
     bool trace = false;
+
+    /**
+     * Force run()/call() onto the per-step decode reference path
+     * (benchmark baseline; also settable via JAAVR_ISS_REFERENCE=1
+     * in the environment).
+     */
+    bool forceReference;
 
   private:
     // SREG bit indices.
@@ -140,11 +193,21 @@ class Machine
 
     uint16_t fetch(uint32_t word_addr) const;
 
+    /** Predecode the flash word pair at @p w0/@p w1 (cache fill). */
+    DecodedInst makeDecoded(uint16_t w0, uint16_t w1) const;
+
+    /** Reference run loop: step() per instruction. */
+    void runReference(uint64_t max_cycles);
+
+    /** Predecoded, mode-specialized run loop (the fast path). */
+    template <bool Ise> void runFast(uint64_t max_cycles);
+
     CpuMode cpuMode;
     std::array<uint8_t, 32> regs{};
     std::array<uint8_t, 0x40> io{};
     std::vector<uint8_t> sram;   ///< data space from sramBase up
     std::vector<uint16_t> flash;
+    std::vector<DecodedInst> decodeCache; ///< one entry per flash word
     uint8_t sregBits = 0;
     uint32_t pcWord = 0;
     MacUnit macUnit;

@@ -86,6 +86,37 @@ baseCycles(Op op, CpuMode mode)
     return 1;
 }
 
+namespace
+{
+
+std::array<uint8_t, kNumOps>
+makeCycleTable(CpuMode mode)
+{
+    std::array<uint8_t, kNumOps> table{};
+    for (size_t i = 0; i < kNumOps; i++)
+        table[i] = static_cast<uint8_t>(
+            baseCycles(static_cast<Op>(i), mode));
+    return table;
+}
+
+} // anonymous namespace
+
+const std::array<uint8_t, kNumOps> &
+baseCycleTable(CpuMode mode)
+{
+    static const std::array<uint8_t, kNumOps> ca = makeCycleTable(CpuMode::CA);
+    static const std::array<uint8_t, kNumOps> fast =
+        makeCycleTable(CpuMode::FAST);
+    static const std::array<uint8_t, kNumOps> ise =
+        makeCycleTable(CpuMode::ISE);
+    switch (mode) {
+      case CpuMode::CA: return ca;
+      case CpuMode::FAST: return fast;
+      case CpuMode::ISE: return ise;
+    }
+    return ca;
+}
+
 unsigned
 skipExtra(bool two_word_target)
 {

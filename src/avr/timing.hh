@@ -14,6 +14,8 @@
 #ifndef JAAVR_AVR_TIMING_HH
 #define JAAVR_AVR_TIMING_HH
 
+#include <array>
+
 #include "avr/isa.hh"
 
 namespace jaavr
@@ -34,6 +36,14 @@ const char *cpuModeName(CpuMode mode);
  * penalties (branch taken / skip taken are added by the core).
  */
 unsigned baseCycles(Op op, CpuMode mode);
+
+/**
+ * Flat per-op lookup table of baseCycles() for @p mode, indexed by
+ * static_cast<size_t>(op). Built once per mode; this is what the
+ * Machine's predecoder consults so the hot path never re-enters the
+ * baseCycles() switch.
+ */
+const std::array<uint8_t, kNumOps> &baseCycleTable(CpuMode mode);
 
 /** Extra cycles when a branch is taken (BRBS/BRBC). */
 constexpr unsigned branchTakenExtra = 1;

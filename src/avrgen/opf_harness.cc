@@ -14,7 +14,7 @@ OpfAvrLibrary::OpfAvrLibrary(const OpfPrime &prime, CpuMode mode)
     progMul = assemble(mode == CpuMode::ISE ? genOpfMulIse(prime)
                                             : genOpfMulNative(prime),
                        "opf_mul");
-    progInv = assemble(genOpfMontInverse(prime), "opf_inv");
+    progInv = assemble(genOpfMontInverse(prime, invEntry), "opf_inv");
     machine_->loadProgram(progAdd.words, addEntry);
     machine_->loadProgram(progSub.words, subEntry);
     machine_->loadProgram(progMul.words, mulEntry);
@@ -55,9 +55,11 @@ OpfAvrLibrary::run(uint32_t entry, const OpfField::Words &a,
     machine_->setY(OpfMemoryMap::aAddr);
     machine_->setZ(OpfMemoryMap::bAddr);
     machine_->setSp(0x10ff);
+    uint64_t insts = machine_->stats().instructions;
     uint64_t cycles = machine_->call(entry);
     OpfRun out;
     out.cycles = cycles;
+    out.instructions = machine_->stats().instructions - insts;
     out.result = fromBytes(
         machine_->readBytes(OpfMemoryMap::resultAddr, 4 * s));
     return out;

@@ -24,6 +24,7 @@ struct OpfRun
 {
     OpfField::Words result;
     uint64_t cycles;
+    uint64_t instructions = 0; ///< dynamic instructions retired
 };
 
 class OpfAvrLibrary

@@ -52,8 +52,19 @@ emitFinalFold(AsmBuilder &b, const OpfPrime &prime, bool subtract_p,
         }
 
         // Rare carry/borrow ripple through the zero middle words.
+        // The ripple block is 5 words per byte (lds/adc/sts); beyond
+        // the +-64-word BRCC reach (fields over ~160 bits) a
+        // branch-over-rjmp pair is emitted instead, preserving the
+        // short form (and its Table I cycle counts) for small fields.
         std::string norip = csprintf("%s_norip_%d", prefix.c_str(), round);
-        b.ins("brcc %s", norip.c_str());
+        if ((nbytes - 8) * 5 <= 62) {
+            b.ins("brcc %s", norip.c_str());
+        } else {
+            std::string rip = csprintf("%s_rip_%d", prefix.c_str(), round);
+            b.ins("brcs %s", rip.c_str());
+            b.ins("rjmp %s", norip.c_str());
+            b.label(rip);
+        }
         for (unsigned t = 4; t < nbytes - 4; t++) {
             b.ins("lds r22, RES+%u", t);
             b.ins("%s r22, r21", opc);
@@ -380,11 +391,13 @@ genOpfMulIse(const OpfPrime &prime)
 }
 
 std::string
-genMontInverseBytes(const std::vector<uint8_t> &p_bytes)
+genMontInverseBytes(const std::vector<uint8_t> &p_bytes,
+                    uint32_t load_base)
 {
     const unsigned nbytes = p_bytes.size();      // 20 for 160-bit
     const unsigned nv = nbytes + 1;              // working width: 21
     AsmBuilder b;
+    b.ins(".equ BASE = 0x%04x", load_base);
     b.ins(".equ RES = 0x%04x", OpfMemoryMap::resultAddr);
     b.ins(".equ UB = 0x%04x", OpfMemoryMap::uBufAddr);
     b.ins(".equ VB = 0x%04x", OpfMemoryMap::vBufAddr);
@@ -396,6 +409,21 @@ genMontInverseBytes(const std::vector<uint8_t> &p_bytes)
     /** Byte i of the prime. */
     auto pbyte = [&](unsigned i) -> unsigned {
         return i < nbytes ? p_bytes[i] : 0;
+    };
+
+    /*
+     * The subroutines live past the main loop; beyond 160 bits the
+     * routine outgrows RCALL's +/-2K-word reach, so wide fields use
+     * the two-word CALL. CALL targets are absolute, while the
+     * assembler numbers labels from the start of this routine, so the
+     * flash load address (BASE) is added back in. 160-bit keeps RCALL
+     * and its paper-pinned cycle counts (Table I).
+     */
+    auto callSub = [&](const char *name) {
+        if (nbytes <= 20)
+            b.ins("rcall %s", name);
+        else
+            b.ins("call BASE+%s", name);
     };
 
     // --- Initialization ----------------------------------------------
@@ -430,42 +458,42 @@ genMontInverseBytes(const std::vector<uint8_t> &p_bytes)
     b.ins("lds r18, VB+0");
     b.ins("sbrs r18, 0");
     b.ins("rjmp inv_v_even");
-    b.ins("rcall inv_cmp_uv");
+    callSub("inv_cmp_uv");
     b.ins("brlo inv_v_big");   // u < v
     b.ins("breq inv_v_big");   // u == v routes to the v arm
     b.comment("u > v: u = (u - v)/2; r += s; s <<= 1");
-    b.ins("rcall inv_sub_uv");
-    b.ins("rcall inv_shr_u");
-    b.ins("rcall inv_add_rs");
-    b.ins("rcall inv_shl_s");
+    callSub("inv_sub_uv");
+    callSub("inv_shr_u");
+    callSub("inv_add_rs");
+    callSub("inv_shl_s");
     b.ins("adiw r24, 1");
     b.ins("rjmp inv_loop");
     b.label("inv_v_big");
     b.comment("v >= u: v = (v - u)/2; s += r; r <<= 1");
-    b.ins("rcall inv_sub_vu");
-    b.ins("rcall inv_shr_v");   // leaves OR of v's bytes in r20
-    b.ins("rcall inv_add_sr");
-    b.ins("rcall inv_shl_r");
+    callSub("inv_sub_vu");
+    callSub("inv_shr_v");   // leaves OR of v's bytes in r20
+    callSub("inv_add_sr");
+    callSub("inv_shl_r");
     b.ins("adiw r24, 1");
     b.ins("tst r20");
     b.ins("breq inv_done");
     b.ins("rjmp inv_loop");
     b.label("inv_u_even");
-    b.ins("rcall inv_shr_u");
-    b.ins("rcall inv_shl_s");
+    callSub("inv_shr_u");
+    callSub("inv_shl_s");
     b.ins("adiw r24, 1");
     b.ins("rjmp inv_loop");
     b.label("inv_v_even");
-    b.ins("rcall inv_shr_v");   // v was even and > 0: cannot hit zero
-    b.ins("rcall inv_shl_r");
+    callSub("inv_shr_v");   // v was even and > 0: cannot hit zero
+    callSub("inv_shl_r");
     b.ins("adiw r24, 1");
     b.ins("rjmp inv_loop");
 
     // --- Epilogue: reduce r, negate, phase 2 --------------------------
     b.label("inv_done");
-    b.ins("rcall inv_cmp_rp");
+    callSub("inv_cmp_rp");
     b.ins("brlo inv_no_rsub");
-    b.ins("rcall inv_sub_rp");
+    callSub("inv_sub_rp");
     b.label("inv_no_rsub");
     b.comment("RES = p - r (phase-1 result is -a^-1 * 2^k)");
     for (unsigned i = 0; i < nbytes; i++) {
@@ -485,13 +513,13 @@ genMontInverseBytes(const std::vector<uint8_t> &p_bytes)
     b.ins("lds r18, RES+0");
     b.ins("sbrs r18, 0");
     b.ins("rjmp inv_p2even");
-    b.ins("rcall inv_add_res_p");  // leaves carry-out in r23
+    callSub("inv_add_res_p");  // leaves carry-out in r23
     b.ins("rjmp inv_p2shift");
     b.label("inv_p2even");
     b.ins("clr r23");
     b.label("inv_p2shift");
     b.ins("ror r23");             // C <- carry bit
-    b.ins("rcall inv_ror_res");    // shifts RES right through C
+    callSub("inv_ror_res");    // shifts RES right through C
     b.ins("sbiw r24, 1");
     b.ins("rjmp inv_p2loop");
     b.label("inv_p2done");
@@ -602,14 +630,14 @@ genMontInverseBytes(const std::vector<uint8_t> &p_bytes)
 }
 
 std::string
-genOpfMontInverse(const OpfPrime &prime)
+genOpfMontInverse(const OpfPrime &prime, uint32_t load_base)
 {
     const unsigned nbytes = (prime.k + 16) / 8;
     std::vector<uint8_t> p_bytes(nbytes, 0);
     p_bytes[0] = 1;
     p_bytes[nbytes - 2] = static_cast<uint8_t>(prime.u);
     p_bytes[nbytes - 1] = static_cast<uint8_t>(prime.u >> 8);
-    return genMontInverseBytes(p_bytes);
+    return genMontInverseBytes(p_bytes, load_base);
 }
 
 } // namespace jaavr

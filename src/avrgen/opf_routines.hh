@@ -62,12 +62,13 @@ struct OpfMemoryMap
     static constexpr uint16_t resultAddr = 0x01e0; ///< routine output
     static constexpr uint16_t aAddr = 0x0200;      ///< operand a
     static constexpr uint16_t bAddr = 0x0220;      ///< operand b
-    // Working set of the Montgomery-inverse routine (21 bytes each:
-    // the r/s coefficients grow to 2p < 2^161).
+    // Working set of the Montgomery-inverse routine: nbytes + 1 each
+    // (the r/s coefficients grow to 2p), i.e. 33 bytes at 256 bits,
+    // so the buffers are spaced 0x30 apart.
     static constexpr uint16_t uBufAddr = 0x0240;
-    static constexpr uint16_t vBufAddr = 0x0260;
-    static constexpr uint16_t rBufAddr = 0x0280;
-    static constexpr uint16_t sBufAddr = 0x02a0;
+    static constexpr uint16_t vBufAddr = 0x0270;
+    static constexpr uint16_t rBufAddr = 0x02a0;
+    static constexpr uint16_t sBufAddr = 0x02d0;
 };
 
 /**
@@ -100,14 +101,22 @@ std::string genOpfMulIse(const OpfPrime &prime);
  * what Table I's "Inversion" row measures; it is data-dependent,
  * which is the residual leakage the paper concedes for its
  * "constant runtime" rows (Section V-B).
+ *
+ * @p load_base is the flash word address the routine will be loaded
+ * at. Fields up to 160 bits reach their subroutines with the
+ * position-independent RCALL and ignore it; wider fields outgrow
+ * RCALL's +/-2K-word range and need the absolute two-word CALL,
+ * whose targets must account for the load address.
  */
-std::string genOpfMontInverse(const OpfPrime &prime);
+std::string genOpfMontInverse(const OpfPrime &prime,
+                              uint32_t load_base = 0);
 
 /**
  * The same Kaliski inverse for an arbitrary prime given as
  * little-endian bytes (used by the secp160r1 routine set).
  */
-std::string genMontInverseBytes(const std::vector<uint8_t> &p_bytes);
+std::string genMontInverseBytes(const std::vector<uint8_t> &p_bytes,
+                                uint32_t load_base = 0);
 
 } // namespace jaavr
 
