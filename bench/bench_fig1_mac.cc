@@ -8,6 +8,7 @@
  * trigger MACs, 40 ST, 83 MOVW, 40 SWAP, 31 NOP).
  */
 
+#include "avr/profiler.hh"
 #include "avrasm/assembler.hh"
 #include "avrgen/opf_harness.hh"
 #include "bench/bench_util.hh"
@@ -108,26 +109,58 @@ main()
     OpfAvrLibrary ise(prime, CpuMode::ISE);
     auto wa = f.fromBig(BigUInt::randomBits(rng, 160));
     auto wb = f.fromBig(BigUInt::randomBits(rng, 160));
+    CallGraphProfiler prof(ise.machine(), ise.symbols(),
+                           /*histograms=*/true, /*record_trace=*/true);
     ise.machine().resetStats();
     OpfRun run = ise.mul(wa, wb);
     const ExecStats &st = ise.machine().stats();
 
-    uint64_t loads = st.count(Op::LDD_Y) + st.count(Op::LDD_Z) +
-                     st.count(Op::LDS) + st.count(Op::LD_X) +
-                     st.count(Op::LD_X_INC) + st.count(Op::LD_Y_INC) +
-                     st.count(Op::LD_Z_INC);
-    uint64_t stores = st.count(Op::STS) + st.count(Op::ST_X) +
-                      st.count(Op::ST_X_INC) + st.count(Op::STD_Y) +
-                      st.count(Op::STD_Z);
-    row("total cycles", 552, run.cycles, "cyc");
-    row("LD/LDD instructions", 204, loads, "");
+    // Per-routine attribution: the profiler's opf_mul node carries the
+    // same counts as the global ExecStats here (only the one routine
+    // ran), but keyed to the routine symbol.
+    const CallGraphProfiler::Node *mul = prof.nodeByName("opf_mul");
+    if (!mul)
+        return 1;
+    note("paper, Section III-B: 204 LD, 40 ST, 83 MOVW, 40 SWAP, "
+         "31 NOP; 552 cycles total");
+    row("total cycles (opf_mul, inclusive)", 552, mul->inclusiveCycles,
+        "cyc");
+    row("LD/LDD instructions", 204, mul->loads, "");
     row("  of which MAC triggers", 100, ise.machine().mac().totalMacs() / 2
             - 40 / 2 /* SWAP MACs excluded */, "");
-    row("ST/STS instructions", 40, stores, "");
-    row("MOVW instructions", 83, st.count(Op::MOVW), "");
-    row("SWAP instructions", 40, st.count(Op::SWAP), "");
-    row("NOP instructions", 31, st.count(Op::NOP), "");
+    row("ST/STS instructions", 40, mul->stores, "");
+    row("MOVW instructions", 83, mul->count(Op::MOVW), "");
+    row("SWAP instructions", 40, mul->count(Op::SWAP), "");
+    row("NOP instructions", 31, mul->count(Op::NOP), "");
+    row("  = MAC hazard stalls (ISS counter)", 31, st.macStallNops, "");
     row("MAC operations (25 blocks + 5 reductions) * 8", 240,
         ise.machine().mac().totalMacs(), "");
+    if (mul->count(Op::NOP) == st.macStallNops)
+        note("check: every NOP retired while MAC micro-ops were "
+             "pending (pure hazard bubbles)");
+
+    heading("Profiler report (ISE opf_mul run)");
+    std::printf("%s", prof.textReport().c_str());
+    rowMeasured("stack high water", prof.stackHighWaterBytes(), "bytes");
+
+    appendJsonLine("BENCH_fig1.json",
+                   JsonLine()
+                       .str("bench", "fig1_mac")
+                       .str("workload", "opf_mul_ise")
+                       .num("cycles", run.cycles)
+                       .num("paper_cycles", uint64_t(552))
+                       .num("loads", mul->loads)
+                       .num("stores", mul->stores)
+                       .num("movw", mul->count(Op::MOVW))
+                       .num("swap", mul->count(Op::SWAP))
+                       .num("nop", mul->count(Op::NOP))
+                       .num("mac_stall_nops", st.macStallNops)
+                       .num("total_macs",
+                            ise.machine().mac().totalMacs()));
+    prof.writeJsonLines("PROFILE_fig1_mac.json", "fig1_mac",
+                        "opf_mul_ise");
+    prof.writeChromeTrace("TRACE_fig1_mac.json");
+    note("profiler export: PROFILE_fig1_mac.json (JSON lines), "
+         "TRACE_fig1_mac.json (chrome://tracing)");
     return 0;
 }

@@ -6,6 +6,7 @@
  * simulator, plus the JAAVR core area from the calibrated model.
  */
 
+#include "avr/profiler.hh"
 #include "avrgen/opf_harness.hh"
 #include "bench/bench_util.hh"
 #include "model/area_power.hh"
@@ -82,6 +83,42 @@ main()
             paper_ge[m], AreaModel::coreGe(modes[m]), "GE");
     note("core GE values are model calibration constants (DESIGN.md "
          "substitution #2); cycle numbers above are ISS measurements.");
+
+    heading("Per-routine cycle attribution (one run of each routine)");
+    Rng rng(0x7a61e1);
+    OpfField field(prime);
+    auto wa = field.fromBig(BigUInt::randomBits(rng, 160));
+    auto wb = field.fromBig(BigUInt::randomBits(rng, 160));
+    for (CpuMode mode : modes) {
+        OpfAvrLibrary lib(prime, mode);
+        CallGraphProfiler prof(lib.machine(), lib.symbols(),
+                               /*histograms=*/true,
+                               /*record_trace=*/false);
+        lib.machine().resetStats();
+        lib.add(wa, wb);
+        lib.sub(wa, wb);
+        lib.mul(wa, wb);
+        lib.inv(wa);
+        note(std::string("mode ") + cpuModeName(mode) + ":");
+        std::printf("%s", prof.textReport().c_str());
+        prof.writeJsonLines("PROFILE_table1.json", "table1_field_ops",
+                            cpuModeName(mode));
+        if (mode == CpuMode::ISE) {
+            // Paper Section III-B histogram of the ISE multiplication.
+            const CallGraphProfiler::Node *mul =
+                prof.nodeByName("opf_mul");
+            if (mul) {
+                row("  opf_mul LD/LDD", 204, mul->loads, "");
+                row("  opf_mul ST/STS", 40, mul->stores, "");
+                row("  opf_mul MOVW", 83, mul->count(Op::MOVW), "");
+                row("  opf_mul SWAP", 40, mul->count(Op::SWAP), "");
+                row("  opf_mul NOP", 31, mul->count(Op::NOP), "");
+            }
+        }
+        separator();
+    }
+    note("profiler export: PROFILE_table1.json (one JSON line per "
+         "routine and mode)");
 
     heading("Section V-A claims");
     double add_speedup = double(costs[0].add) / costs[1].add;

@@ -14,13 +14,18 @@
 #ifndef JAAVR_BENCH_BENCH_UTIL_HH
 #define JAAVR_BENCH_BENCH_UTIL_HH
 
-#include <cstdint>
 #include <cstdio>
 #include <string>
-#include <vector>
+
+#include "support/json.hh"
 
 namespace jaavr::bench
 {
+
+// JSON emission lives in src/support/json.hh so the profiler and the
+// benches share one (correctly escaping) implementation.
+using jaavr::JsonLine;
+using jaavr::appendJsonLine;
 
 inline void
 heading(const std::string &title)
@@ -66,84 +71,6 @@ inline void
 separator()
 {
     std::printf("  %s\n", std::string(96, '-').c_str());
-}
-
-/**
- * One flat JSON object serialized as a single line. Field order is
- * insertion order; values are strings, integers or doubles (all a
- * trajectory tracker needs).
- */
-class JsonLine
-{
-  public:
-    JsonLine &
-    str(const std::string &key, const std::string &value)
-    {
-        fields.push_back("\"" + escape(key) + "\":\"" + escape(value) +
-                         "\"");
-        return *this;
-    }
-
-    JsonLine &
-    num(const std::string &key, double value)
-    {
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%.6g", value);
-        fields.push_back("\"" + escape(key) + "\":" + buf);
-        return *this;
-    }
-
-    JsonLine &
-    num(const std::string &key, uint64_t value)
-    {
-        char buf[32];
-        std::snprintf(buf, sizeof buf, "%llu",
-                      static_cast<unsigned long long>(value));
-        fields.push_back("\"" + escape(key) + "\":" + buf);
-        return *this;
-    }
-
-    std::string
-    text() const
-    {
-        std::string out = "{";
-        for (size_t i = 0; i < fields.size(); i++)
-            out += (i ? "," : "") + fields[i];
-        return out + "}";
-    }
-
-  private:
-    static std::string
-    escape(const std::string &s)
-    {
-        std::string out;
-        for (char c : s) {
-            if (c == '"' || c == '\\')
-                out += '\\';
-            out += c;
-        }
-        return out;
-    }
-
-    std::vector<std::string> fields;
-};
-
-/**
- * Append @p line to the JSON-lines file @p path (created on first
- * use). Returns false (with a warning on stderr) if the file cannot
- * be opened — benches still report on the console in that case.
- */
-inline bool
-appendJsonLine(const std::string &path, const JsonLine &line)
-{
-    std::FILE *f = std::fopen(path.c_str(), "a");
-    if (!f) {
-        std::fprintf(stderr, "warn: cannot append to %s\n", path.c_str());
-        return false;
-    }
-    std::fprintf(f, "%s\n", line.text().c_str());
-    std::fclose(f);
-    return true;
 }
 
 } // namespace jaavr::bench

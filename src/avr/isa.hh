@@ -86,6 +86,12 @@ std::string disassemble(const Inst &inst);
 /** True for 2-word encodings (needed by skip instructions). */
 bool isTwoWord(uint16_t w0);
 
+/** True for the data-space load family (LD/LDD/LDS). */
+bool isLoadOp(Op op);
+
+/** True for the data-space store family (ST/STD/STS). */
+bool isStoreOp(Op op);
+
 } // namespace jaavr
 
 #endif // JAAVR_AVR_ISA_HH

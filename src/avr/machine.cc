@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "avr/profiler.hh"
 #include "support/logging.hh"
 
 namespace jaavr
@@ -132,6 +133,15 @@ Machine::Machine(CpuMode mode)
     // Erased flash is uniform, so one decode fills the whole cache.
     decodeCache.assign(flashWords, makeDecoded(0xffff, 0xffff));
     reset();
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::setProfiler(ProfileSink *sink)
+{
+    profSink = sink;
+    profWantsInst = sink && sink->wantsInstructions();
 }
 
 void
@@ -409,10 +419,13 @@ Machine::step()
     if (inst.op == Op::INVALID)
         panic("invalid opcode 0x%04x at pc=0x%x", w0, pc0);
 
-    if (trace)
-        inform("%6llu  %04x: %s",
-               static_cast<unsigned long long>(execStats.cycles), pc0,
-               disassemble(inst).c_str());
+    if (trace) {
+        // The legacy stderr dump, now routed through a TraceSink
+        // (pre-execution, so a panicking instruction still prints).
+        if (!ownedTrace)
+            ownedTrace = std::make_unique<TraceSink>(stderr, "info: ");
+        ownedTrace->onInst(pc0, inst, 0, execStats.cycles);
+    }
 
     // MAC shadow hazard check (Algorithm 2's 13-register rule): the
     // instructions executing while MAC micro-ops are pending must not
@@ -881,8 +894,22 @@ Machine::step()
 
     pcWord = next_pc & 0xffff;
     execStats.opCount[static_cast<size_t>(inst.op)]++;
+    execStats.opCycles[static_cast<size_t>(inst.op)] += cycles;
     execStats.instructions++;
     execStats.cycles += cycles;
+    if (inst.op == Op::NOP && shadow > 0)
+        execStats.macStallNops++;
+
+    if (profSink) {
+        if (profWantsInst)
+            profSink->onInst(pc0, inst, cycles,
+                             execStats.cycles - cycles);
+        if (inst.op == Op::CALL || inst.op == Op::RCALL ||
+            inst.op == Op::ICALL)
+            profSink->onCall(pc0, pcWord, execStats.cycles);
+        else if (inst.op == Op::RET || inst.op == Op::RETI)
+            profSink->onRet(pc0, pcWord, execStats.cycles);
+    }
     return cycles;
 }
 
@@ -910,13 +937,19 @@ Machine::runReference(uint64_t max_cycles)
  * tests/test_decode_cache.cc pins the two paths to identical
  * architectural state and cycle counts.
  */
-template <bool Ise>
+template <bool Ise, bool Profiled>
 void
 Machine::runFast(uint64_t max_cycles)
 {
     uint64_t consumed = 0;
     uint64_t insts = 0;
     uint32_t pc = pcWord;
+    // Sink state, hoisted out of the loop (dead when !Profiled); the
+    // cycle base makes cycles0 + consumed the absolute cycle count
+    // regardless of the periodic mid-loop flushes.
+    [[maybe_unused]] ProfileSink *const sink = profSink;
+    [[maybe_unused]] const bool wants_inst = profWantsInst;
+    [[maybe_unused]] const uint64_t cycles0 = execStats.cycles;
 
     /*
      * Hot state lives in locals: byte stores into the simulated SRAM
@@ -928,6 +961,12 @@ Machine::runFast(uint64_t max_cycles)
     uint8_t sreg = sregBits;
     std::array<uint8_t, 32> r8 = regs;
     std::array<uint32_t, kNumOps> op_count{};
+    // The predecoded base cost is a pure function of (op, mode), so
+    // per-op cycle totals are reconstructed at flush time as
+    // op_count * base; only the dynamic extras (taken branches,
+    // skips) accrue here, keeping the common case out of the loop.
+    std::array<uint32_t, kNumOps> op_extra{};
+    uint64_t mac_stall = 0;
     // ISE-only hot state; dead (and optimized out) when !Ise.
     [[maybe_unused]] uint8_t maccr = io[ioMaccr];
     [[maybe_unused]] uint8_t shadow = macUnit.pendingShadow();
@@ -954,9 +993,17 @@ Machine::runFast(uint64_t max_cycles)
         pcWord = pc & 0xffff;
         sregBits = sreg;
         regs = r8;
-        for (size_t i = 0; i < kNumOps; i++)
+        const std::array<uint8_t, kNumOps> &base_tab =
+            baseCycleTable(cpuMode);
+        for (size_t i = 0; i < kNumOps; i++) {
             execStats.opCount[i] += op_count[i];
+            execStats.opCycles[i] +=
+                uint64_t(op_count[i]) * base_tab[i] + op_extra[i];
+        }
         op_count.fill(0);
+        op_extra.fill(0);
+        execStats.macStallNops += mac_stall;
+        mac_stall = 0;
         if constexpr (Ise)
             macUnit.setPendingShadow(shadow);
     };
@@ -1033,6 +1080,7 @@ Machine::runFast(uint64_t max_cycles)
     while (pc != exitAddress) {
         const DecodedInst &dc = cache[pc & (flashWords - 1)];
         const Inst &inst = dc.inst;
+        [[maybe_unused]] const uint32_t ipc = pc;
 
         if (inst.op == Op::INVALID) {
             flush();
@@ -1059,8 +1107,13 @@ Machine::runFast(uint64_t max_cycles)
         }
 
         uint32_t next_pc = pc + inst.words;
-        unsigned cycles = dc.cycles;
+        // Local copy: byte stores through the SRAM pointer may alias
+        // the decode cache, so dc.cycles cannot be re-read cheaply
+        // after the execute switch.
+        const unsigned base_cycles = dc.cycles;
+        unsigned cycles = base_cycles;
         [[maybe_unused]] bool mac_triggered = false;
+        [[maybe_unused]] const uint8_t shadow_pre = shadow;
 
         auto ld_trigger = [&]([[maybe_unused]] uint8_t v,
                               [[maybe_unused]] uint8_t rd) {
@@ -1491,8 +1544,30 @@ Machine::runFast(uint64_t max_cycles)
 
         pc = next_pc & 0xffff;
         op_count[static_cast<size_t>(inst.op)]++;
+        if (cycles != base_cycles)
+            op_extra[static_cast<size_t>(inst.op)] +=
+                cycles - base_cycles;
+        if constexpr (Ise) {
+            if (shadow_pre > 0 && inst.op == Op::NOP)
+                mac_stall++;
+        }
         insts++;
         consumed += cycles;
+
+        if constexpr (Profiled) {
+            // Sinks observe registers/SREG/stats through the event
+            // arguments only (hot state lives in locals here); SP is
+            // a member and therefore current.
+            if (wants_inst)
+                sink->onInst(ipc, inst, cycles,
+                             cycles0 + consumed - cycles);
+            if (inst.op == Op::CALL || inst.op == Op::RCALL ||
+                inst.op == Op::ICALL)
+                sink->onCall(ipc, pc, cycles0 + consumed);
+            else if (inst.op == Op::RET || inst.op == Op::RETI)
+                sink->onRet(ipc, pc, cycles0 + consumed);
+        }
+
         if ((insts & 0xffffffu) == 0)
             flush();  // keep the 32-bit op_count entries from saturating
         if (consumed >= max_cycles) {
@@ -1512,9 +1587,11 @@ Machine::run(uint64_t max_cycles)
     if (trace || forceReference)
         runReference(max_cycles);
     else if (cpuMode == CpuMode::ISE)
-        runFast<true>(max_cycles);
+        profSink ? runFast<true, true>(max_cycles)
+                 : runFast<true, false>(max_cycles);
     else
-        runFast<false>(max_cycles);
+        profSink ? runFast<false, true>(max_cycles)
+                 : runFast<false, false>(max_cycles);
     return execStats.cycles - start;
 }
 
@@ -1523,6 +1600,10 @@ Machine::call(uint32_t word_addr, uint64_t max_cycles)
 {
     pushPc(exitAddress);
     pcWord = word_addr & 0xffff;
+    // Synthetic call event so profilers see the routine entered from
+    // the harness; the final RET to exitAddress closes it.
+    if (profSink)
+        profSink->onCall(exitAddress, pcWord, execStats.cycles);
     return run(max_cycles);
 }
 

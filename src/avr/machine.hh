@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "avr/isa.hh"
@@ -25,16 +26,27 @@
 namespace jaavr
 {
 
+class ProfileSink;
+
 /** Per-mnemonic execution statistics. */
 struct ExecStats
 {
     std::array<uint64_t, kNumOps> opCount{};
+    std::array<uint64_t, kNumOps> opCycles{};
     uint64_t instructions = 0;
     uint64_t cycles = 0;
+    /** NOPs retired while MAC micro-ops were pending (hazard stalls). */
+    uint64_t macStallNops = 0;
 
     uint64_t count(Op op) const
     {
         return opCount[static_cast<size_t>(op)];
+    }
+
+    /** Cycles consumed by all retirements of @p op. */
+    uint64_t cyclesOf(Op op) const
+    {
+        return opCycles[static_cast<size_t>(op)];
     }
 
     void reset() { *this = ExecStats(); }
@@ -69,6 +81,7 @@ class Machine
     static constexpr uint32_t exitAddress = 0xffff;
 
     explicit Machine(CpuMode mode);
+    ~Machine();
 
     CpuMode mode() const { return cpuMode; }
 
@@ -158,7 +171,20 @@ class Machine
 
     const MacUnit &mac() const { return macUnit; }
 
-    /** Enable per-instruction tracing to stderr. */
+    /**
+     * Attach an execution observer (nullptr detaches). Both paths
+     * fire its events; with no sink attached the fast path carries
+     * zero profiling overhead (a separate loop instantiation). The
+     * sink must outlive the machine or detach before destruction.
+     */
+    void setProfiler(ProfileSink *sink);
+    ProfileSink *profiler() const { return profSink; }
+
+    /**
+     * Enable per-instruction tracing to stderr (routed through an
+     * internal TraceSink in the legacy `info:`-prefixed format).
+     * Tracing forces run() onto the reference path.
+     */
     bool trace = false;
 
     /**
@@ -199,8 +225,12 @@ class Machine
     /** Reference run loop: step() per instruction. */
     void runReference(uint64_t max_cycles);
 
-    /** Predecoded, mode-specialized run loop (the fast path). */
-    template <bool Ise> void runFast(uint64_t max_cycles);
+    /**
+     * Predecoded, mode-specialized run loop (the fast path). The
+     * @p Profiled instantiation fires ProfileSink events; the plain
+     * one compiles every profiling hook out.
+     */
+    template <bool Ise, bool Profiled> void runFast(uint64_t max_cycles);
 
     CpuMode cpuMode;
     std::array<uint8_t, 32> regs{};
@@ -212,6 +242,9 @@ class Machine
     uint32_t pcWord = 0;
     MacUnit macUnit;
     ExecStats execStats;
+    ProfileSink *profSink = nullptr;
+    bool profWantsInst = false;          ///< cached sink capability
+    std::unique_ptr<ProfileSink> ownedTrace; ///< lazy `trace` sink
 };
 
 } // namespace jaavr

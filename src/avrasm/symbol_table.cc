@@ -1,0 +1,46 @@
+#include "avrasm/symbol_table.hh"
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+void
+SymbolTable::add(const std::string &name, uint32_t word_addr)
+{
+    byAddr[word_addr] = name;
+}
+
+void
+SymbolTable::addProgram(const std::string &name, const Program &prog,
+                        uint32_t load_base)
+{
+    add(name, load_base);
+    for (const auto &[label, addr] : prog.labels) {
+        if (addr == 0)
+            continue;  // the entry word is already named @p name
+        add(name + "." + label, load_base + addr);
+    }
+}
+
+const std::string *
+SymbolTable::exact(uint32_t word_addr) const
+{
+    auto it = byAddr.find(word_addr);
+    return it == byAddr.end() ? nullptr : &it->second;
+}
+
+std::string
+SymbolTable::resolve(uint32_t word_addr) const
+{
+    auto it = byAddr.upper_bound(word_addr);
+    if (it == byAddr.begin())
+        return csprintf("0x%04x", word_addr);
+    --it;
+    if (it->first == word_addr)
+        return it->second;
+    return csprintf("%s+0x%x", it->second.c_str(),
+                    word_addr - it->first);
+}
+
+} // namespace jaavr

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Symbol table aggregated from assembled programs: maps flash word
+ * addresses back to label names so the ISS profiler can attribute
+ * cycles to routines instead of raw addresses.
+ *
+ * A Program's label map is local to its own word 0; harnesses load
+ * several programs at different flash offsets, so addProgram()
+ * rebases every label by the load address and prefixes it with the
+ * program name ("opf_inv.inv_loop"). The program name itself becomes
+ * the symbol of the load address (the routine's entry point).
+ */
+
+#ifndef JAAVR_AVRASM_SYMBOL_TABLE_HH
+#define JAAVR_AVRASM_SYMBOL_TABLE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "avrasm/assembler.hh"
+
+namespace jaavr
+{
+
+class SymbolTable
+{
+  public:
+    /** Define @p name at flash word @p word_addr (last write wins). */
+    void add(const std::string &name, uint32_t word_addr);
+
+    /**
+     * Import @p prog loaded at @p load_base: @p name labels the entry
+     * word, and every internal label is rebased and imported as
+     * "name.label" (unless it sits on the entry word itself).
+     */
+    void addProgram(const std::string &name, const Program &prog,
+                    uint32_t load_base);
+
+    /** Symbol defined exactly at @p word_addr, or nullptr. */
+    const std::string *exact(uint32_t word_addr) const;
+
+    /**
+     * Human-readable location of @p word_addr: the exact symbol, the
+     * nearest symbol at a lower address as "name+0xk", or a bare hex
+     * address when nothing is defined below it.
+     */
+    std::string resolve(uint32_t word_addr) const;
+
+    bool empty() const { return byAddr.empty(); }
+    size_t size() const { return byAddr.size(); }
+
+    const std::map<uint32_t, std::string> &entries() const
+    {
+        return byAddr;
+    }
+
+  private:
+    std::map<uint32_t, std::string> byAddr;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_AVRASM_SYMBOL_TABLE_HH

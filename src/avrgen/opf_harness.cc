@@ -89,6 +89,17 @@ OpfAvrLibrary::inv(const OpfField::Words &a)
     return run(invEntry, a, OpfField::Words(s, 0));
 }
 
+SymbolTable
+OpfAvrLibrary::symbols() const
+{
+    SymbolTable st;
+    st.addProgram("opf_add", progAdd, addEntry);
+    st.addProgram("opf_sub", progSub, subEntry);
+    st.addProgram("opf_mul", progMul, mulEntry);
+    st.addProgram("opf_inv", progInv, invEntry);
+    return st;
+}
+
 size_t
 OpfAvrLibrary::romBytes() const
 {

@@ -13,6 +13,7 @@
 
 #include "avr/machine.hh"
 #include "avrasm/assembler.hh"
+#include "avrasm/symbol_table.hh"
 #include "avrgen/opf_routines.hh"
 #include "field/opf_field.hh"
 
@@ -57,6 +58,9 @@ class OpfAvrLibrary
 
     /** Underlying machine (for statistics inspection). */
     Machine &machine() { return *machine_; }
+
+    /** Symbols of the loaded routines (for profiler attribution). */
+    SymbolTable symbols() const;
 
   private:
     OpfRun run(uint32_t entry, const OpfField::Words &a,

@@ -107,6 +107,19 @@ Secp160AvrLibrary::mulIse(const std::vector<uint32_t> &a,
     return run(mulIseEntry, a, b);
 }
 
+SymbolTable
+Secp160AvrLibrary::symbols() const
+{
+    SymbolTable st;
+    st.addProgram("secp160_add", progAdd, addEntry);
+    st.addProgram("secp160_sub", progSub, subEntry);
+    st.addProgram("secp160_mul", progMul, mulEntry);
+    st.addProgram("secp160_inv", progInv, invEntry);
+    if (!progMulIse.words.empty())
+        st.addProgram("secp160_mul_ise", progMulIse, mulIseEntry);
+    return st;
+}
+
 size_t
 Secp160AvrLibrary::romBytes() const
 {

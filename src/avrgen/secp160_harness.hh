@@ -11,6 +11,7 @@
 
 #include "avr/machine.hh"
 #include "avrasm/assembler.hh"
+#include "avrasm/symbol_table.hh"
 #include "avrgen/opf_harness.hh"
 #include "avrgen/secp160_routines.hh"
 
@@ -49,6 +50,9 @@ class Secp160AvrLibrary
     size_t romBytes() const;
 
     Machine &machine() { return *machine_; }
+
+    /** Symbols of the loaded routines (for profiler attribution). */
+    SymbolTable symbols() const;
 
   private:
     OpfRun run(uint32_t entry, const std::vector<uint32_t> &a,

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the benchmark binaries and
+ * the ISS profiler: a flat one-object-per-line builder (JSON lines)
+ * and an append-to-file helper. Moved here from bench/bench_util.hh
+ * so non-bench code (src/avr/profiler.cc) can emit machine-readable
+ * records through the same escaping rules.
+ *
+ * Strings are escaped per RFC 8259: quote, backslash, the short
+ * escapes \b \f \n \r \t, and \u00XX for the remaining control
+ * characters, so emitted lines always parse as valid JSON.
+ */
+
+#ifndef JAAVR_SUPPORT_JSON_HH
+#define JAAVR_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace jaavr
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        unsigned char u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (u < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", u);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * One flat JSON object serialized as a single line. Field order is
+ * insertion order; values are strings, integers or doubles (all a
+ * trajectory tracker needs).
+ */
+class JsonLine
+{
+  public:
+    JsonLine &
+    str(const std::string &key, const std::string &value)
+    {
+        fields.push_back("\"" + jsonEscape(key) + "\":\"" +
+                         jsonEscape(value) + "\"");
+        return *this;
+    }
+
+    JsonLine &
+    num(const std::string &key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        fields.push_back("\"" + jsonEscape(key) + "\":" + buf);
+        return *this;
+    }
+
+    JsonLine &
+    num(const std::string &key, uint64_t value)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(value));
+        fields.push_back("\"" + jsonEscape(key) + "\":" + buf);
+        return *this;
+    }
+
+    std::string
+    text() const
+    {
+        std::string out = "{";
+        for (size_t i = 0; i < fields.size(); i++)
+            out += (i ? "," : "") + fields[i];
+        return out + "}";
+    }
+
+  private:
+    std::vector<std::string> fields;
+};
+
+/**
+ * Append @p line to the JSON-lines file @p path (created on first
+ * use). Returns false (with a warning on stderr) if the file cannot
+ * be opened — callers still report on the console in that case.
+ */
+inline bool
+appendJsonLine(const std::string &path, const JsonLine &line)
+{
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (!f) {
+        std::fprintf(stderr, "warn: cannot append to %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f, "%s\n", line.text().c_str());
+    std::fclose(f);
+    return true;
+}
+
+} // namespace jaavr
+
+#endif // JAAVR_SUPPORT_JSON_HH

@@ -52,6 +52,10 @@ expectSameState(const Machine &a, const Machine &b)
     for (size_t op = 0; op < kNumOps; op++)
         EXPECT_EQ(a.stats().opCount[op], b.stats().opCount[op])
             << opName(static_cast<Op>(op));
+    for (size_t op = 0; op < kNumOps; op++)
+        EXPECT_EQ(a.stats().opCycles[op], b.stats().opCycles[op])
+            << opName(static_cast<Op>(op));
+    EXPECT_EQ(a.stats().macStallNops, b.stats().macStallNops);
     EXPECT_EQ(a.mac().shiftCounter(), b.mac().shiftCounter());
     EXPECT_EQ(a.mac().pendingShadow(), b.mac().pendingShadow());
     EXPECT_EQ(a.mac().totalMacs(), b.mac().totalMacs());

@@ -1,11 +1,13 @@
 /**
  * @file
- * Unit tests for the support utilities (hex codec, RNG, logging).
+ * Unit tests for the support utilities (hex codec, RNG, logging,
+ * JSON emission).
  */
 
 #include <gtest/gtest.h>
 
 #include "support/hex.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 
@@ -84,4 +86,32 @@ TEST(Logging, Csprintf)
 TEST(Logging, PanicAborts)
 {
     EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(Json, EscapeQuotesAndBackslash)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(Json, EscapeControlCharacters)
+{
+    // The short escapes plus \u00XX for the rest of C0; a raw control
+    // character in the output would make the line invalid JSON.
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("\t\r\b\f"), "\\t\\r\\b\\f");
+    EXPECT_EQ(jsonEscape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+    for (int c = 0; c < 0x20; c++) {
+        std::string esc = jsonEscape(std::string(1, char(c)));
+        for (char e : esc)
+            EXPECT_GE(static_cast<unsigned char>(e), 0x20u)
+                << "control char " << c << " leaked through";
+    }
+}
+
+TEST(Json, LineBuilder)
+{
+    JsonLine line;
+    line.str("name", "a\"b").num("n", uint64_t(7)).num("x", 1.5);
+    EXPECT_EQ(line.text(), "{\"name\":\"a\\\"b\",\"n\":7,\"x\":1.5}");
 }
