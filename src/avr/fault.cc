@@ -1,0 +1,83 @@
+#include "avr/fault.hh"
+
+#include "avr/machine.hh"
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+const char *
+faultTargetName(FaultTarget target)
+{
+    switch (target) {
+      case FaultTarget::Gpr: return "gpr";
+      case FaultTarget::Sreg: return "sreg";
+      case FaultTarget::Sram: return "sram";
+      case FaultTarget::MacAcc: return "mac_acc";
+      case FaultTarget::InstSkip: return "inst_skip";
+      case FaultTarget::OpcodeCorrupt: return "opcode_corrupt";
+    }
+    return "?";
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::string where;
+    switch (target) {
+      case FaultTarget::Gpr:
+        where = csprintf("r%u ^= 0x%02x", reg, mask & 0xff);
+        break;
+      case FaultTarget::Sreg:
+        where = csprintf("sreg ^= 0x%02x", mask & 0xff);
+        break;
+      case FaultTarget::Sram:
+        where = csprintf("sram[0x%04x] ^= 0x%02x", sramAddr, mask & 0xff);
+        break;
+      case FaultTarget::MacAcc:
+        where = csprintf("mac acc r%u ^= 0x%02x", reg, mask & 0xff);
+        break;
+      case FaultTarget::InstSkip:
+        where = "skip instruction";
+        break;
+      case FaultTarget::OpcodeCorrupt:
+        if (flashAddr == kCurrentPc)
+            where = csprintf("flash[pc] ^= 0x%04x", mask);
+        else
+            where = csprintf("flash[0x%04x] ^= 0x%04x", flashAddr, mask);
+        break;
+    }
+    if (atEntry)
+        return csprintf("%s at entry 0x%04x + %llu cycles", where.c_str(),
+                        entryPc,
+                        static_cast<unsigned long long>(triggerCycle));
+    return csprintf("%s at +%llu cycles", where.c_str(),
+                    static_cast<unsigned long long>(triggerCycle));
+}
+
+void
+FaultInjector::arm(const FaultPlan &plan, uint64_t now_cycles)
+{
+    planV = plan;
+    firedCycle = 0;
+    firedPc = 0;
+    if (plan.atEntry) {
+        state = State::WaitEntry;
+        fireAt = 0;
+    } else {
+        state = State::Armed;
+        fireAt = now_cycles + plan.triggerCycle;
+    }
+}
+
+void
+FaultInjector::revertFlash(Machine &m) const
+{
+    if (state != State::Fired || planV.target != FaultTarget::OpcodeCorrupt)
+        return;
+    uint32_t addr =
+        planV.flashAddr == FaultPlan::kCurrentPc ? firedPc : planV.flashAddr;
+    m.corruptFlashWord(addr, planV.mask);
+}
+
+} // namespace jaavr

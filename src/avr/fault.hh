@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic fault injection for the ISS: a FaultInjector arms one
+ * FaultPlan — a bit flip in a GPR / SREG / SRAM byte / the R0-R8 MAC
+ * accumulator, an instruction skip, or an opcode corruption — and the
+ * Machine applies it at the chosen instruction boundary (an absolute
+ * trigger delay in cycles, optionally counted from the first arrival
+ * at a routine-entry PC resolved through the SymbolTable).
+ *
+ * The injector is polled by both execution paths at every boundary,
+ * through a dedicated runFast<..., Faulted> instantiation so the
+ * unarmed fast path carries zero overhead (same pattern as the
+ * ProfileSink). A plan fires exactly once; re-running the machine
+ * with the injector still attached executes cleanly, which is what
+ * lets time-redundant (run-twice-and-compare) countermeasures detect
+ * transient faults. Opcode corruption persists in flash like a real
+ * program-memory fault; revertFlash() undoes it between campaign
+ * trials.
+ */
+
+#ifndef JAAVR_AVR_FAULT_HH
+#define JAAVR_AVR_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace jaavr
+{
+
+class Machine;
+
+/** Architectural location a FaultPlan perturbs. */
+enum class FaultTarget : uint8_t
+{
+    Gpr,           ///< XOR mask into register plan.reg
+    Sreg,          ///< XOR mask into the status register
+    Sram,          ///< XOR mask into data byte plan.sramAddr
+    MacAcc,        ///< XOR mask into R0-R8 (the 72-bit MAC accumulator)
+    InstSkip,      ///< skip the instruction at the firing boundary
+    OpcodeCorrupt, ///< XOR a 16-bit mask into a flash word
+};
+
+/** Short stable name for @p target ("gpr", "sreg", ...). */
+const char *faultTargetName(FaultTarget target);
+
+/**
+ * One deterministic fault: where to perturb, when to trigger, and
+ * the XOR mask (campaigns draw 1- or 2-bit masks for the classic
+ * single/double bit-flip model). All fields are plain data so a
+ * seeded Rng can generate plans reproducibly.
+ */
+struct FaultPlan
+{
+    /** flashAddr value meaning "the word at the firing PC". */
+    static constexpr uint32_t kCurrentPc = 0xffffffffu;
+
+    FaultTarget target = FaultTarget::Gpr;
+
+    /**
+     * Boundary delay in cycles: the plan fires at the first
+     * instruction boundary at or after `arm-time cycles +
+     * triggerCycle` (or after the entry match, see below).
+     */
+    uint64_t triggerCycle = 0;
+
+    /**
+     * When set, the delay starts counting only once the PC first
+     * reaches @p entryPc (a routine entry word from the SymbolTable),
+     * so plans can target "N cycles into routine X".
+     */
+    bool atEntry = false;
+    uint32_t entryPc = 0;
+
+    uint8_t reg = 0;       ///< Gpr/MacAcc register index (0-31 / 0-8)
+    uint16_t sramAddr = 0; ///< Sram byte address (>= Machine::sramBase)
+    uint32_t flashAddr = kCurrentPc; ///< OpcodeCorrupt word address
+    uint16_t mask = 1;     ///< XOR mask (byte targets use the low 8 bits)
+
+    /** One-line human-readable description. */
+    std::string describe() const;
+};
+
+class FaultInjector
+{
+  public:
+    /**
+     * Arm @p plan. @p now_cycles is the machine's current absolute
+     * cycle count (Machine::stats().cycles), the base the trigger
+     * delay counts from for non-entry plans.
+     */
+    void arm(const FaultPlan &plan, uint64_t now_cycles = 0);
+
+    /** Cancel any armed plan without firing it. */
+    void disarm() { state = State::Idle; }
+
+    /** True when a plan is armed and has not fired yet. */
+    bool pending() const
+    {
+        return state == State::WaitEntry || state == State::Armed;
+    }
+
+    /** True once the armed plan has fired. */
+    bool fired() const { return state == State::Fired; }
+
+    const FaultPlan &plan() const { return planV; }
+
+    /** Boundary (cycle count / PC) at which the plan fired. */
+    uint64_t firedAtCycle() const { return firedCycle; }
+    uint32_t firedAtPc() const { return firedPc; }
+
+    /**
+     * Machine-side poll at the instruction boundary (@p pc, absolute
+     * @p cycles): advances the trigger state machine and returns true
+     * exactly once, when the fault must be applied now.
+     */
+    bool
+    checkFire(uint32_t pc, uint64_t cycles)
+    {
+        if (state == State::WaitEntry) {
+            if (pc != planV.entryPc)
+                return false;
+            fireAt = cycles + planV.triggerCycle;
+            state = State::Armed;
+        }
+        if (state == State::Armed && cycles >= fireAt) {
+            state = State::Fired;
+            firedCycle = cycles;
+            firedPc = pc;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Undo a fired OpcodeCorrupt plan's flash mutation on @p m (XOR
+     * is involutive). No-op for other targets or unfired plans; call
+     * between campaign trials so a persistent flash fault from one
+     * trial cannot leak into the next.
+     */
+    void revertFlash(Machine &m) const;
+
+  private:
+    enum class State : uint8_t { Idle, WaitEntry, Armed, Fired };
+
+    FaultPlan planV;
+    State state = State::Idle;
+    uint64_t fireAt = 0;
+    uint64_t firedCycle = 0;
+    uint32_t firedPc = 0;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_AVR_FAULT_HH

@@ -42,6 +42,14 @@ decode(uint16_t w0, uint16_t w1)
 {
     Inst i;
 
+    // 0xffff is the erased-flash fill word. Its bit pattern falls
+    // into a reserved SBRS encoding (bit 3 set), which real parts
+    // treat as undefined; decoding it as INVALID lets the machine
+    // distinguish a run into never-programmed flash (trap
+    // FlashOutOfBounds) from an in-program illegal word.
+    if (w0 == 0xffff)
+        return i;
+
     auto rr5 = [&] { return bits(w0, 9, 9) << 4 | bits(w0, 3, 0); };
     auto rd5 = [&] { return bits(w0, 8, 4); };
 

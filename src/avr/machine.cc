@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "avr/fault.hh"
 #include "avr/profiler.hh"
 #include "support/logging.hh"
 
@@ -124,6 +125,48 @@ mulFlagsB(uint8_t &sreg, uint16_t product, bool carry)
 
 } // anonymous namespace
 
+const char *
+trapKindName(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::None: return "none";
+      case TrapKind::IllegalOpcode: return "illegal_opcode";
+      case TrapKind::FlashOutOfBounds: return "flash_oob";
+      case TrapKind::SramOutOfBounds: return "sram_oob";
+      case TrapKind::StackOverflow: return "stack_overflow";
+      case TrapKind::CycleBudget: return "cycle_budget";
+      case TrapKind::MacHazard: return "mac_hazard";
+    }
+    return "?";
+}
+
+std::string
+Trap::describe() const
+{
+    switch (kind) {
+      case TrapKind::None:
+        return "no trap";
+      case TrapKind::IllegalOpcode:
+        return csprintf("illegal opcode 0x%04x at pc=0x%x", addr, pc);
+      case TrapKind::FlashOutOfBounds:
+        return csprintf("erased flash executed at pc=0x%x", pc);
+      case TrapKind::SramOutOfBounds:
+        return csprintf("data access beyond SRAM at 0x%04x (pc=0x%x)",
+                        addr, pc);
+      case TrapKind::StackOverflow:
+        return csprintf("stack overflow into data segment at 0x%04x "
+                        "(pc=0x%x)", addr, pc);
+      case TrapKind::CycleBudget:
+        return csprintf("cycle budget exceeded (pc=0x%x)", pc);
+      case TrapKind::MacHazard:
+        return addr ? csprintf("MAC hazard: back-to-back Algorithm-2 "
+                               "triggers (pc=0x%x)", pc)
+                    : csprintf("MAC hazard: shadow register touched "
+                               "(pc=0x%x)", pc);
+    }
+    return "?";
+}
+
 Machine::Machine(CpuMode mode)
     : forceReference(envForceReference()),
       cpuMode(mode),
@@ -161,6 +204,17 @@ Machine::loadProgram(const std::vector<uint16_t> &words, uint32_t word_addr)
     }
 }
 
+void
+Machine::corruptFlashWord(uint32_t word_addr, uint16_t mask)
+{
+    uint32_t a = word_addr & (flashWords - 1);
+    flash[a] ^= mask;
+    decodeCache[a] = makeDecoded(flash[a], fetch(a + 1));
+    // The predecessor's two-word operand may have been this word.
+    uint32_t prev = (a - 1) & (flashWords - 1);
+    decodeCache[prev] = makeDecoded(flash[prev], flash[a]);
+}
+
 DecodedInst
 Machine::makeDecoded(uint16_t w0, uint16_t w1) const
 {
@@ -185,6 +239,7 @@ Machine::reset()
     std::fill(sram.begin(), sram.end(), 0);
     sregBits = 0;
     pcWord = 0;
+    pendingTrap = Trap();
     macUnit.reset();
     execStats.reset();
     setSp(0x10ff);  // top of the ATmega128's internal SRAM
@@ -416,8 +471,12 @@ Machine::step()
     uint16_t w1 = fetch(pc0 + 1);
     Inst inst = decode(w0, w1);
 
-    if (inst.op == Op::INVALID)
-        panic("invalid opcode 0x%04x at pc=0x%x", w0, pc0);
+    if (inst.op == Op::INVALID) {
+        pendingTrap = Trap{w0 == 0xffff ? TrapKind::FlashOutOfBounds
+                                        : TrapKind::IllegalOpcode,
+                           pc0, w0};
+        return 0;
+    }
 
     if (trace) {
         // The legacy stderr dump, now routed through a TraceSink
@@ -442,12 +501,14 @@ Machine::step()
          inst.op == Op::LD_X || inst.op == Op::LD_X_INC ||
          inst.op == Op::LD_Y_INC || inst.op == Op::LD_Z_INC ||
          inst.op == Op::LDS);
-    if (shadow > 0 && touchesMacRegs(inst) && !is_r24_load)
-        panic("MAC hazard: '%s' touches R0-R8/R16-R19 in the MAC "
-              "shadow (pc=0x%x)", disassemble(inst).c_str(), pc0);
-    if (shadow >= 2 && is_r24_load)
-        panic("MAC hazard: back-to-back Algorithm-2 triggers "
-              "(pc=0x%x)", pc0);
+    if (shadow > 0 && touchesMacRegs(inst) && !is_r24_load) {
+        pendingTrap = Trap{TrapKind::MacHazard, pc0, 0};
+        return 0;
+    }
+    if (shadow >= 2 && is_r24_load) {
+        pendingTrap = Trap{TrapKind::MacHazard, pc0, 1};
+        return 0;
+    }
 
     uint32_t next_pc = pc0 + inst.words;
     unsigned cycles = baseCycles(inst.op, cpuMode);
@@ -458,6 +519,55 @@ Machine::step()
             triggerLoadMac(v);
             mac_triggered = true;
         }
+    };
+
+    // Guarded data-space access: the fast path mirrors these checks
+    // byte for byte in its loadMem/storeMem/pushB lambdas so a
+    // trapping instruction leaves identical partial state (e.g. a
+    // pre-decremented X pointer) on both paths. I/O-space accesses
+    // (IN/OUT/SBI/CBI, addresses < sramBase) stay unguarded.
+    TrapKind trap_kind = TrapKind::None;
+    uint16_t trap_addr = 0;
+    auto ldG = [&](uint16_t a) -> uint8_t {
+        if (a >= sramBase && a > dataLimitV) {
+            trap_kind = TrapKind::SramOutOfBounds;
+            trap_addr = a;
+            return 0xff;
+        }
+        return readData(a);
+    };
+    auto stG = [&](uint16_t a, uint8_t v) {
+        if (a >= sramBase && a > dataLimitV) {
+            trap_kind = TrapKind::SramOutOfBounds;
+            trap_addr = a;
+            return;
+        }
+        writeData(a, v);
+    };
+    auto pushG = [&](uint8_t v) {
+        uint16_t a = sp();
+        if (a < stackGuardV) {
+            trap_kind = TrapKind::StackOverflow;
+            trap_addr = a;
+            return;
+        }
+        stG(a, v);
+        if (trap_kind == TrapKind::None)
+            setSp(a - 1);
+    };
+    auto popG = [&]() -> uint8_t {
+        setSp(sp() + 1);
+        return ldG(sp());
+    };
+    auto pushPcG = [&](uint32_t ret) {
+        // Low byte pushed first, high byte second (popped in reverse).
+        pushG(static_cast<uint8_t>(ret));
+        pushG(static_cast<uint8_t>(ret >> 8));
+    };
+    auto popPcG = [&]() -> uint32_t {
+        uint32_t hi = popG();
+        uint32_t lo = popG();
+        return (hi << 8) | lo;
     };
 
     switch (inst.op) {
@@ -732,7 +842,7 @@ Machine::step()
         uint16_t a = x();
         if (inst.op == Op::LD_X_DEC)
             setX(--a);
-        uint8_t v = readData(a);
+        uint8_t v = ldG(a);
         regs[inst.rd] = v;
         if (inst.op == Op::LD_X_INC)
             setX(a + 1);
@@ -745,7 +855,7 @@ Machine::step()
             setY(--a);
         else if (inst.op == Op::LDD_Y)
             a += inst.disp;
-        uint8_t v = readData(a);
+        uint8_t v = ldG(a);
         regs[inst.rd] = v;
         if (inst.op == Op::LD_Y_INC)
             setY(a + 1);
@@ -758,7 +868,7 @@ Machine::step()
             setZ(--a);
         else if (inst.op == Op::LDD_Z)
             a += inst.disp;
-        uint8_t v = readData(a);
+        uint8_t v = ldG(a);
         regs[inst.rd] = v;
         if (inst.op == Op::LD_Z_INC)
             setZ(a + 1);
@@ -766,7 +876,7 @@ Machine::step()
         break;
       }
       case Op::LDS: {
-        uint8_t v = readData(static_cast<uint16_t>(inst.k));
+        uint8_t v = ldG(static_cast<uint16_t>(inst.k));
         regs[inst.rd] = v;
         ld_trigger(v, inst.rd);
         break;
@@ -775,7 +885,7 @@ Machine::step()
         uint16_t a = x();
         if (inst.op == Op::ST_X_DEC)
             setX(--a);
-        writeData(a, regs[inst.rd]);
+        stG(a, regs[inst.rd]);
         if (inst.op == Op::ST_X_INC)
             setX(a + 1);
         break;
@@ -786,7 +896,7 @@ Machine::step()
             setY(--a);
         else if (inst.op == Op::STD_Y)
             a += inst.disp;
-        writeData(a, regs[inst.rd]);
+        stG(a, regs[inst.rd]);
         if (inst.op == Op::ST_Y_INC)
             setY(a + 1);
         break;
@@ -797,19 +907,19 @@ Machine::step()
             setZ(--a);
         else if (inst.op == Op::STD_Z)
             a += inst.disp;
-        writeData(a, regs[inst.rd]);
+        stG(a, regs[inst.rd]);
         if (inst.op == Op::ST_Z_INC)
             setZ(a + 1);
         break;
       }
       case Op::STS:
-        writeData(static_cast<uint16_t>(inst.k), regs[inst.rd]);
+        stG(static_cast<uint16_t>(inst.k), regs[inst.rd]);
         break;
       case Op::PUSH:
-        push8(regs[inst.rd]);
+        pushG(regs[inst.rd]);
         break;
       case Op::POP:
-        regs[inst.rd] = pop8();
+        regs[inst.rd] = popG();
         break;
       case Op::LPM_R0: case Op::LPM: case Op::LPM_INC: {
         uint16_t a = z();
@@ -827,25 +937,25 @@ Machine::step()
         next_pc = pc0 + 1 + inst.disp;
         break;
       case Op::RCALL:
-        pushPc(pc0 + 1);
+        pushPcG(pc0 + 1);
         next_pc = pc0 + 1 + inst.disp;
         break;
       case Op::JMP:
         next_pc = inst.k;
         break;
       case Op::CALL:
-        pushPc(pc0 + 2);
+        pushPcG(pc0 + 2);
         next_pc = inst.k;
         break;
       case Op::IJMP:
         next_pc = z();
         break;
       case Op::ICALL:
-        pushPc(pc0 + 1);
+        pushPcG(pc0 + 1);
         next_pc = z();
         break;
       case Op::RET: case Op::RETI:
-        next_pc = popPc();
+        next_pc = popPcG();
         if (inst.op == Op::RETI)
             setFlag(fI, true);
         break;
@@ -884,6 +994,15 @@ Machine::step()
         break;
     }
 
+    // A trapping instruction does not retire: PC, shadow and
+    // statistics stay as of just before it (partial side effects
+    // like a pre-decremented pointer remain, identically on the
+    // fast path).
+    if (trap_kind != TrapKind::None) {
+        pendingTrap = Trap{trap_kind, pc0, trap_addr};
+        return 0;
+    }
+
     // Retire pending MAC shadow cycles; a fresh trigger's two
     // micro-ops occupy the two cycles after this instruction.
     if (mac_triggered)
@@ -913,16 +1032,51 @@ Machine::step()
     return cycles;
 }
 
+bool
+Machine::applyBoundaryFault()
+{
+    const FaultPlan &fp = faultInj->plan();
+    switch (fp.target) {
+      case FaultTarget::Gpr:
+      case FaultTarget::MacAcc:
+        regs[fp.reg & 31] ^= static_cast<uint8_t>(fp.mask);
+        return false;
+      case FaultTarget::Sreg:
+        sregBits ^= static_cast<uint8_t>(fp.mask);
+        return false;
+      case FaultTarget::Sram:
+        if (fp.sramAddr >= sramBase)
+            sram[fp.sramAddr - sramBase] ^= static_cast<uint8_t>(fp.mask);
+        return false;
+      case FaultTarget::InstSkip:
+        pcWord = (pcWord + decodeCache[pcWord & (flashWords - 1)].inst.words) &
+                 0xffff;
+        return true;
+      case FaultTarget::OpcodeCorrupt:
+        corruptFlashWord(fp.flashAddr == FaultPlan::kCurrentPc ? pcWord
+                                                               : fp.flashAddr,
+                         fp.mask);
+        return false;
+    }
+    return false;
+}
+
 void
 Machine::runReference(uint64_t max_cycles)
 {
     uint64_t start = execStats.cycles;
     while (pcWord != exitAddress) {
+        if (faultInj && faultInj->checkFire(pcWord, execStats.cycles)) {
+            if (applyBoundaryFault())
+                continue;  // instruction skip consumed the boundary
+        }
         step();
-        if (execStats.cycles - start >= max_cycles)
-            panic("Machine::run: cycle budget exceeded "
-                  "(pc=0x%x, %llu cycles)", pcWord,
-                  static_cast<unsigned long long>(execStats.cycles - start));
+        if (pendingTrap)
+            return;
+        if (execStats.cycles - start >= max_cycles) {
+            pendingTrap = Trap{TrapKind::CycleBudget, pcWord, 0};
+            return;
+        }
     }
 }
 
@@ -930,14 +1084,15 @@ Machine::runReference(uint64_t max_cycles)
  * The predecoded fast path: executes from the decode cache with the
  * trace branch removed, the MAC shadow logic compiled out unless
  * @p Ise, and the instruction/cycle counters batched in locals that
- * are flushed on every exit (including the panic exits, so observed
+ * are flushed on every exit (including the trap exits, so observed
  * state is always consistent with the reference path).
  *
  * The instruction semantics below mirror step() case for case;
  * tests/test_decode_cache.cc pins the two paths to identical
- * architectural state and cycle counts.
+ * architectural state and cycle counts, and
+ * tests/test_machine_traps.cc pins identical trap raising.
  */
-template <bool Ise, bool Profiled>
+template <bool Ise, bool Profiled, bool Faulted>
 void
 Machine::runFast(uint64_t max_cycles)
 {
@@ -950,6 +1105,13 @@ Machine::runFast(uint64_t max_cycles)
     [[maybe_unused]] ProfileSink *const sink = profSink;
     [[maybe_unused]] const bool wants_inst = profWantsInst;
     [[maybe_unused]] const uint64_t cycles0 = execStats.cycles;
+    [[maybe_unused]] FaultInjector *const inj = faultInj;
+    const uint16_t data_limit = dataLimitV;
+    const uint16_t stack_guard = stackGuardV;
+    // Set by the guarded access lambdas; checked once per retired
+    // instruction. Never reset: the loop exits on the first trap.
+    TrapKind trap_kind = TrapKind::None;
+    uint16_t trap_addr = 0;
 
     /*
      * Hot state lives in locals: byte stores into the simulated SRAM
@@ -1012,8 +1174,14 @@ Machine::runFast(uint64_t max_cycles)
     // fallback syncs the local SREG around readData/writeData, which
     // can read or write SREG at data address 0x5f.
     auto loadMem = [&](uint16_t a) -> uint8_t {
-        if (a >= sramBase) [[likely]]
+        if (a >= sramBase) [[likely]] {
+            if (a > data_limit) [[unlikely]] {
+                trap_kind = TrapKind::SramOutOfBounds;
+                trap_addr = a;
+                return 0xff;
+            }
             return sram_data[a - sramBase];
+        }
         sregBits = sreg;
         regs = r8;
         uint8_t v = readData(a);
@@ -1023,6 +1191,11 @@ Machine::runFast(uint64_t max_cycles)
     };
     auto storeMem = [&](uint16_t a, uint8_t v) {
         if (a >= sramBase) [[likely]] {
+            if (a > data_limit) [[unlikely]] {
+                trap_kind = TrapKind::SramOutOfBounds;
+                trap_addr = a;
+                return;
+            }
             sram_data[a - sramBase] = v;
             return;
         }
@@ -1060,8 +1233,15 @@ Machine::runFast(uint64_t max_cycles)
         }
     };
     auto pushB = [&](uint8_t v) {
-        storeMem(sp(), v);
-        setSp(sp() - 1);
+        uint16_t a = sp();
+        if (a < stack_guard) [[unlikely]] {
+            trap_kind = TrapKind::StackOverflow;
+            trap_addr = a;
+            return;
+        }
+        storeMem(a, v);
+        if (trap_kind == TrapKind::None) [[likely]]
+            setSp(a - 1);
     };
     auto popB = [&]() -> uint8_t {
         setSp(sp() + 1);
@@ -1078,14 +1258,50 @@ Machine::runFast(uint64_t max_cycles)
     };
 
     while (pc != exitAddress) {
+        if constexpr (Faulted) {
+            if (inj->checkFire(pc, cycles0 + consumed)) [[unlikely]] {
+                // Mirror of applyBoundaryFault() on the local hot
+                // state (the reference path uses the member copy).
+                const FaultPlan &fp = inj->plan();
+                switch (fp.target) {
+                  case FaultTarget::Gpr:
+                  case FaultTarget::MacAcc:
+                    r8[fp.reg & 31] ^= static_cast<uint8_t>(fp.mask);
+                    break;
+                  case FaultTarget::Sreg:
+                    sreg ^= static_cast<uint8_t>(fp.mask);
+                    break;
+                  case FaultTarget::Sram:
+                    if (fp.sramAddr >= sramBase)
+                        sram_data[fp.sramAddr - sramBase] ^=
+                            static_cast<uint8_t>(fp.mask);
+                    break;
+                  case FaultTarget::InstSkip:
+                    pc = (pc + cache[pc & (flashWords - 1)].inst.words) &
+                         0xffff;
+                    continue;  // the skip consumed this boundary
+                  case FaultTarget::OpcodeCorrupt:
+                    // Touches flash + decode cache only, no hot state.
+                    corruptFlashWord(fp.flashAddr == FaultPlan::kCurrentPc
+                                         ? pc
+                                         : fp.flashAddr,
+                                     fp.mask);
+                    break;
+                }
+            }
+        }
+
         const DecodedInst &dc = cache[pc & (flashWords - 1)];
         const Inst &inst = dc.inst;
         [[maybe_unused]] const uint32_t ipc = pc;
 
         if (inst.op == Op::INVALID) {
+            uint16_t w = flash[pc & (flashWords - 1)];
+            pendingTrap = Trap{w == 0xffff ? TrapKind::FlashOutOfBounds
+                                           : TrapKind::IllegalOpcode,
+                               pc, w};
             flush();
-            panic("invalid opcode 0x%04x at pc=0x%x",
-                  flash[pc & (flashWords - 1)], pc);
+            return;
         }
 
         [[maybe_unused]] bool load_mac = false;
@@ -1095,14 +1311,14 @@ Machine::runFast(uint64_t max_cycles)
             swap_mac = maccr & MacUnit::ctrlSwapMode;
             bool is_r24_load = load_mac && dc.macLoadForm;
             if (shadow > 0 && dc.touchesMac && !is_r24_load) {
+                pendingTrap = Trap{TrapKind::MacHazard, pc, 0};
                 flush();
-                panic("MAC hazard: '%s' touches R0-R8/R16-R19 in the MAC "
-                      "shadow (pc=0x%x)", disassemble(inst).c_str(), pc);
+                return;
             }
             if (shadow >= 2 && is_r24_load) {
+                pendingTrap = Trap{TrapKind::MacHazard, pc, 1};
                 flush();
-                panic("MAC hazard: back-to-back Algorithm-2 triggers "
-                      "(pc=0x%x)", pc);
+                return;
             }
         }
 
@@ -1533,6 +1749,15 @@ Machine::runFast(uint64_t max_cycles)
             break;
         }
 
+        // Trapping instructions do not retire (see step()): PC,
+        // shadow and the batched counters stay as of just before the
+        // instruction; flush() publishes the partial side effects.
+        if (trap_kind != TrapKind::None) [[unlikely]] {
+            pendingTrap = Trap{trap_kind, pc, trap_addr};
+            flush();
+            return;
+        }
+
         if constexpr (Ise) {
             if (mac_triggered)
                 shadow = 2;
@@ -1571,31 +1796,43 @@ Machine::runFast(uint64_t max_cycles)
         if ((insts & 0xffffffu) == 0)
             flush();  // keep the 32-bit op_count entries from saturating
         if (consumed >= max_cycles) {
+            pendingTrap = Trap{TrapKind::CycleBudget, pc, 0};
             flush();
-            panic("Machine::run: cycle budget exceeded "
-                  "(pc=0x%x, %llu cycles)", pc,
-                  static_cast<unsigned long long>(consumed));
+            return;
         }
     }
     flush();
 }
 
-uint64_t
+RunResult
 Machine::run(uint64_t max_cycles)
 {
+    pendingTrap = Trap();
     uint64_t start = execStats.cycles;
-    if (trace || forceReference)
+    if (trace || forceReference) {
         runReference(max_cycles);
-    else if (cpuMode == CpuMode::ISE)
-        profSink ? runFast<true, true>(max_cycles)
-                 : runFast<true, false>(max_cycles);
-    else
-        profSink ? runFast<false, true>(max_cycles)
-                 : runFast<false, false>(max_cycles);
-    return execStats.cycles - start;
+    } else {
+        const bool prof = profSink != nullptr;
+        if (faultInj && faultInj->pending()) {
+            if (cpuMode == CpuMode::ISE)
+                prof ? runFast<true, true, true>(max_cycles)
+                     : runFast<true, false, true>(max_cycles);
+            else
+                prof ? runFast<false, true, true>(max_cycles)
+                     : runFast<false, false, true>(max_cycles);
+        } else {
+            if (cpuMode == CpuMode::ISE)
+                prof ? runFast<true, true, false>(max_cycles)
+                     : runFast<true, false, false>(max_cycles);
+            else
+                prof ? runFast<false, true, false>(max_cycles)
+                     : runFast<false, false, false>(max_cycles);
+        }
+    }
+    return {execStats.cycles - start, pendingTrap};
 }
 
-uint64_t
+RunResult
 Machine::call(uint32_t word_addr, uint64_t max_cycles)
 {
     pushPc(exitAddress);

@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "avr/isa.hh"
@@ -27,6 +28,66 @@ namespace jaavr
 {
 
 class ProfileSink;
+class FaultInjector;
+
+/**
+ * Reason a run stopped before reaching the exit sentinel. Every
+ * anomaly the ISS previously panic()-aborted on is now a recoverable
+ * trap so a fault-injection campaign can run tens of thousands of
+ * perturbed executions in one process (see DESIGN.md, "Fault model
+ * & hardening").
+ */
+enum class TrapKind : uint8_t
+{
+    None = 0,
+    IllegalOpcode,    ///< undecodable (reserved) opcode word
+    FlashOutOfBounds, ///< PC reached erased flash (left the program)
+    SramOutOfBounds,  ///< data access beyond Machine::dataLimit()
+    StackOverflow,    ///< push below Machine::stackGuard()
+    CycleBudget,      ///< run()/call() cycle budget exhausted
+    MacHazard,        ///< Algorithm-2 MAC shadow-register violation
+};
+
+/** Short stable name for @p kind ("illegal_opcode", ...). */
+const char *trapKindName(TrapKind kind);
+
+/**
+ * A raised trap: the reason, the word address of the faulting
+ * instruction (for CycleBudget: the next instruction), and a
+ * kind-specific detail — the offending data address for
+ * SramOutOfBounds/StackOverflow, the opcode word for
+ * IllegalOpcode/FlashOutOfBounds, 1 for a back-to-back MacHazard.
+ * The trapping instruction does not retire: PC, registers and
+ * statistics are left as of just before it, identically on the
+ * reference and fast paths.
+ */
+struct Trap
+{
+    TrapKind kind = TrapKind::None;
+    uint32_t pc = 0;
+    uint16_t addr = 0;
+
+    explicit operator bool() const { return kind != TrapKind::None; }
+    bool operator==(const Trap &) const = default;
+
+    /** One-line human-readable description. */
+    std::string describe() const;
+};
+
+/**
+ * Result of Machine::run()/call(): consumed cycles plus the trap
+ * that stopped execution (kind None on a clean exit). Converts
+ * implicitly to the cycle count so existing `uint64_t cycles =
+ * m.call(...)` call sites keep working unchanged.
+ */
+struct RunResult
+{
+    uint64_t cycles = 0;
+    Trap trap;
+
+    bool ok() const { return trap.kind == TrapKind::None; }
+    operator uint64_t() const { return cycles; }
+};
 
 /** Per-mnemonic execution statistics. */
 struct ExecStats
@@ -130,7 +191,9 @@ class Machine
     static constexpr uint64_t defaultCycleBudget = 100000000ULL;
 
     /**
-     * Execute one instruction; returns its cycle cost.
+     * Execute one instruction; returns its cycle cost, or 0 with
+     * trap() set if the instruction trapped (in which case nothing
+     * retired: PC and statistics are unchanged).
      *
      * This is the *reference* path: it re-fetches and re-decodes the
      * flash words on every call and evaluates the mode/trace/MAC
@@ -141,24 +204,49 @@ class Machine
     unsigned step();
 
     /**
-     * Run from the current PC until it reaches exitAddress; returns
-     * the consumed cycles. Panics once @p max_cycles cycles have been
-     * consumed (>= semantics: consuming exactly the budget panics,
-     * identically on the fast and reference paths).
+     * Run from the current PC until it reaches exitAddress. Returns
+     * the consumed cycles plus the trap that stopped execution, if
+     * any; a CycleBudget trap is raised once @p max_cycles cycles
+     * have been consumed (>= semantics: consuming exactly the budget
+     * traps, identically on the fast and reference paths).
      *
      * Dispatches to a mode-specialized predecoded loop unless trace
      * or forceReference is set, which select the step()-based
      * reference loop.
      */
-    uint64_t run(uint64_t max_cycles = defaultCycleBudget);
+    RunResult run(uint64_t max_cycles = defaultCycleBudget);
 
     /**
      * Call the routine at @p word_addr: pushes the exit sentinel,
      * runs until the matching RET, returns the consumed cycles.
-     * Budget semantics as in run().
+     * Trap/budget semantics as in run().
      */
-    uint64_t call(uint32_t word_addr,
-                  uint64_t max_cycles = defaultCycleBudget);
+    RunResult call(uint32_t word_addr,
+                   uint64_t max_cycles = defaultCycleBudget);
+
+    /** Trap raised by the last step()/run()/call(), kind None if
+     *  execution completed cleanly. Cleared by run()/call()/reset(). */
+    const Trap &trap() const { return pendingTrap; }
+
+    // --- Memory protection bounds ------------------------------------
+
+    /**
+     * Highest valid data-space address for loads, stores, pushes and
+     * pops; anything above raises SramOutOfBounds. Defaults to
+     * 0x10ff, the top of the ATmega128's internal SRAM — addresses
+     * beyond it have no physical memory and previously aliased the
+     * simulator's oversized backing array silently.
+     */
+    uint16_t dataLimit() const { return dataLimitV; }
+    void setDataLimit(uint16_t v) { dataLimitV = v; }
+
+    /**
+     * Lowest address the stack may push to; a push targeting an
+     * address below it raises StackOverflow before the write (the
+     * data segment stays intact). Defaults to sramBase.
+     */
+    uint16_t stackGuard() const { return stackGuardV; }
+    void setStackGuard(uint16_t v) { stackGuardV = v; }
 
     /** Predecoded view of flash word @p word_addr (fast-path source). */
     const DecodedInst &decoded(uint32_t word_addr) const
@@ -179,6 +267,24 @@ class Machine
      */
     void setProfiler(ProfileSink *sink);
     ProfileSink *profiler() const { return profSink; }
+
+    /**
+     * Attach a fault injector (nullptr detaches). With no armed plan
+     * the fast path carries zero injection overhead (a separate loop
+     * instantiation, as for ProfileSink). The injector must outlive
+     * the machine or detach before destruction.
+     */
+    void setFaultInjector(FaultInjector *inj) { faultInj = inj; }
+    FaultInjector *faultInjector() const { return faultInj; }
+
+    /**
+     * XOR @p mask into the flash word at @p word_addr and refresh the
+     * decode cache (this word and its predecessor, whose two-word
+     * operand may have changed). Used by FaultInjector for opcode
+     * corruption; XOR is involutive, so applying the same mask again
+     * reverts the corruption.
+     */
+    void corruptFlashWord(uint32_t word_addr, uint16_t mask);
 
     /**
      * Enable per-instruction tracing to stderr (routed through an
@@ -226,11 +332,22 @@ class Machine
     void runReference(uint64_t max_cycles);
 
     /**
-     * Predecoded, mode-specialized run loop (the fast path). The
-     * @p Profiled instantiation fires ProfileSink events; the plain
-     * one compiles every profiling hook out.
+     * Apply the armed fault plan to architectural state at an
+     * instruction boundary (reference path). Returns true when the
+     * fault consumed the boundary itself (instruction skip advanced
+     * the PC), false when execution should continue into the
+     * (possibly perturbed) instruction.
      */
-    template <bool Ise, bool Profiled> void runFast(uint64_t max_cycles);
+    bool applyBoundaryFault();
+
+    /**
+     * Predecoded, mode-specialized run loop (the fast path). The
+     * @p Profiled instantiation fires ProfileSink events, the
+     * @p Faulted one polls the armed FaultInjector per instruction;
+     * the plain instantiation compiles both hooks out.
+     */
+    template <bool Ise, bool Profiled, bool Faulted>
+    void runFast(uint64_t max_cycles);
 
     CpuMode cpuMode;
     std::array<uint8_t, 32> regs{};
@@ -245,6 +362,10 @@ class Machine
     ProfileSink *profSink = nullptr;
     bool profWantsInst = false;          ///< cached sink capability
     std::unique_ptr<ProfileSink> ownedTrace; ///< lazy `trace` sink
+    FaultInjector *faultInj = nullptr;
+    Trap pendingTrap;
+    uint16_t dataLimitV = 0x10ff; ///< top of ATmega128 internal SRAM
+    uint16_t stackGuardV = sramBase;
 };
 
 } // namespace jaavr

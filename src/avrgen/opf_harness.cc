@@ -6,7 +6,7 @@ namespace jaavr
 {
 
 OpfAvrLibrary::OpfAvrLibrary(const OpfPrime &prime, CpuMode mode)
-    : opf(prime), s(prime.k / 32 + 1),
+    : opf(prime), s(prime.k / 32 + 1), fieldModel(prime),
       machine_(std::make_unique<Machine>(mode))
 {
     progAdd = assemble(genOpfAddSub(prime, false), "opf_add");
@@ -56,13 +56,46 @@ OpfAvrLibrary::run(uint32_t entry, const OpfField::Words &a,
     machine_->setZ(OpfMemoryMap::bAddr);
     machine_->setSp(0x10ff);
     uint64_t insts = machine_->stats().instructions;
-    uint64_t cycles = machine_->call(entry);
+    RunResult rr = machine_->call(entry);
     OpfRun out;
-    out.cycles = cycles;
+    out.cycles = rr.cycles;
+    out.trap = rr.trap;
     out.instructions = machine_->stats().instructions - insts;
     out.result = fromBytes(
         machine_->readBytes(OpfMemoryMap::resultAddr, 4 * s));
     return out;
+}
+
+OpfCheckedRun
+OpfAvrLibrary::mulChecked(const OpfField::Words &a,
+                          const OpfField::Words &b)
+{
+    OpfCheckedRun out;
+    out.first = run(mulEntry, a, b);
+    OpfRun second = run(mulEntry, a, b);
+    out.redundantOk = second.result == out.first.result &&
+                      second.trap == out.first.trap;
+    out.coherentOk = coherent(out.first);
+    return out;
+}
+
+bool
+OpfAvrLibrary::coherent(const OpfRun &r) const
+{
+    if (r.trap.kind != TrapKind::None)
+        return false;
+    if (r.result.size() != s)
+        return false;
+    // The incomplete representation bounds the value by 2^(32 s);
+    // fromBytes() guarantees that structurally, so the meaningful
+    // remaining check is the Montgomery round trip on the canonical
+    // residue: canonical(r) must re-enter and leave the Montgomery
+    // domain unchanged under the host model.
+    BigUInt canonical = fieldModel.canonical(r.result);
+    if (!(canonical < fieldModel.modulus()))
+        return false;
+    OpfField::Words mont = fieldModel.toMont(canonical);
+    return fieldModel.fromMont(mont) == canonical;
 }
 
 OpfRun

@@ -26,6 +26,27 @@ struct OpfRun
     OpfField::Words result;
     uint64_t cycles;
     uint64_t instructions = 0; ///< dynamic instructions retired
+    Trap trap;                 ///< ISS trap, kind None on a clean run
+};
+
+/**
+ * A time-redundant routine execution (see DESIGN.md, "Fault model &
+ * hardening"): the routine runs twice and the results are compared.
+ * A transient fault — the FaultInjector's plans fire exactly once —
+ * perturbs at most one of the runs, so a mismatch or a trap in
+ * either run flags the fault.
+ */
+struct OpfCheckedRun
+{
+    OpfRun first;          ///< the run whose result would be consumed
+    bool redundantOk;      ///< second run matched (result and trap)
+    bool coherentOk;       ///< structural self-check on the result
+
+    bool ok() const
+    {
+        return first.trap.kind == TrapKind::None && redundantOk &&
+               coherentOk;
+    }
 };
 
 class OpfAvrLibrary
@@ -53,6 +74,22 @@ class OpfAvrLibrary
     /** Montgomery-domain inverse a^-1 * 2^n (mod p), n = 32 s. */
     OpfRun inv(const OpfField::Words &a);
 
+    /** Time-redundant multiplication with coherence self-check. */
+    OpfCheckedRun mulChecked(const OpfField::Words &a,
+                             const OpfField::Words &b);
+
+    /**
+     * Structural coherence of @p r: no trap, the value is inside the
+     * incomplete s-word representation range, and its canonical
+     * residue survives a host-side Montgomery-domain round trip.
+     * These checks catch marshalling faults and gross corruption;
+     * arithmetic faults that stay inside the representation range
+     * need the time redundancy of mulChecked() (the incomplete
+     * representation admits any value in [0, 2^(32 s)), so a plain
+     * result < p test would reject legitimate clean results).
+     */
+    bool coherent(const OpfRun &r) const;
+
     /** Flash footprint of the four routines (paper: "ROM bytes"). */
     size_t romBytes() const;
 
@@ -71,6 +108,7 @@ class OpfAvrLibrary
 
     OpfPrime opf;
     size_t s;
+    OpfField fieldModel; ///< host-side model for coherence checks
     std::unique_ptr<Machine> machine_;
     Program progAdd, progSub, progMul, progInv;
     static constexpr uint32_t addEntry = 0x0000;

@@ -62,9 +62,10 @@ Secp160AvrLibrary::run(uint32_t entry, const std::vector<uint32_t> &a,
     machine_->setZ(OpfMemoryMap::bAddr);
     machine_->setSp(0x10ff);
     uint64_t insts = machine_->stats().instructions;
-    uint64_t cycles = machine_->call(entry);
+    RunResult rr = machine_->call(entry);
     OpfRun out;
-    out.cycles = cycles;
+    out.cycles = rr.cycles;
+    out.trap = rr.trap;
     out.instructions = machine_->stats().instructions - insts;
     out.result =
         fromBytes(machine_->readBytes(OpfMemoryMap::resultAddr, 20));

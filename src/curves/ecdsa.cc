@@ -1,5 +1,6 @@
 #include "curves/ecdsa.hh"
 
+#include "curves/validate.hh"
 #include "support/logging.hh"
 #include "support/sha256.hh"
 
@@ -10,15 +11,15 @@ Ecdsa::Ecdsa(const WeierstrassCurve &curve, const AffinePoint &gen,
              const BigUInt &order)
     : c(curve), glv(nullptr), g(gen), n(order)
 {
-    if (!c.onCurve(g))
-        fatal("Ecdsa: generator not on curve");
-    if (!c.mulBinary(n, g).inf)
-        fatal("Ecdsa: generator order mismatch");
+    if (!validatePoint(c, g, &n))
+        fatal("Ecdsa: invalid generator (off curve or order mismatch)");
 }
 
 Ecdsa::Ecdsa(const GlvCurve &curve)
     : c(curve), glv(&curve), g(curve.generator()), n(curve.order())
 {
+    if (!validatePoint(c, g, &n))
+        fatal("Ecdsa: invalid GLV generator");
 }
 
 BigUInt
@@ -49,12 +50,16 @@ Ecdsa::generateKey(Rng &rng) const
     EcdsaKeyPair kp;
     kp.d = BigUInt(1) + BigUInt::random(rng, n - BigUInt(1));
     kp.q = mul(kp.d, g);
+    if (!validatePoint(c, kp.q, &n))
+        fatal("Ecdsa: generated public key failed validation");
     return kp;
 }
 
 EcdsaSignature
 Ecdsa::sign(const std::string &message, const BigUInt &d, Rng &rng) const
 {
+    if (!validScalar(d, n))
+        fatal("Ecdsa::sign: private scalar out of range");
     BigUInt e = hashToScalar(message);
     for (;;) {
         BigUInt k = BigUInt(1) + BigUInt::random(rng, n - BigUInt(1));
@@ -75,9 +80,9 @@ bool
 Ecdsa::verify(const std::string &message, const EcdsaSignature &sig,
               const AffinePoint &q) const
 {
-    if (sig.r.isZero() || sig.r >= n || sig.s.isZero() || sig.s >= n)
+    if (!validScalar(sig.r, n) || !validScalar(sig.s, n))
         return false;
-    if (q.inf || !c.onCurve(q))
+    if (!validatePoint(c, q, &n))
         return false;
 
     BigUInt e = hashToScalar(message);

@@ -1,0 +1,152 @@
+#include "curves/small_curves.hh"
+
+#include "nt/primality.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace jaavr
+{
+
+namespace
+{
+
+/**
+ * Full order of B y^2 = x^3 + A x^2 + x over F_p by the quadratic
+ * character: each x contributes 1 + chi(rhs/B) points (one when
+ * rhs = 0), plus the point at infinity.
+ */
+uint64_t
+countMontgomeryPoints(const PrimeField &f, const BigUInt &ca,
+                      const BigUInt &cb)
+{
+    uint64_t p = f.modulus().toUint64();
+    BigUInt inv_b = f.inv(cb);
+    uint64_t count = 1; // infinity
+    for (uint64_t xi = 0; xi < p; xi++) {
+        BigUInt x(xi);
+        BigUInt rhs =
+            f.mul(x, f.add(f.add(f.sqr(x), f.mul(ca, x)), BigUInt(1)));
+        if (rhs.isZero()) {
+            count += 1;
+            continue;
+        }
+        int chi = jacobi(f.mul(rhs, inv_b), f.modulus());
+        count += static_cast<uint64_t>(1 + chi);
+    }
+    return count;
+}
+
+struct Selection
+{
+    uint64_t p;
+    uint32_t a;
+    uint64_t order;
+};
+
+/**
+ * Smallest prime p = 1 (mod 4) above 10000 admitting an A = 2
+ * (mod 4) with a non-square Edwards d and a group order that is a
+ * power-of-two cofactor <= 8 times an odd prime.
+ */
+Selection
+selectSmallPair()
+{
+    Rng rng(0xc0ffee);
+    for (uint64_t p = 10001;; p += 4) {
+        if (!isProbablePrime(BigUInt(p), rng))
+            continue;
+        PrimeField f{BigUInt(p)};
+        // The Edwards twin needs a = -1 to be a square for a
+        // complete addition law.
+        if (!f.isSquare(f.neg(BigUInt(1))))
+            continue;
+        for (uint32_t a = 6; a < 128; a += 4) {
+            BigUInt d = f.mul(f.sub(BigUInt(2), f.fromUint(a)),
+                              f.inv(f.fromUint(a + 2)));
+            if (f.isSquare(d))
+                continue;
+            BigUInt cb = f.neg(f.fromUint(a + 2));
+            uint64_t order = countMontgomeryPoints(f, f.fromUint(a), cb);
+            uint64_t odd = order;
+            uint64_t cof = 1;
+            while (odd % 2 == 0) {
+                odd /= 2;
+                cof *= 2;
+            }
+            if (cof > 8 || !isProbablePrime(BigUInt(odd), rng))
+                continue;
+            return Selection{p, a, order};
+        }
+    }
+}
+
+} // anonymous namespace
+
+SmallCurvePair::SmallCurvePair(const BigUInt &p, uint32_t ca,
+                               const BigUInt &order)
+    : field(p),
+      montgomery(field, field.fromUint(ca),
+                 field.neg(field.fromUint(ca + 2)), "montgomery-small"),
+      edwards(field, field.neg(BigUInt(1)),
+              field.mul(field.sub(BigUInt(2), field.fromUint(ca)),
+                        field.inv(field.fromUint(ca + 2))),
+              "edwards-small"),
+      groupOrder(order)
+{
+    n = groupOrder;
+    cofactor = BigUInt(1);
+    while (!n.isOdd()) {
+        n >>= 1;
+        cofactor = cofactor + cofactor;
+    }
+
+    // An order-n base point: clear the cofactor off a random point
+    // via the Weierstrass image (the only full-point multiplication
+    // available for Montgomery curves).
+    WeierstrassCurve w = montgomery.toWeierstrass();
+    Rng rng(0xba5e);
+    for (;;) {
+        AffinePoint r = montgomery.randomPoint(rng);
+        AffinePoint rw = montgomery.mapToWeierstrass(r);
+        AffinePoint qw = w.mulBinary(cofactor, rw);
+        if (qw.inf)
+            continue;
+        montBase = montgomery.mapFromWeierstrass(qw);
+        break;
+    }
+    if (!montgomery.onCurve(montBase))
+        panic("SmallCurvePair: base point off curve");
+    if (montgomery.ladder(n, montBase.x).has_value())
+        panic("SmallCurvePair: base point order mismatch");
+
+    edBase = montgomeryToEdwards(*this, montBase);
+    if (!edwards.onCurve(edBase))
+        panic("SmallCurvePair: Edwards base off curve");
+    if (!edwards.isIdentity(edwards.mulBinary(n, edBase)))
+        panic("SmallCurvePair: Edwards base order mismatch");
+    if (!edwards.isComplete())
+        panic("SmallCurvePair: Edwards twin not complete");
+}
+
+const SmallCurvePair &
+smallCurvePair()
+{
+    static const Selection sel = selectSmallPair();
+    static const SmallCurvePair pair(BigUInt(sel.p), sel.a,
+                                     BigUInt(sel.order));
+    return pair;
+}
+
+AffinePoint
+montgomeryToEdwards(const SmallCurvePair &pair, const AffinePoint &p)
+{
+    const PrimeField &f = pair.field;
+    BigUInt one(1);
+    if (p.inf || p.y.isZero() || f.add(p.x, one).isZero())
+        panic("montgomeryToEdwards: exceptional point");
+    BigUInt xe = f.mul(p.x, f.inv(p.y));
+    BigUInt ye = f.mul(f.sub(p.x, one), f.inv(f.add(p.x, one)));
+    return AffinePoint(xe, ye);
+}
+
+} // namespace jaavr

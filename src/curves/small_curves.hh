@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A small-field Montgomery/Edwards curve pair with a brute-force
+ * point count.
+ *
+ * The paper's OPF Montgomery and twisted Edwards curves are
+ * constructed without their group orders (point counting over the
+ * 160-bit fields is out of scope — see DESIGN.md), yet the hardened
+ * scalar multiplications and the fault campaign need a known prime
+ * subgroup order to run the full validation (subgroup membership)
+ * path. This module constructs a structurally identical pair —
+ * B = -(A+2), Edwards twin with a = -1 and non-square d — over a
+ * small prime where the order is countable with the quadratic
+ * character, and derives a base point of the odd prime subgroup
+ * order. Apparatus for tests and the fault campaign, not part of the
+ * paper's design space.
+ */
+
+#ifndef JAAVR_CURVES_SMALL_CURVES_HH
+#define JAAVR_CURVES_SMALL_CURVES_HH
+
+#include "curves/edwards.hh"
+#include "curves/montgomery.hh"
+
+namespace jaavr
+{
+
+/** Montgomery curve, its Edwards twin, and their counted order. */
+struct SmallCurvePair
+{
+    PrimeField field;
+    MontgomeryCurve montgomery;
+    EdwardsCurve edwards;
+    BigUInt groupOrder; ///< full group order (shared: birational)
+    BigUInt n;          ///< odd prime subgroup order
+    BigUInt cofactor;   ///< groupOrder / n, a power of two <= 8
+    AffinePoint montBase; ///< order-n point on the Montgomery curve
+    AffinePoint edBase;   ///< the same point on the Edwards twin
+
+    SmallCurvePair(const SmallCurvePair &) = delete;
+    SmallCurvePair &operator=(const SmallCurvePair &) = delete;
+
+  private:
+    SmallCurvePair(const BigUInt &p, uint32_t ca, const BigUInt &order);
+    friend const SmallCurvePair &smallCurvePair();
+};
+
+/**
+ * The lazily constructed singleton pair (deterministic: the smallest
+ * qualifying prime p = 1 (mod 4) and coefficient A). Construction
+ * self-checks and panics on inconsistency.
+ */
+const SmallCurvePair &smallCurvePair();
+
+/** Map a point from the Montgomery member of @p pair to its Edwards
+ *  twin: x_e = u/v, y_e = (u-1)/(u+1). Panics on exceptional points
+ *  (v = 0 or u = -1, i.e. order <= 2). */
+AffinePoint montgomeryToEdwards(const SmallCurvePair &pair,
+                                const AffinePoint &p);
+
+} // namespace jaavr
+
+#endif // JAAVR_CURVES_SMALL_CURVES_HH

@@ -1,0 +1,162 @@
+#include "curves/validate.hh"
+
+namespace jaavr
+{
+
+bool
+validScalar(const BigUInt &k, const BigUInt &n)
+{
+    return !k.isZero() && k < n;
+}
+
+bool
+validatePoint(const WeierstrassCurve &c, const AffinePoint &p,
+              const BigUInt *order)
+{
+    if (p.inf)
+        return false;
+    const BigUInt &m = c.field().modulus();
+    if (!(p.x < m) || !(p.y < m))
+        return false;
+    if (!c.onCurve(p))
+        return false;
+    if (order && !c.mulBinary(*order, p).inf)
+        return false;
+    return true;
+}
+
+bool
+validatePoint(const EdwardsCurve &c, const AffinePoint &p,
+              const BigUInt *order)
+{
+    if (p.inf || c.isIdentity(p))
+        return false;
+    const BigUInt &m = c.field().modulus();
+    if (!(p.x < m) || !(p.y < m))
+        return false;
+    if (!c.onCurve(p))
+        return false;
+    if (order && !c.isIdentity(c.mulBinary(*order, p)))
+        return false;
+    return true;
+}
+
+bool
+validateX(const MontgomeryCurve &c, const BigUInt &x)
+{
+    const PrimeField &f = c.field();
+    if (!(x < f.modulus()))
+        return false;
+    // rhs = x^3 + A x^2 + x = x (x^2 + A x + 1)
+    BigUInt x2 = f.sqr(x);
+    BigUInt rhs = f.mul(x, f.add(f.add(x2, f.mul(c.coeffA(), x)),
+                                 BigUInt(1)));
+    if (rhs.isZero())
+        return false; // order <= 2
+    return f.isSquare(f.mul(rhs, f.inv(c.coeffB())));
+}
+
+namespace
+{
+
+HardenedMul
+fail(const char *reason)
+{
+    HardenedMul r;
+    r.reason = reason;
+    return r;
+}
+
+} // anonymous namespace
+
+HardenedMul
+hardenedMulWeierstrass(const WeierstrassCurve &c, const BigUInt &k,
+                       const AffinePoint &p, const BigUInt &n)
+{
+    if (!validScalar(k, n))
+        return fail("invalid scalar");
+    if (!validatePoint(c, p, &n))
+        return fail("invalid input point");
+    AffinePoint primary = c.mulLadder(k, p);
+    AffinePoint redo = c.mulNaf(k, p);
+    if (primary.inf != redo.inf ||
+        (!primary.inf && (primary.x != redo.x || primary.y != redo.y)))
+        return fail("recomputation mismatch");
+    // k in [1, n) times a point of prime order n is never infinity.
+    if (!validatePoint(c, primary))
+        return fail("invalid output point");
+    HardenedMul r;
+    r.point = primary;
+    r.ok = true;
+    return r;
+}
+
+HardenedMul
+hardenedMulGlv(const GlvCurve &c, const BigUInt &k, const AffinePoint &p)
+{
+    const BigUInt &n = c.order();
+    if (!validScalar(k, n))
+        return fail("invalid scalar");
+    if (!validatePoint(c, p, &n))
+        return fail("invalid input point");
+    AffinePoint primary = c.mulGlvJsf(k, p);
+    AffinePoint redo = c.mulLadder(k, p);
+    if (primary.inf != redo.inf ||
+        (!primary.inf && (primary.x != redo.x || primary.y != redo.y)))
+        return fail("recomputation mismatch");
+    if (!validatePoint(c, primary))
+        return fail("invalid output point");
+    HardenedMul r;
+    r.point = primary;
+    r.ok = true;
+    return r;
+}
+
+HardenedMul
+hardenedMulEdwards(const EdwardsCurve &c, const BigUInt &k,
+                   const AffinePoint &p, const BigUInt &n)
+{
+    if (!validScalar(k, n))
+        return fail("invalid scalar");
+    if (!validatePoint(c, p, &n))
+        return fail("invalid input point");
+    AffinePoint primary = c.mulDaaa(k, p);
+    AffinePoint redo = c.mulNaf(k, p);
+    if (primary.x != redo.x || primary.y != redo.y)
+        return fail("recomputation mismatch");
+    if (!validatePoint(c, primary))
+        return fail("invalid output point");
+    HardenedMul r;
+    r.point = primary;
+    r.ok = true;
+    return r;
+}
+
+HardenedMul
+hardenedMulMontgomery(const MontgomeryCurve &c, const BigUInt &k,
+                      const BigUInt &x, const BigUInt &n)
+{
+    if (!validScalar(k, n))
+        return fail("invalid scalar");
+    if (!validateX(c, x))
+        return fail("invalid input point");
+    // Duplicate-image redundancy: the second pass starts from its own
+    // copies of k and x, so a fault in one image diverges the passes.
+    BigUInt k2 = k;
+    BigUInt x2 = x;
+    std::optional<BigUInt> primary = c.ladder(k, x);
+    std::optional<BigUInt> redo = c.ladder(k2, x2);
+    if (primary.has_value() != redo.has_value() ||
+        (primary && *primary != *redo))
+        return fail("recomputation mismatch");
+    if (!primary)
+        return fail("result at infinity");
+    if (!validateX(c, *primary))
+        return fail("invalid output point");
+    HardenedMul r;
+    r.x = primary;
+    r.ok = true;
+    return r;
+}
+
+} // namespace jaavr

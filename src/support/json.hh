@@ -14,6 +14,7 @@
 #ifndef JAAVR_SUPPORT_JSON_HH
 #define JAAVR_SUPPORT_JSON_HH
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -70,6 +71,13 @@ class JsonLine
     JsonLine &
     num(const std::string &key, double value)
     {
+        // JSON has no inf/nan literals; "%g" would emit them and
+        // break every downstream parser, so non-finite values map to
+        // null (the lossless-in-spirit choice: "no number here").
+        if (!std::isfinite(value)) {
+            fields.push_back("\"" + jsonEscape(key) + "\":null");
+            return *this;
+        }
         char buf[64];
         std::snprintf(buf, sizeof buf, "%.6g", value);
         fields.push_back("\"" + jsonEscape(key) + "\":" + buf);

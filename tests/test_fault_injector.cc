@@ -1,0 +1,312 @@
+/**
+ * @file
+ * FaultInjector semantics: deterministic firing, one-shot behavior
+ * (the basis of time-redundant detection), identical perturbed
+ * execution on the step() reference path and the runFast Faulted
+ * instantiations, every fault target, routine-entry triggers through
+ * the SymbolTable, and flash corruption revert.
+ */
+
+#include <gtest/gtest.h>
+
+#include "avr/fault.hh"
+#include "avr/machine.hh"
+#include "avrasm/assembler.hh"
+#include "avrasm/symbol_table.hh"
+#include "avrgen/opf_harness.hh"
+#include "nt/opf_prime.hh"
+#include "support/random.hh"
+
+using namespace jaavr;
+
+namespace
+{
+
+/** A program long enough to give every cycle trigger a boundary:
+ *  writes r16 = 1..16 into 0x0200.., then sums them back into r20. */
+const char *kWorkload = R"(
+    ldi r26, 0x00
+    ldi r27, 0x02
+    ldi r16, 0
+    ldi r17, 16
+fill:
+    inc r16
+    st X+, r16
+    dec r17
+    brne fill
+    ldi r26, 0x00
+    ldi r27, 0x02
+    ldi r17, 16
+    ldi r20, 0
+sum:
+    ld r18, X+
+    add r20, r18
+    dec r17
+    brne sum
+    ret
+)";
+
+struct RunState
+{
+    std::array<uint8_t, 32> regs;
+    uint8_t sreg;
+    uint16_t sp;
+    uint32_t pc;
+    uint64_t cycles;
+    Trap trap;
+    std::vector<uint8_t> data;
+
+    bool operator==(const RunState &) const = default;
+};
+
+RunState
+runWithPlan(const FaultPlan *plan, bool reference,
+            CpuMode mode = CpuMode::CA)
+{
+    Machine m(mode);
+    m.forceReference = reference;
+    m.loadProgram(assemble(kWorkload, "w").words, 0);
+    FaultInjector inj;
+    m.setFaultInjector(&inj);
+    if (plan)
+        inj.arm(*plan, m.stats().cycles);
+    m.call(0);
+    RunState st;
+    for (unsigned i = 0; i < 32; i++)
+        st.regs[i] = m.reg(i);
+    st.sreg = m.sreg();
+    st.sp = m.sp();
+    st.pc = m.pc();
+    st.cycles = m.stats().cycles;
+    st.trap = m.trap();
+    st.data = m.readBytes(0x0200, 32);
+    return st;
+}
+
+} // namespace
+
+TEST(FaultInjector, UnarmedInjectorPerturbsNothing)
+{
+    RunState with = runWithPlan(nullptr, false);
+    Machine bare(CpuMode::CA);
+    bare.loadProgram(assemble(kWorkload, "w").words, 0);
+    bare.call(0);
+    EXPECT_EQ(with.regs[20], bare.reg(20));
+    EXPECT_EQ(with.cycles, bare.stats().cycles);
+    EXPECT_EQ(with.regs[20], 136);  // 1+2+...+16
+}
+
+TEST(FaultInjector, GprFlipIsDeterministicAndOneShot)
+{
+    FaultPlan plan;
+    plan.target = FaultTarget::Gpr;
+    plan.reg = 20;
+    plan.mask = 0x81;  // double bit flip
+    plan.triggerCycle = 150;  // mid-summation, after "ldi r20, 0"
+
+    RunState a = runWithPlan(&plan, false);
+    RunState b = runWithPlan(&plan, false);
+    EXPECT_EQ(a, b);  // same seed plan, same outcome
+    EXPECT_NE(a.regs[20], 136);  // the flip corrupted the sum
+
+    // One-shot: a machine re-run with the injector still attached
+    // after firing executes cleanly (time-redundancy foundation).
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble(kWorkload, "w").words, 0);
+    FaultInjector inj;
+    m.setFaultInjector(&inj);
+    inj.arm(plan, 0);
+    m.call(0);
+    EXPECT_TRUE(inj.fired());
+    m.reset();
+    m.call(0);
+    EXPECT_EQ(m.reg(20), 136);
+}
+
+TEST(FaultInjector, AllTargetsMatchOnBothPaths)
+{
+    Rng rng(0x5eed);
+    const FaultTarget targets[] = {
+        FaultTarget::Gpr, FaultTarget::Sreg, FaultTarget::Sram,
+        FaultTarget::MacAcc, FaultTarget::InstSkip,
+        FaultTarget::OpcodeCorrupt,
+    };
+    for (FaultTarget t : targets) {
+        for (unsigned round = 0; round < 8; round++) {
+            FaultPlan plan;
+            plan.target = t;
+            plan.triggerCycle = rng.below(90);
+            plan.reg = static_cast<uint8_t>(
+                t == FaultTarget::MacAcc ? rng.below(9) : rng.below(32));
+            plan.sramAddr =
+                static_cast<uint16_t>(0x0200 + rng.below(16));
+            plan.mask = static_cast<uint16_t>(1u << rng.below(8));
+            if (t == FaultTarget::OpcodeCorrupt)
+                plan.mask = static_cast<uint16_t>(1u << rng.below(16));
+
+            RunState fast = runWithPlan(&plan, false);
+            RunState ref = runWithPlan(&plan, true);
+            EXPECT_EQ(fast, ref)
+                << faultTargetName(t) << " round " << round
+                << " trigger " << plan.triggerCycle << ": fast trap "
+                << fast.trap.describe() << " vs ref trap "
+                << ref.trap.describe();
+        }
+    }
+}
+
+TEST(FaultInjector, InstSkipSkipsExactlyOne)
+{
+    // Three LDIs at one cycle each: skipping the boundary at cycle 1
+    // drops the second LDI only.
+    Program prog = assemble("ldi r16, 1\nldi r17, 2\nldi r18, 3\nret", "t");
+    for (int reference = 0; reference < 2; reference++) {
+        Machine m(CpuMode::CA);
+        m.forceReference = reference != 0;
+        m.loadProgram(prog.words, 0);
+        FaultInjector inj;
+        m.setFaultInjector(&inj);
+        FaultPlan plan;
+        plan.target = FaultTarget::InstSkip;
+        plan.triggerCycle = 1;
+        inj.arm(plan, 0);
+        RunResult r = m.call(0);
+        EXPECT_TRUE(r.ok());
+        EXPECT_EQ(m.reg(16), 1);
+        EXPECT_EQ(m.reg(17), 0);  // skipped
+        EXPECT_EQ(m.reg(18), 3);
+        EXPECT_TRUE(inj.fired());
+        EXPECT_EQ(inj.firedAtPc(), 1u);
+    }
+}
+
+TEST(FaultInjector, OpcodeCorruptionPersistsAndReverts)
+{
+    // Corrupt "ldi r17, 2" (word 1) into garbage mid-run; the
+    // corruption persists in flash (a second run still sees it)
+    // until revertFlash() undoes the XOR.
+    Program prog = assemble("ldi r16, 1\nldi r17, 2\nldi r18, 3\nret", "t");
+    Machine m(CpuMode::CA);
+    m.loadProgram(prog.words, 0);
+    FaultInjector inj;
+    m.setFaultInjector(&inj);
+    FaultPlan plan;
+    plan.target = FaultTarget::OpcodeCorrupt;
+    plan.triggerCycle = 1;
+    plan.flashAddr = FaultPlan::kCurrentPc;
+    // Flip LDI 0xE0x2 into an encoding with a different immediate.
+    plan.mask = 0x0101;
+    inj.arm(plan, 0);
+    RunResult first = m.call(0);
+    EXPECT_TRUE(inj.fired());
+    EXPECT_EQ(inj.firedAtPc(), 1u);
+    EXPECT_TRUE(first.ok());
+    EXPECT_NE(m.reg(17), 2);  // corrupted immediate
+
+    // Persistent: re-running without revert repeats the corruption.
+    m.reset();
+    m.call(0);
+    EXPECT_NE(m.reg(17), 2);
+
+    // Revert restores the original program behavior.
+    inj.revertFlash(m);
+    m.reset();
+    m.call(0);
+    EXPECT_EQ(m.reg(17), 2);
+}
+
+TEST(FaultInjector, EntryTriggeredPlanWaitsForRoutine)
+{
+    // Routine g at a higher address; a plan triggered at g's entry
+    // must not fire during the long preamble loop before the call.
+    Program prog = assemble(R"(
+        ldi r17, 50
+warm:
+        dec r17
+        brne warm
+        rcall g
+        ret
+g:
+        ldi r20, 5
+        ldi r21, 6
+        ret
+    )", "t");
+    SymbolTable syms;
+    syms.addProgram("prog", prog, 0);
+    ASSERT_TRUE(prog.labels.count("g"));
+    uint32_t g_entry = prog.labels.at("g");
+
+    for (int reference = 0; reference < 2; reference++) {
+        Machine m(CpuMode::CA);
+        m.forceReference = reference != 0;
+        m.loadProgram(prog.words, 0);
+        FaultInjector inj;
+        m.setFaultInjector(&inj);
+        FaultPlan plan;
+        plan.target = FaultTarget::Gpr;
+        plan.reg = 20;
+        plan.mask = 0x04;
+        plan.atEntry = true;
+        plan.entryPc = g_entry;
+        plan.triggerCycle = 1;  // one cycle into g: after ldi r20
+        inj.arm(plan, 0);
+        RunResult r = m.call(0);
+        EXPECT_TRUE(r.ok());
+        EXPECT_TRUE(inj.fired());
+        // Fired after g's first LDI retired: r20 = 5 ^ 0x04 = 1.
+        EXPECT_EQ(m.reg(20), 1);
+        EXPECT_EQ(m.reg(21), 6);
+        EXPECT_GE(inj.firedAtPc(), g_entry);
+    }
+}
+
+TEST(FaultInjector, MacAccFlipInIseOpfMul)
+{
+    // End-to-end with the generated OPF code in ISE mode: a MAC
+    // accumulator flip during the multiplication corrupts the result
+    // but a clean re-run (time redundancy) exposes it.
+    OpfPrime prime = paperOpfPrime();
+    OpfAvrLibrary lib(prime, CpuMode::ISE);
+    OpfField field(prime);
+    Rng rng(42);
+    OpfField::Words a = field.fromBig(BigUInt::random(rng, field.modulus()));
+    OpfField::Words b = field.fromBig(BigUInt::random(rng, field.modulus()));
+
+    lib.machine().reset();
+    OpfRun golden = lib.mul(a, b);
+    ASSERT_EQ(golden.trap.kind, TrapKind::None);
+
+    FaultInjector inj;
+    lib.machine().setFaultInjector(&inj);
+    FaultPlan plan;
+    plan.target = FaultTarget::MacAcc;
+    plan.reg = 3;
+    plan.mask = 0x10;
+    plan.triggerCycle = golden.cycles / 2;
+    lib.machine().reset();
+    inj.arm(plan, lib.machine().stats().cycles);
+    OpfRun faulted = lib.mul(a, b);
+    EXPECT_TRUE(inj.fired());
+
+    lib.machine().reset();
+    OpfRun redo = lib.mul(a, b);
+    EXPECT_EQ(redo.result, golden.result);
+    // The flip mid-accumulation must surface either as a trap (MAC
+    // hazard shape change) or as a wrong product.
+    bool detected_or_wrong = faulted.trap.kind != TrapKind::None ||
+                             faulted.result != golden.result;
+    EXPECT_TRUE(detected_or_wrong);
+    lib.machine().setFaultInjector(nullptr);
+}
+
+TEST(FaultInjector, PlanDescribeIsStable)
+{
+    FaultPlan plan;
+    plan.target = FaultTarget::Sram;
+    plan.sramAddr = 0x0220;
+    plan.mask = 0x40;
+    plan.triggerCycle = 17;
+    EXPECT_EQ(plan.describe(), "sram[0x0220] ^= 0x40 at +17 cycles");
+    EXPECT_STREQ(faultTargetName(FaultTarget::OpcodeCorrupt),
+                 "opcode_corrupt");
+}

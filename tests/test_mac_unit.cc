@@ -256,7 +256,7 @@ TEST(MacUnit, SwapModeUsesPreSwapLowNibble)
     EXPECT_EQ(static_cast<uint64_t>(readAcc(*m)), 0x10u * 5u);
 }
 
-TEST(MacUnit, HazardTouchingAccumulatorPanics)
+TEST(MacUnit, HazardTouchingAccumulatorTraps)
 {
     auto m = std::make_unique<Machine>(CpuMode::ISE);
     m->loadProgram(assemble(R"(
@@ -268,10 +268,13 @@ TEST(MacUnit, HazardTouchingAccumulatorPanics)
         ret
     )", "mac").words);
     m->setY(kA);
-    EXPECT_DEATH(m->call(0), "MAC hazard");
+    RunResult r = m->call(0);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.trap.kind, TrapKind::MacHazard);
+    EXPECT_EQ(r.trap.addr, 0u);  // shadow-register touch, not retrigger
 }
 
-TEST(MacUnit, HazardTouchingMultiplicandPanics)
+TEST(MacUnit, HazardTouchingMultiplicandTraps)
 {
     auto m = std::make_unique<Machine>(CpuMode::ISE);
     m->loadProgram(assemble(R"(
@@ -283,10 +286,13 @@ TEST(MacUnit, HazardTouchingMultiplicandPanics)
         ret
     )", "mac").words);
     m->setY(kA);
-    EXPECT_DEATH(m->call(0), "MAC hazard");
+    RunResult r = m->call(0);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.trap.kind, TrapKind::MacHazard);
+    EXPECT_EQ(r.trap.addr, 0u);
 }
 
-TEST(MacUnit, BackToBackTriggersPanic)
+TEST(MacUnit, BackToBackTriggersTrap)
 {
     auto m = std::make_unique<Machine>(CpuMode::ISE);
     m->loadProgram(assemble(R"(
@@ -298,7 +304,10 @@ TEST(MacUnit, BackToBackTriggersPanic)
         ret
     )", "mac").words);
     m->setY(kA);
-    EXPECT_DEATH(m->call(0), "back-to-back");
+    RunResult r = m->call(0);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.trap.kind, TrapKind::MacHazard);
+    EXPECT_EQ(r.trap.addr, 1u);  // back-to-back retrigger flavor
 }
 
 TEST(MacUnit, IndependentWorkInShadowIsLegal)

@@ -395,18 +395,32 @@ TEST(Machine, StatsHistogram)
     EXPECT_EQ(m->stats().instructions, 5u);
 }
 
-TEST(Machine, CycleBudgetPanics)
+TEST(Machine, CycleBudgetTraps)
 {
     Machine m(CpuMode::CA);
     m.loadProgram(assemble("loop: rjmp loop", "t").words);
-    EXPECT_DEATH(m.call(0, 1000), "cycle budget");
+    RunResult r = m.call(0, 1000);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.trap.kind, TrapKind::CycleBudget);
+    EXPECT_EQ(m.trap(), r.trap);
+    // Recoverable: the machine is reusable after the trap.
+    m.reset();
+    m.loadProgram(assemble("ldi r16, 7\nret", "t").words);
+    RunResult ok = m.call(0);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(m.reg(16), 7);
 }
 
-TEST(Machine, InvalidOpcodePanics)
+TEST(Machine, InvalidOpcodeTraps)
 {
     Machine m(CpuMode::CA);
     m.loadProgram({0x9404});  // reserved one-operand encoding
-    EXPECT_DEATH(m.call(0), "invalid opcode");
+    RunResult r = m.call(0);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.trap.kind, TrapKind::IllegalOpcode);
+    EXPECT_EQ(r.trap.pc, 0u);
+    EXPECT_EQ(r.trap.addr, 0x9404u);
+    EXPECT_EQ(r.cycles, 0u);  // the trapping instruction never retired
 }
 
 TEST(Machine, WriteReadBytesHelpers)

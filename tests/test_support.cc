@@ -115,3 +115,17 @@ TEST(Json, LineBuilder)
     line.str("name", "a\"b").num("n", uint64_t(7)).num("x", 1.5);
     EXPECT_EQ(line.text(), "{\"name\":\"a\\\"b\",\"n\":7,\"x\":1.5}");
 }
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    // JSON has no inf/nan literals; emitting them verbatim would
+    // break every parser of the BENCH_*.json trajectory files.
+    JsonLine line;
+    double zero = 0.0;
+    line.num("pinf", 1.0 / zero)
+        .num("ninf", -1.0 / zero)
+        .num("nan", zero / zero)
+        .num("fine", 2.0);
+    EXPECT_EQ(line.text(),
+              "{\"pinf\":null,\"ninf\":null,\"nan\":null,\"fine\":2}");
+}

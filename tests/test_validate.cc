@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unified scalar/point validation and the hardened multiplications:
+ * canonical-range and on-curve rejection, subgroup membership via
+ * the counted small-curve pair, agreement of the hardened paths with
+ * the plain algorithms, and the Ecdsa integration (invalid private
+ * scalars are fatal, invalid public keys unverifiable).
+ */
+
+#include <gtest/gtest.h>
+
+#include "curves/ecdsa.hh"
+#include "curves/small_curves.hh"
+#include "curves/standard_curves.hh"
+#include "curves/validate.hh"
+#include "nt/primality.hh"
+#include "support/random.hh"
+
+using namespace jaavr;
+
+TEST(Validate, ScalarRange)
+{
+    BigUInt n = BigUInt::fromHex("100000000000000000001b8fa16dfab9aca16b6b3");
+    EXPECT_FALSE(validScalar(BigUInt(0), n));
+    EXPECT_TRUE(validScalar(BigUInt(1), n));
+    EXPECT_TRUE(validScalar(n - BigUInt(1), n));
+    EXPECT_FALSE(validScalar(n, n));
+    EXPECT_FALSE(validScalar(n + BigUInt(1), n));
+}
+
+TEST(Validate, WeierstrassPointChecks)
+{
+    const WeierstrassCurve &c = secp160r1Curve();
+    const CurveGenerator &gen = secp160r1Generator();
+    EXPECT_TRUE(validatePoint(c, gen.g));
+    EXPECT_TRUE(validatePoint(c, gen.g, &gen.order));
+
+    EXPECT_FALSE(validatePoint(c, AffinePoint::infinity()));
+
+    // Off-curve: perturb y.
+    AffinePoint bad(gen.g.x, c.field().add(gen.g.y, BigUInt(1)));
+    EXPECT_FALSE(validatePoint(c, bad));
+
+    // Non-canonical coordinates are rejected even though they reduce
+    // to a curve point.
+    AffinePoint wide(gen.g.x + c.field().modulus(), gen.g.y);
+    EXPECT_FALSE(validatePoint(c, wide));
+}
+
+TEST(Validate, SubgroupMembershipOnCofactorCurve)
+{
+    // The small pair's Weierstrass image has cofactor 4 or 8: a
+    // generic random point is on the curve but outside the order-n
+    // subgroup, which only the order check catches.
+    const SmallCurvePair &pair = smallCurvePair();
+    WeierstrassCurve w = pair.montgomery.toWeierstrass();
+    AffinePoint base_w = pair.montgomery.mapToWeierstrass(pair.montBase);
+    EXPECT_TRUE(validatePoint(w, base_w, &pair.n));
+
+    Rng rng(7);
+    bool rejected_full_order = false;
+    for (int i = 0; i < 16 && !rejected_full_order; i++) {
+        AffinePoint p =
+            pair.montgomery.mapToWeierstrass(pair.montgomery.randomPoint(rng));
+        ASSERT_TRUE(validatePoint(w, p)); // on curve
+        if (!validatePoint(w, p, &pair.n))
+            rejected_full_order = true;
+    }
+    EXPECT_TRUE(rejected_full_order);
+}
+
+TEST(Validate, EdwardsPointChecks)
+{
+    const SmallCurvePair &pair = smallCurvePair();
+    const EdwardsCurve &e = pair.edwards;
+    EXPECT_TRUE(validatePoint(e, pair.edBase, &pair.n));
+    EXPECT_FALSE(validatePoint(e, e.identity()));
+    EXPECT_FALSE(validatePoint(e, AffinePoint::infinity()));
+    AffinePoint bad(pair.edBase.x,
+                    e.field().add(pair.edBase.y, BigUInt(1)));
+    EXPECT_FALSE(validatePoint(e, bad));
+
+    // A random full-order point fails the subgroup check.
+    Rng rng(9);
+    bool rejected = false;
+    for (int i = 0; i < 16 && !rejected; i++) {
+        AffinePoint p = e.randomPoint(rng);
+        if (validatePoint(e, p) && !validatePoint(e, p, &pair.n))
+            rejected = true;
+    }
+    EXPECT_TRUE(rejected);
+}
+
+TEST(Validate, MontgomeryXChecks)
+{
+    const SmallCurvePair &pair = smallCurvePair();
+    const MontgomeryCurve &m = pair.montgomery;
+    EXPECT_TRUE(validateX(m, pair.montBase.x));
+    EXPECT_FALSE(validateX(m, BigUInt(0)));            // order 2
+    EXPECT_FALSE(validateX(m, m.field().modulus()));   // non-canonical
+
+    // Roughly half the field is off-curve; find one such x.
+    bool rejected_twist = false;
+    for (uint64_t xi = 1; xi < 64 && !rejected_twist; xi++)
+        if (!validateX(m, BigUInt(xi)))
+            rejected_twist = true;
+    EXPECT_TRUE(rejected_twist);
+}
+
+TEST(Validate, SmallPairConstructionInvariants)
+{
+    const SmallCurvePair &pair = smallCurvePair();
+    Rng rng(11);
+    EXPECT_TRUE(isProbablePrime(pair.n, rng));
+    EXPECT_TRUE(pair.cofactor == BigUInt(4) || pair.cofactor == BigUInt(8));
+    EXPECT_EQ(pair.groupOrder % pair.n, BigUInt(0));
+    EXPECT_EQ(pair.groupOrder, pair.n * pair.cofactor);
+    EXPECT_TRUE(pair.montgomery.onCurve(pair.montBase));
+    EXPECT_TRUE(pair.edwards.onCurve(pair.edBase));
+    EXPECT_TRUE(pair.edwards.isComplete());
+}
+
+TEST(Validate, HardenedWeierstrassAgreesAndRejects)
+{
+    const WeierstrassCurve &c = secp160r1Curve();
+    const CurveGenerator &gen = secp160r1Generator();
+    Rng rng(21);
+    BigUInt k = BigUInt(1) + BigUInt::random(rng, gen.order - BigUInt(1));
+
+    HardenedMul r = hardenedMulWeierstrass(c, k, gen.g, gen.order);
+    ASSERT_TRUE(r.ok) << r.reason;
+    AffinePoint expect = c.mulNaf(k, gen.g);
+    EXPECT_EQ(r.point.x, expect.x);
+    EXPECT_EQ(r.point.y, expect.y);
+
+    EXPECT_EQ(hardenedMulWeierstrass(c, BigUInt(0), gen.g, gen.order)
+                  .reason,
+              "invalid scalar");
+    EXPECT_EQ(hardenedMulWeierstrass(c, gen.order, gen.g, gen.order)
+                  .reason,
+              "invalid scalar");
+    AffinePoint bad(gen.g.x, c.field().add(gen.g.y, BigUInt(1)));
+    EXPECT_EQ(hardenedMulWeierstrass(c, k, bad, gen.order).reason,
+              "invalid input point");
+}
+
+TEST(Validate, HardenedGlvAgrees)
+{
+    const GlvCurve &c = secp160k1Curve();
+    Rng rng(22);
+    BigUInt k = BigUInt(1) + BigUInt::random(rng, c.order() - BigUInt(1));
+    HardenedMul r = hardenedMulGlv(c, k, c.generator());
+    ASSERT_TRUE(r.ok) << r.reason;
+    AffinePoint expect = c.mulGlvJsf(k, c.generator());
+    EXPECT_EQ(r.point.x, expect.x);
+    EXPECT_EQ(r.point.y, expect.y);
+}
+
+TEST(Validate, HardenedEdwardsAgreesAndRejects)
+{
+    const SmallCurvePair &pair = smallCurvePair();
+    Rng rng(23);
+    BigUInt k = BigUInt(1) + BigUInt::random(rng, pair.n - BigUInt(1));
+    HardenedMul r =
+        hardenedMulEdwards(pair.edwards, k, pair.edBase, pair.n);
+    ASSERT_TRUE(r.ok) << r.reason;
+    AffinePoint expect = pair.edwards.mulBinary(k, pair.edBase);
+    EXPECT_EQ(r.point.x, expect.x);
+    EXPECT_EQ(r.point.y, expect.y);
+
+    EXPECT_EQ(hardenedMulEdwards(pair.edwards, k,
+                                 pair.edwards.identity(), pair.n)
+                  .reason,
+              "invalid input point");
+}
+
+TEST(Validate, HardenedMontgomeryAgreesAndRejects)
+{
+    const SmallCurvePair &pair = smallCurvePair();
+    Rng rng(24);
+    BigUInt k = BigUInt(1) + BigUInt::random(rng, pair.n - BigUInt(1));
+    HardenedMul r = hardenedMulMontgomery(pair.montgomery, k,
+                                          pair.montBase.x, pair.n);
+    ASSERT_TRUE(r.ok) << r.reason;
+    auto expect = pair.montgomery.ladder(k, pair.montBase.x);
+    ASSERT_TRUE(expect.has_value());
+    ASSERT_TRUE(r.x.has_value());
+    EXPECT_EQ(*r.x, *expect);
+
+    EXPECT_EQ(hardenedMulMontgomery(pair.montgomery, BigUInt(0),
+                                    pair.montBase.x, pair.n)
+                  .reason,
+              "invalid scalar");
+    EXPECT_EQ(hardenedMulMontgomery(pair.montgomery, k, BigUInt(0),
+                                    pair.n)
+                  .reason,
+              "invalid input point");
+}
+
+TEST(Validate, EcdsaSignRejectsOutOfRangeScalar)
+{
+    Ecdsa dsa(secp160r1Curve(), secp160r1Generator().g,
+              secp160r1Generator().order);
+    Rng rng(25);
+    EXPECT_DEATH(dsa.sign("msg", BigUInt(0), rng), "out of range");
+    EXPECT_DEATH(dsa.sign("msg", dsa.order(), rng), "out of range");
+}
+
+TEST(Validate, EcdsaVerifyRejectsNonCanonicalKey)
+{
+    Ecdsa dsa(secp160r1Curve(), secp160r1Generator().g,
+              secp160r1Generator().order);
+    Rng rng(26);
+    EcdsaKeyPair kp = dsa.generateKey(rng);
+    EcdsaSignature sig = dsa.sign("hello", kp.d, rng);
+    ASSERT_TRUE(dsa.verify("hello", sig, kp.q));
+
+    AffinePoint wide(kp.q.x + secp160r1Field().modulus(), kp.q.y);
+    EXPECT_FALSE(dsa.verify("hello", sig, wide));
+}
