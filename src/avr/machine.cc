@@ -136,6 +136,7 @@ trapKindName(TrapKind kind)
       case TrapKind::StackOverflow: return "stack_overflow";
       case TrapKind::CycleBudget: return "cycle_budget";
       case TrapKind::MacHazard: return "mac_hazard";
+      case TrapKind::DebugBreak: return "debug_break";
     }
     return "?";
 }
@@ -163,6 +164,8 @@ Trap::describe() const
                                "triggers (pc=0x%x)", pc)
                     : csprintf("MAC hazard: shadow register touched "
                                "(pc=0x%x)", pc);
+      case TrapKind::DebugBreak:
+        return csprintf("debug stop at pc=0x%x", pc);
     }
     return "?";
 }
@@ -466,6 +469,7 @@ Machine::triggerLoadMac(uint8_t value)
 unsigned
 Machine::step()
 {
+    pendingTrap = Trap();
     uint32_t pc0 = pcWord;
     uint16_t w0 = fetch(pc0);
     uint16_t w1 = fetch(pc0 + 1);
@@ -529,6 +533,8 @@ Machine::step()
     TrapKind trap_kind = TrapKind::None;
     uint16_t trap_addr = 0;
     auto ldG = [&](uint16_t a) -> uint8_t {
+        if (dbgHook)
+            dbgHook->onLoad(a);
         if (a >= sramBase && a > dataLimitV) {
             trap_kind = TrapKind::SramOutOfBounds;
             trap_addr = a;
@@ -537,6 +543,8 @@ Machine::step()
         return readData(a);
     };
     auto stG = [&](uint16_t a, uint8_t v) {
+        if (dbgHook)
+            dbgHook->onStore(a);
         if (a >= sramBase && a > dataLimitV) {
             trap_kind = TrapKind::SramOutOfBounds;
             trap_addr = a;
@@ -1066,6 +1074,10 @@ Machine::runReference(uint64_t max_cycles)
 {
     uint64_t start = execStats.cycles;
     while (pcWord != exitAddress) {
+        if (dbgHook && dbgHook->onBoundary(pcWord, execStats.cycles)) {
+            pendingTrap = Trap{TrapKind::DebugBreak, pcWord, 0};
+            return;
+        }
         if (faultInj && faultInj->checkFire(pcWord, execStats.cycles)) {
             if (applyBoundaryFault())
                 continue;  // instruction skip consumed the boundary
@@ -1092,7 +1104,7 @@ Machine::runReference(uint64_t max_cycles)
  * architectural state and cycle counts, and
  * tests/test_machine_traps.cc pins identical trap raising.
  */
-template <bool Ise, bool Profiled, bool Faulted>
+template <bool Ise, bool Profiled, bool Faulted, bool Debugged>
 void
 Machine::runFast(uint64_t max_cycles)
 {
@@ -1106,6 +1118,7 @@ Machine::runFast(uint64_t max_cycles)
     [[maybe_unused]] const bool wants_inst = profWantsInst;
     [[maybe_unused]] const uint64_t cycles0 = execStats.cycles;
     [[maybe_unused]] FaultInjector *const inj = faultInj;
+    [[maybe_unused]] DebugHook *const hook = dbgHook;
     const uint16_t data_limit = dataLimitV;
     const uint16_t stack_guard = stackGuardV;
     // Set by the guarded access lambdas; checked once per retired
@@ -1174,6 +1187,8 @@ Machine::runFast(uint64_t max_cycles)
     // fallback syncs the local SREG around readData/writeData, which
     // can read or write SREG at data address 0x5f.
     auto loadMem = [&](uint16_t a) -> uint8_t {
+        if constexpr (Debugged)
+            hook->onLoad(a);
         if (a >= sramBase) [[likely]] {
             if (a > data_limit) [[unlikely]] {
                 trap_kind = TrapKind::SramOutOfBounds;
@@ -1190,6 +1205,8 @@ Machine::runFast(uint64_t max_cycles)
         return v;
     };
     auto storeMem = [&](uint16_t a, uint8_t v) {
+        if constexpr (Debugged)
+            hook->onStore(a);
         if (a >= sramBase) [[likely]] {
             if (a > data_limit) [[unlikely]] {
                 trap_kind = TrapKind::SramOutOfBounds;
@@ -1258,6 +1275,13 @@ Machine::runFast(uint64_t max_cycles)
     };
 
     while (pc != exitAddress) {
+        if constexpr (Debugged) {
+            if (hook->onBoundary(pc, cycles0 + consumed)) [[unlikely]] {
+                pendingTrap = Trap{TrapKind::DebugBreak, pc, 0};
+                flush();
+                return;
+            }
+        }
         if constexpr (Faulted) {
             if (inj->checkFire(pc, cycles0 + consumed)) [[unlikely]] {
                 // Mirror of applyBoundaryFault() on the local hot
@@ -1813,20 +1837,27 @@ Machine::run(uint64_t max_cycles)
         runReference(max_cycles);
     } else {
         const bool prof = profSink != nullptr;
-        if (faultInj && faultInj->pending()) {
+        if (dbgHook && dbgHook->wantsStops()) {
             if (cpuMode == CpuMode::ISE)
-                prof ? runFast<true, true, true>(max_cycles)
-                     : runFast<true, false, true>(max_cycles);
+                prof ? runFast<true, true, false, true>(max_cycles)
+                     : runFast<true, false, false, true>(max_cycles);
             else
-                prof ? runFast<false, true, true>(max_cycles)
-                     : runFast<false, false, true>(max_cycles);
+                prof ? runFast<false, true, false, true>(max_cycles)
+                     : runFast<false, false, false, true>(max_cycles);
+        } else if (faultInj && faultInj->pending()) {
+            if (cpuMode == CpuMode::ISE)
+                prof ? runFast<true, true, true, false>(max_cycles)
+                     : runFast<true, false, true, false>(max_cycles);
+            else
+                prof ? runFast<false, true, true, false>(max_cycles)
+                     : runFast<false, false, true, false>(max_cycles);
         } else {
             if (cpuMode == CpuMode::ISE)
-                prof ? runFast<true, true, false>(max_cycles)
-                     : runFast<true, false, false>(max_cycles);
+                prof ? runFast<true, true, false, false>(max_cycles)
+                     : runFast<true, false, false, false>(max_cycles);
             else
-                prof ? runFast<false, true, false>(max_cycles)
-                     : runFast<false, false, false>(max_cycles);
+                prof ? runFast<false, true, false, false>(max_cycles)
+                     : runFast<false, false, false, false>(max_cycles);
         }
     }
     return {execStats.cycles - start, pendingTrap};

@@ -31,6 +31,46 @@ class ProfileSink;
 class FaultInjector;
 
 /**
+ * Execution-boundary observer for the debug subsystem (src/debug/):
+ * the Machine consults an attached hook for stop requests at every
+ * instruction boundary and reports every data-space access, which is
+ * what software breakpoints and data watchpoints are built from.
+ *
+ * The hook follows the ProfileSink pinning discipline: the predecoded
+ * fast path compiles a separate hooked loop instantiation, selected
+ * only when wantsStops() is true at run() entry, so with no debugger
+ * attached (or a debugger with nothing to watch) the plain loop runs
+ * with zero overhead (pinned by tests/test_decode_cache.cc). During
+ * the fast path the machine's register file, SREG, PC and ExecStats
+ * members are batched in loop locals, so hook implementations must
+ * rely on the event arguments only and must not mutate the machine.
+ */
+class DebugHook
+{
+  public:
+    virtual ~DebugHook() = default;
+
+    /**
+     * Sampled once at run() entry to select the hooked loop
+     * instantiation; return false while there is nothing to stop for
+     * and the plain (zero-overhead) loop may run.
+     */
+    virtual bool wantsStops() const = 0;
+
+    /**
+     * Instruction boundary: the instruction at @p pc is about to
+     * execute, @p cycles is the cumulative cycle count. Return true
+     * to stop execution before it (the run raises a DebugBreak trap
+     * with nothing retired, so PC still points at @p pc).
+     */
+    virtual bool onBoundary(uint32_t pc, uint64_t cycles) = 0;
+
+    /** A data-space load from / store to @p addr is executing. */
+    virtual void onLoad(uint16_t addr) = 0;
+    virtual void onStore(uint16_t addr) = 0;
+};
+
+/**
  * Reason a run stopped before reaching the exit sentinel. Every
  * anomaly the ISS previously panic()-aborted on is now a recoverable
  * trap so a fault-injection campaign can run tens of thousands of
@@ -46,6 +86,7 @@ enum class TrapKind : uint8_t
     StackOverflow,    ///< push below Machine::stackGuard()
     CycleBudget,      ///< run()/call() cycle budget exhausted
     MacHazard,        ///< Algorithm-2 MAC shadow-register violation
+    DebugBreak,       ///< an attached DebugHook requested a stop
 };
 
 /** Short stable name for @p kind ("illegal_opcode", ...). */
@@ -193,7 +234,9 @@ class Machine
     /**
      * Execute one instruction; returns its cycle cost, or 0 with
      * trap() set if the instruction trapped (in which case nothing
-     * retired: PC and statistics are unchanged).
+     * retired: PC and statistics are unchanged). Clears any trap left
+     * by a previous step()/run() first, so trap() always describes
+     * this step.
      *
      * This is the *reference* path: it re-fetches and re-decodes the
      * flash words on every call and evaluates the mode/trace/MAC
@@ -278,6 +321,25 @@ class Machine
     FaultInjector *faultInjector() const { return faultInj; }
 
     /**
+     * Attach a debug hook (nullptr detaches). wantsStops() is
+     * re-sampled at every run() entry, so a hook may flip between
+     * active and passive without re-attaching; while it answers
+     * false the plain (zero-overhead) fast-path instantiation runs
+     * and only step()/runReference consult the hook. The hook must
+     * outlive the machine or detach before destruction. When both a
+     * debug hook and a pending FaultInjector are attached, the fast
+     * path honours the debug hook (the reference path honours both).
+     */
+    void setDebugHook(DebugHook *hook) { dbgHook = hook; }
+    DebugHook *debugHook() const { return dbgHook; }
+
+    /** Raw flash word at @p word_addr (debugger/export accessor). */
+    uint16_t flashWord(uint32_t word_addr) const
+    {
+        return flash[word_addr & (flashWords - 1)];
+    }
+
+    /**
      * XOR @p mask into the flash word at @p word_addr and refresh the
      * decode cache (this word and its predecessor, whose two-word
      * operand may have changed). Used by FaultInjector for opcode
@@ -343,10 +405,12 @@ class Machine
     /**
      * Predecoded, mode-specialized run loop (the fast path). The
      * @p Profiled instantiation fires ProfileSink events, the
-     * @p Faulted one polls the armed FaultInjector per instruction;
-     * the plain instantiation compiles both hooks out.
+     * @p Faulted one polls the armed FaultInjector per instruction,
+     * the @p Debugged one consults the DebugHook at every boundary
+     * and data access; the plain instantiation compiles all hooks
+     * out. Faulted and Debugged are never instantiated together.
      */
-    template <bool Ise, bool Profiled, bool Faulted>
+    template <bool Ise, bool Profiled, bool Faulted, bool Debugged>
     void runFast(uint64_t max_cycles);
 
     CpuMode cpuMode;
@@ -363,6 +427,7 @@ class Machine
     bool profWantsInst = false;          ///< cached sink capability
     std::unique_ptr<ProfileSink> ownedTrace; ///< lazy `trace` sink
     FaultInjector *faultInj = nullptr;
+    DebugHook *dbgHook = nullptr;
     Trap pendingTrap;
     uint16_t dataLimitV = 0x10ff; ///< top of ATmega128 internal SRAM
     uint16_t stackGuardV = sramBase;

@@ -1,0 +1,222 @@
+#include "debug/rsp.hh"
+
+#include "support/hex.hh"
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+std::vector<RspEvent>
+RspDecoder::feed(std::string_view bytes)
+{
+    std::vector<RspEvent> events;
+    for (char ch : bytes) {
+        uint8_t b = static_cast<uint8_t>(ch);
+        switch (state) {
+          case State::Idle:
+            if (b == '$') {
+                state = State::Payload;
+                raw.clear();
+                sum = 0;
+                overflow = false;
+            } else if (b == '+') {
+                events.push_back({RspEvent::Kind::Ack, {}});
+            } else if (b == '-') {
+                events.push_back({RspEvent::Kind::Nak, {}});
+            } else if (b == 0x03) {
+                events.push_back({RspEvent::Kind::Break, {}});
+            }
+            // Anything else between frames is line noise; drop it.
+            break;
+          case State::Payload:
+            if (b == '#') {
+                state = State::Check1;
+            } else if (b == '$') {
+                // A new start-of-frame mid-payload means the previous
+                // frame was truncated; report it and restart.
+                events.push_back(
+                    {RspEvent::Kind::BadPacket, "truncated frame"});
+                raw.clear();
+                sum = 0;
+                overflow = false;
+            } else {
+                sum += b;
+                if (raw.size() >= kRspMaxPayload)
+                    overflow = true;
+                else
+                    raw.push_back(ch);
+            }
+            break;
+          case State::Check1:
+            checkHi = hexDigit(ch);
+            state = State::Check2;
+            break;
+          case State::Check2:
+            checkLo = hexDigit(ch);
+            finishFrame(events);
+            state = State::Idle;
+            break;
+        }
+    }
+    return events;
+}
+
+void
+RspDecoder::finishFrame(std::vector<RspEvent> &events)
+{
+    if (checkHi < 0 || checkLo < 0) {
+        events.push_back(
+            {RspEvent::Kind::BadPacket, "non-hex checksum digit"});
+        return;
+    }
+    if (overflow) {
+        events.push_back({RspEvent::Kind::BadPacket,
+                          csprintf("payload exceeds %zu bytes",
+                                   kRspMaxPayload)});
+        return;
+    }
+    uint8_t want = static_cast<uint8_t>((checkHi << 4) | checkLo);
+    if (want != sum) {
+        events.push_back(
+            {RspEvent::Kind::BadPacket,
+             csprintf("checksum mismatch (computed 0x%02x, frame says "
+                      "0x%02x)",
+                      sum, want)});
+        return;
+    }
+    std::string decoded, err;
+    if (!rspExpand(raw, decoded, &err)) {
+        events.push_back({RspEvent::Kind::BadPacket, err});
+        return;
+    }
+    events.push_back({RspEvent::Kind::Packet, std::move(decoded)});
+}
+
+bool
+rspExpand(std::string_view raw, std::string &out, std::string *err)
+{
+    out.clear();
+    auto fail = [&](const char *what) {
+        if (err)
+            *err = what;
+        return false;
+    };
+    for (size_t i = 0; i < raw.size(); i++) {
+        uint8_t b = static_cast<uint8_t>(raw[i]);
+        if (b == 0x7d) {
+            if (i + 1 >= raw.size())
+                return fail("dangling escape at end of payload");
+            out.push_back(static_cast<char>(raw[++i] ^ 0x20));
+        } else if (b == '*') {
+            if (out.empty())
+                return fail("run-length marker with no preceding byte");
+            if (i + 1 >= raw.size())
+                return fail("run-length marker at end of payload");
+            uint8_t count = static_cast<uint8_t>(raw[++i]);
+            if (count < 29 + 1 || count > 126)
+                return fail("invalid run-length count");
+            out.append(count - 29, out.back());
+        } else {
+            out.push_back(raw[i]);
+        }
+        if (out.size() > kRspMaxPayload)
+            return fail("expanded payload exceeds maximum size");
+    }
+    return true;
+}
+
+namespace
+{
+
+bool
+rspNeedsEscape(char c)
+{
+    return c == '$' || c == '#' || c == '}' || c == '*';
+}
+
+void
+rspAppendEscaped(std::string &out, char c)
+{
+    if (rspNeedsEscape(c)) {
+        out.push_back('\x7d');
+        out.push_back(static_cast<char>(c ^ 0x20));
+    } else {
+        out.push_back(c);
+    }
+}
+
+} // anonymous namespace
+
+std::string
+rspFrame(std::string_view payload, bool rle)
+{
+    std::string body;
+    size_t i = 0;
+    while (i < payload.size()) {
+        char c = payload[i];
+        size_t run = 1;
+        if (rle && !rspNeedsEscape(c)) {
+            while (i + run < payload.size() && payload[i + run] == c)
+                run++;
+        }
+        // A run of n identical bytes becomes the byte plus '*' and a
+        // count of n - 1 extra repeats, offset by 29. Counts 6 and 7
+        // would encode as '#' / '$', which the protocol forbids, so
+        // runs that land there are shortened; runs longer than the
+        // largest count split into several groups.
+        while (run >= 4) {
+            size_t extra = std::min(run - 1, size_t{126 - 29});
+            if (extra == 6 || extra == 7)
+                extra = 5;
+            body.push_back(c);
+            body.push_back('*');
+            body.push_back(static_cast<char>(29 + extra));
+            i += extra + 1;
+            run -= extra + 1;
+        }
+        for (; run > 0; run--, i++)
+            rspAppendEscaped(body, c);
+    }
+    uint8_t sum = 0;
+    for (char c : body)
+        sum += static_cast<uint8_t>(c);
+    std::string out;
+    out.reserve(body.size() + 4);
+    out.push_back('$');
+    out += body; // may contain NULs — never go through c_str().
+    out.push_back('#');
+    out += csprintf("%02x", sum);
+    return out;
+}
+
+std::string
+rspHexBytes(const uint8_t *p, size_t n)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * n);
+    for (size_t i = 0; i < n; i++) {
+        out.push_back(digits[p[i] >> 4]);
+        out.push_back(digits[p[i] & 0xf]);
+    }
+    return out;
+}
+
+bool
+rspUnhexBytes(std::string_view hex, std::vector<uint8_t> &out)
+{
+    out.clear();
+    if (hex.size() % 2 != 0)
+        return false;
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hexDigit(hex[i]);
+        int lo = hexDigit(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+    }
+    return true;
+}
+
+} // namespace jaavr

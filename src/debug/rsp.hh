@@ -1,0 +1,114 @@
+/**
+ * @file
+ * GDB Remote Serial Protocol (RSP) packet codec.
+ *
+ * This layer speaks only the wire format — `$payload#xx` framing with
+ * a mod-256 checksum, `}` (0x7d) escaping, `*` run-length expansion,
+ * and the single-byte `+` / `-` acknowledgements plus the 0x03
+ * interrupt character. It knows nothing about sockets or about what
+ * the payloads mean; the transport feeds it raw bytes and the server
+ * consumes the decoded event stream. That split is what lets the
+ * tests drive a complete debug session over an in-process loopback
+ * with no real gdb and no network.
+ *
+ * The decoder is an incremental state machine: bytes may arrive one
+ * at a time or in arbitrary clumps, and malformed input of any kind
+ * (bad checksum, truncated frame, dangling escape, bogus run length,
+ * oversized payload) is reported as a BadPacket event — it never
+ * aborts and always resynchronises on the next frame.
+ */
+
+#ifndef JAAVR_DEBUG_RSP_HH
+#define JAAVR_DEBUG_RSP_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jaavr
+{
+
+/**
+ * Largest decoded payload the stub accepts, advertised to gdb through
+ * qSupported's PacketSize. Anything larger is discarded as BadPacket.
+ */
+constexpr size_t kRspMaxPayload = 0x4000;
+
+/** One decoded protocol event. */
+struct RspEvent
+{
+    enum class Kind
+    {
+        Ack,       ///< '+' seen between frames.
+        Nak,       ///< '-' seen between frames; retransmit last reply.
+        Break,     ///< 0x03 interrupt seen between frames.
+        Packet,    ///< Well-formed frame; payload is fully decoded.
+        BadPacket, ///< Malformed frame; payload holds the reason.
+    };
+
+    Kind kind;
+    std::string payload;
+};
+
+/**
+ * Incremental RSP frame decoder. Call feed() with whatever bytes the
+ * transport produced; complete events are appended to the returned
+ * vector in arrival order. Partial frames are buffered internally
+ * across calls.
+ */
+class RspDecoder
+{
+  public:
+    std::vector<RspEvent> feed(std::string_view bytes);
+
+    /** True while a frame is buffered but not yet complete. */
+    bool midFrame() const { return state != State::Idle; }
+
+  private:
+    enum class State
+    {
+        Idle,    ///< Between frames; acks and 0x03 live here.
+        Payload, ///< Accumulating raw payload bytes up to '#'.
+        Check1,  ///< Expecting the first checksum hex digit.
+        Check2,  ///< Expecting the second checksum hex digit.
+    };
+
+    void finishFrame(std::vector<RspEvent> &events);
+
+    State state = State::Idle;
+    std::string raw;      ///< Raw payload bytes (pre-escape, pre-RLE).
+    uint8_t sum = 0;      ///< Running mod-256 checksum over raw.
+    int checkHi = 0;      ///< First checksum digit value.
+    int checkLo = 0;      ///< Second checksum digit value.
+    bool overflow = false; ///< Payload exceeded kRspMaxPayload.
+};
+
+/**
+ * Expand escapes and run-length encoding in a checksum-verified raw
+ * payload. Returns false (with a reason in @p err) on a dangling
+ * escape, a leading or dangling '*', an invalid run-length count, or
+ * an expansion exceeding kRspMaxPayload.
+ */
+bool rspExpand(std::string_view raw, std::string &out, std::string *err);
+
+/**
+ * Frame @p payload as `$...#xx`, escaping '$', '#', '}' and '*'.
+ * When @p rle is set, runs of repeated characters are compressed with
+ * '*' run-length encoding (skipping the counts the protocol forbids);
+ * replies use this, commands conventionally do not.
+ */
+std::string rspFrame(std::string_view payload, bool rle = false);
+
+/** Lowercase hex encoding of @p n bytes at @p p. */
+std::string rspHexBytes(const uint8_t *p, size_t n);
+
+/**
+ * Decode an even-length lowercase/uppercase hex string into bytes.
+ * Returns false on odd length or a non-hex digit.
+ */
+bool rspUnhexBytes(std::string_view hex, std::vector<uint8_t> &out);
+
+} // namespace jaavr
+
+#endif // JAAVR_DEBUG_RSP_HH

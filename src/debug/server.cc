@@ -1,0 +1,499 @@
+#include "debug/server.hh"
+
+#include <cctype>
+
+#include <unistd.h>
+
+#include "support/hex.hh"
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+namespace
+{
+
+/** Parse a (short) hex number; false on empty/overlong/non-hex. */
+bool
+parseHexNum(std::string_view s, uint64_t &v)
+{
+    if (s.empty() || s.size() > 16)
+        return false;
+    v = 0;
+    for (char c : s) {
+        int d = hexDigit(c);
+        if (d < 0)
+            return false;
+        v = (v << 4) | static_cast<uint64_t>(d);
+    }
+    return true;
+}
+
+std::string
+hexOfText(const std::string &text)
+{
+    return rspHexBytes(reinterpret_cast<const uint8_t *>(text.data()),
+                       text.size());
+}
+
+} // anonymous namespace
+
+GdbServer::GdbServer(DebugTarget &target, DebugTransport &transport)
+    : target(target), transport(transport)
+{
+    // What `?` reports before anything ran: stopped by the stub.
+    lastStop.kind = StopInfo::Kind::Stepped;
+    lastStop.signal = 5;
+}
+
+void
+GdbServer::logLine(const char *dir, std::string_view text)
+{
+    if (!logFile)
+        return;
+    std::string clean;
+    size_t n = std::min<size_t>(text.size(), 512);
+    for (size_t i = 0; i < n; i++) {
+        unsigned char c = static_cast<unsigned char>(text[i]);
+        if (isprint(c))
+            clean.push_back(static_cast<char>(c));
+        else
+            clean += csprintf("\\x%02x", c);
+    }
+    if (text.size() > n)
+        clean += csprintf("... (%zu bytes)", text.size());
+    fprintf(logFile, "%s %s\n", dir, clean.c_str());
+    fflush(logFile);
+}
+
+void
+GdbServer::sendRaw(std::string_view bytes)
+{
+    transport.send(bytes);
+}
+
+void
+GdbServer::sendPacket(std::string_view payload)
+{
+    logLine("->", payload);
+    lastFrame = rspFrame(payload, /*rle=*/true);
+    transport.send(lastFrame);
+}
+
+void
+GdbServer::sendConsole(const std::string &text)
+{
+    sendPacket("O" + hexOfText(text));
+}
+
+void
+GdbServer::sendStop(const StopInfo &info)
+{
+    if (info.kind == StopInfo::Kind::Exited) {
+        sendPacket("W00");
+        return;
+    }
+    if (info.kind == StopInfo::Kind::Trapped && info.trap) {
+        std::string what = info.trap.describe();
+        if (!symbols.empty())
+            what += " [" + symbols.resolve(info.trap.pc) + "]";
+        sendConsole(what + "\n");
+    }
+    std::string s = csprintf("T%02x", info.signal);
+    if (info.kind == StopInfo::Kind::Watchpoint) {
+        const char *name = info.watchKind == WatchKind::Write
+                               ? "watch"
+                               : info.watchKind == WatchKind::Read
+                                     ? "rwatch"
+                                     : "awatch";
+        s += csprintf("%s:%x;", name, kGdbDataBase + info.watchAddr);
+    }
+    if (info.kind == StopInfo::Kind::Breakpoint)
+        s += "swbreak:;";
+    // Registers gdb always wants with a stop: SREG (0x20), SP (0x21),
+    // PC (0x22), little-endian hex bytes.
+    std::array<uint8_t, DebugTarget::kRegBlockLen> block =
+        target.readRegisters();
+    s += csprintf("20:%02x;", block[32]);
+    s += "21:" + rspHexBytes(&block[33], 2) + ";";
+    s += "22:" + rspHexBytes(&block[35], 4) + ";";
+    sendPacket(s);
+}
+
+bool
+GdbServer::poll()
+{
+    if (!alive_)
+        return false;
+    std::string in;
+    bool open = transport.poll(in);
+    if (!in.empty()) {
+        for (const RspEvent &ev : decoder.feed(in)) {
+            switch (ev.kind) {
+              case RspEvent::Kind::Ack:
+                break;
+              case RspEvent::Kind::Nak:
+                if (!lastFrame.empty())
+                    sendRaw(lastFrame);
+                break;
+              case RspEvent::Kind::Break:
+                logLine("<-", "<break>");
+                if (running_) {
+                    running_ = false;
+                    lastStop = target.interrupt();
+                    sendStop(lastStop);
+                }
+                break;
+              case RspEvent::Kind::Packet:
+                if (!noAck)
+                    sendRaw("+");
+                logLine("<-", ev.payload);
+                handlePacket(ev.payload);
+                break;
+              case RspEvent::Kind::BadPacket:
+                logLine("!!", ev.payload);
+                if (!noAck)
+                    sendRaw("-");
+                break;
+            }
+            if (!alive_)
+                return false;
+        }
+    }
+    if (running_) {
+        StopInfo s = target.resume(sliceCycles);
+        if (s.kind != StopInfo::Kind::Running) {
+            running_ = false;
+            lastStop = s;
+            sendStop(s);
+        }
+    }
+    if (!open && !transport.connected())
+        alive_ = false;
+    return alive_;
+}
+
+void
+GdbServer::serve()
+{
+    while (poll()) {
+        if (!running_)
+            usleep(2000);
+    }
+}
+
+void
+GdbServer::startContinue(const std::string &args)
+{
+    uint64_t addr;
+    if (!args.empty() && parseHexNum(args, addr))
+        target.machine().setPc(static_cast<uint32_t>(addr / 2));
+    running_ = true;
+}
+
+void
+GdbServer::doStep(const std::string &args)
+{
+    uint64_t addr;
+    if (!args.empty() && parseHexNum(args, addr))
+        target.machine().setPc(static_cast<uint32_t>(addr / 2));
+    lastStop = target.stepOne();
+    sendStop(lastStop);
+}
+
+std::string
+GdbServer::handleBreakpoint(const std::string &payload, bool insert)
+{
+    // Z<type>,<addr>,<kind>[;cond...] — conditions are unsupported
+    // and ignored.
+    size_t c1 = payload.find(',');
+    size_t c2 = c1 == std::string::npos ? std::string::npos
+                                        : payload.find(',', c1 + 1);
+    if (c2 == std::string::npos)
+        return "E01";
+    size_t end = payload.find(';', c2 + 1);
+    std::string_view p = payload;
+    uint64_t addr, kind;
+    if (!parseHexNum(p.substr(c1 + 1, c2 - c1 - 1), addr) ||
+        !parseHexNum(p.substr(c2 + 1, end == std::string::npos
+                                          ? std::string::npos
+                                          : end - c2 - 1),
+                     kind))
+        return "E01";
+    bool ok = false;
+    switch (payload[1]) {
+      case '0': // software breakpoint
+      case '1': // "hardware" breakpoint: same mechanism on the ISS
+        ok = insert
+                 ? target.setBreakpoint(static_cast<uint32_t>(addr))
+                 : target.clearBreakpoint(static_cast<uint32_t>(addr));
+        break;
+      case '2':
+      case '3':
+      case '4': {
+        WatchKind wk = payload[1] == '2'
+                           ? WatchKind::Write
+                           : payload[1] == '3' ? WatchKind::Read
+                                               : WatchKind::Access;
+        uint16_t len = static_cast<uint16_t>(kind ? kind : 1);
+        ok = insert ? target.setWatchpoint(
+                          wk, static_cast<uint32_t>(addr), len)
+                    : target.clearWatchpoint(
+                          wk, static_cast<uint32_t>(addr), len);
+        break;
+      }
+      default:
+        return ""; // unsupported type: let gdb fall back
+    }
+    return ok ? "OK" : "E01";
+}
+
+std::string
+GdbServer::handleMonitor(const std::string &cmd)
+{
+    const Machine &m = target.machine();
+    if (cmd == "help") {
+        return "jaavr-gdb monitor commands:\n"
+               "  profile  per-routine cycle attribution\n"
+               "  stats    ISS execution statistics\n"
+               "  reset    clear statistics and profile\n"
+               "  trap     describe the last machine trap\n"
+               "  symbols  list known symbols\n";
+    }
+    if (cmd == "profile") {
+        if (!profiler)
+            return "no profiler attached\n";
+        return profiler->textReport();
+    }
+    if (cmd == "stats") {
+        const ExecStats &st = m.stats();
+        return csprintf("mode %s: %llu instructions, %llu cycles, "
+                        "%llu MAC stall NOPs, pc=0x%04x, sp=0x%04x\n",
+                        cpuModeName(m.mode()),
+                        static_cast<unsigned long long>(st.instructions),
+                        static_cast<unsigned long long>(st.cycles),
+                        static_cast<unsigned long long>(st.macStallNops),
+                        m.pc(), m.sp());
+    }
+    if (cmd == "reset") {
+        target.machine().resetStats();
+        if (profiler)
+            profiler->reset();
+        return "statistics reset\n";
+    }
+    if (cmd == "trap") {
+        if (!m.trap())
+            return "no pending trap\n";
+        std::string what = m.trap().describe();
+        if (!symbols.empty())
+            what += " [" + symbols.resolve(m.trap().pc) + "]";
+        return what + "\n";
+    }
+    if (cmd == "symbols") {
+        if (symbols.empty())
+            return "no symbols loaded\n";
+        std::string out;
+        for (const auto &[addr, name] : symbols.entries())
+            out += csprintf("0x%04x %s\n", addr, name.c_str());
+        return out;
+    }
+    return "unknown command \"" + cmd + "\"; try \"monitor help\"\n";
+}
+
+void
+GdbServer::handlePacket(const std::string &p)
+{
+    if (p.empty()) {
+        sendPacket("");
+        return;
+    }
+    switch (p[0]) {
+      case 'q':
+        if (p.rfind("qSupported", 0) == 0) {
+            sendPacket(csprintf("PacketSize=%zx;QStartNoAckMode+;"
+                                "swbreak+;hwbreak+",
+                                kRspMaxPayload));
+        } else if (p.rfind("qRcmd,", 0) == 0) {
+            std::vector<uint8_t> raw;
+            if (!rspUnhexBytes(std::string_view(p).substr(6), raw)) {
+                sendPacket("E01");
+                break;
+            }
+            std::string cmd(raw.begin(), raw.end());
+            sendPacket(hexOfText(handleMonitor(cmd)));
+        } else if (p == "qC") {
+            sendPacket("QC1");
+        } else if (p.rfind("qAttached", 0) == 0) {
+            sendPacket("1");
+        } else if (p == "qfThreadInfo") {
+            sendPacket("m1");
+        } else if (p == "qsThreadInfo") {
+            sendPacket("l");
+        } else if (p == "qOffsets") {
+            sendPacket("Text=0;Data=0;Bss=0");
+        } else if (p.rfind("qSymbol", 0) == 0) {
+            sendPacket("OK");
+        } else {
+            sendPacket("");
+        }
+        break;
+      case 'Q':
+        if (p == "QStartNoAckMode") {
+            sendPacket("OK");
+            noAck = true;
+        } else {
+            sendPacket("");
+        }
+        break;
+      case '?':
+        sendStop(lastStop);
+        break;
+      case 'g': {
+        std::array<uint8_t, DebugTarget::kRegBlockLen> block =
+            target.readRegisters();
+        sendPacket(rspHexBytes(block.data(), block.size()));
+        break;
+      }
+      case 'G': {
+        std::vector<uint8_t> bytes;
+        if (!rspUnhexBytes(std::string_view(p).substr(1), bytes) ||
+            bytes.size() != DebugTarget::kRegBlockLen) {
+            sendPacket("E01");
+            break;
+        }
+        std::array<uint8_t, DebugTarget::kRegBlockLen> block;
+        std::copy(bytes.begin(), bytes.end(), block.begin());
+        target.writeRegisters(block);
+        sendPacket("OK");
+        break;
+      }
+      case 'p': {
+        uint64_t regno;
+        std::vector<uint8_t> bytes;
+        if (parseHexNum(std::string_view(p).substr(1), regno))
+            bytes = target.readRegister(static_cast<unsigned>(regno));
+        sendPacket(bytes.empty()
+                       ? "E01"
+                       : rspHexBytes(bytes.data(), bytes.size()));
+        break;
+      }
+      case 'P': {
+        size_t eq = p.find('=');
+        uint64_t regno;
+        std::vector<uint8_t> bytes;
+        if (eq == std::string::npos ||
+            !parseHexNum(std::string_view(p).substr(1, eq - 1),
+                         regno) ||
+            !rspUnhexBytes(std::string_view(p).substr(eq + 1), bytes) ||
+            !target.writeRegister(static_cast<unsigned>(regno),
+                                  bytes)) {
+            sendPacket("E01");
+            break;
+        }
+        sendPacket("OK");
+        break;
+      }
+      case 'm': {
+        size_t comma = p.find(',');
+        uint64_t addr, len;
+        std::vector<uint8_t> bytes;
+        if (comma == std::string::npos ||
+            !parseHexNum(std::string_view(p).substr(1, comma - 1),
+                         addr) ||
+            !parseHexNum(std::string_view(p).substr(comma + 1), len) ||
+            len > kRspMaxPayload / 2 ||
+            !target.readMemory(static_cast<uint32_t>(addr),
+                               static_cast<size_t>(len), bytes)) {
+            sendPacket("E01");
+            break;
+        }
+        sendPacket(rspHexBytes(bytes.data(), bytes.size()));
+        break;
+      }
+      case 'M':
+      case 'X': {
+        size_t comma = p.find(',');
+        size_t colon = p.find(':');
+        uint64_t addr, len;
+        if (comma == std::string::npos || colon == std::string::npos ||
+            colon < comma ||
+            !parseHexNum(std::string_view(p).substr(1, comma - 1),
+                         addr) ||
+            !parseHexNum(
+                std::string_view(p).substr(comma + 1, colon - comma - 1),
+                len)) {
+            sendPacket("E01");
+            break;
+        }
+        std::vector<uint8_t> bytes;
+        if (p[0] == 'M') {
+            if (!rspUnhexBytes(std::string_view(p).substr(colon + 1),
+                               bytes)) {
+                sendPacket("E01");
+                break;
+            }
+        } else {
+            bytes.assign(p.begin() + colon + 1, p.end());
+        }
+        if (bytes.size() != len ||
+            !target.writeMemory(static_cast<uint32_t>(addr), bytes)) {
+            sendPacket("E01");
+            break;
+        }
+        sendPacket("OK");
+        break;
+      }
+      case 'c':
+        startContinue(p.substr(1));
+        break;
+      case 'C': {
+        size_t sc = p.find(';');
+        startContinue(sc == std::string::npos ? "" : p.substr(sc + 1));
+        break;
+      }
+      case 's':
+        doStep(p.substr(1));
+        break;
+      case 'S': {
+        size_t sc = p.find(';');
+        doStep(sc == std::string::npos ? "" : p.substr(sc + 1));
+        break;
+      }
+      case 'v':
+        if (p == "vCont?") {
+            sendPacket("vCont;c;C;s;S");
+        } else if (p.rfind("vCont;", 0) == 0) {
+            char action = p.size() > 6 ? p[6] : 'c';
+            if (action == 's' || action == 'S')
+                doStep("");
+            else
+                startContinue("");
+        } else {
+            sendPacket("");
+        }
+        break;
+      case 'Z':
+        sendPacket(handleBreakpoint(p, true));
+        break;
+      case 'z':
+        sendPacket(handleBreakpoint(p, false));
+        break;
+      case 'H':
+        sendPacket("OK");
+        break;
+      case 'D':
+        sendPacket("OK");
+        logLine("--", "client detached");
+        alive_ = false;
+        break;
+      case 'k':
+        logLine("--", "client killed session");
+        alive_ = false;
+        break;
+      default:
+        sendPacket("");
+        break;
+    }
+}
+
+} // namespace jaavr

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The RSP stub: glues the packet codec, a transport and a
+ * DebugTarget into a gdb-compatible debug server.
+ *
+ * The server is single-threaded and poll-driven. Each poll() drains
+ * the transport through the codec, dispatches any complete packets,
+ * and — while the target is continuing — advances execution by one
+ * cycle slice, so gdb's asynchronous interrupt (0x03) is picked up
+ * between slices. serve() wraps poll() in an idle-throttled loop for
+ * the standalone `jaavr-gdb` binary; tests call poll() directly on a
+ * LoopbackTransport and stay fully deterministic.
+ *
+ * Supported packets: qSupported, QStartNoAckMode, ?, g/G, p/P, m/M/X,
+ * c/C/s/S, vCont, Z0/Z1 (sw breakpoints), Z2/Z3/Z4 (write/read/access
+ * watchpoints), D, k, H/qC/qAttached/qfThreadInfo/qsThreadInfo/
+ * qOffsets/qSymbol, and qRcmd ("monitor") commands exposing the ISS
+ * profiler and execution statistics.
+ */
+
+#ifndef JAAVR_DEBUG_SERVER_HH
+#define JAAVR_DEBUG_SERVER_HH
+
+#include <cstdio>
+#include <string>
+
+#include "avr/profiler.hh"
+#include "avrasm/symbol_table.hh"
+#include "debug/rsp.hh"
+#include "debug/target.hh"
+#include "debug/transport.hh"
+
+namespace jaavr
+{
+
+class GdbServer
+{
+  public:
+    GdbServer(DebugTarget &target, DebugTransport &transport);
+
+    /** Attach the profiler behind `monitor profile` (not owned). */
+    void setProfiler(CallGraphProfiler *p) { profiler = p; }
+
+    /** Symbols for `monitor symbols` and trap locations. */
+    void setSymbols(SymbolTable syms) { symbols = std::move(syms); }
+
+    /**
+     * Mirror the session to @p log (not owned): one line per decoded
+     * command, reply and stop event. CI uploads this as an artifact.
+     */
+    void setLog(std::FILE *log) { logFile = log; }
+
+    /** Cycles per continue slice between transport polls. */
+    void setSliceCycles(uint64_t cycles) { sliceCycles = cycles; }
+
+    /** True while a continue is in progress. */
+    bool running() const { return running_; }
+
+    /** True until the client detaches/kills or the transport dies. */
+    bool alive() const { return alive_; }
+
+    /**
+     * Drain the transport, dispatch packets, and advance a pending
+     * continue by one slice. Returns alive().
+     */
+    bool poll();
+
+    /**
+     * Run poll() until the session ends, sleeping briefly whenever
+     * there is nothing to do (standalone server loop).
+     */
+    void serve();
+
+  private:
+    void logLine(const char *dir, std::string_view text);
+    void sendRaw(std::string_view bytes);
+    void sendPacket(std::string_view payload);
+    /** `O` packet: console text shown by gdb, only mid-run. */
+    void sendConsole(const std::string &text);
+    void sendStop(const StopInfo &info);
+    void handlePacket(const std::string &payload);
+    void startContinue(const std::string &args);
+    void doStep(const std::string &args);
+    std::string handleMonitor(const std::string &cmd);
+    std::string handleBreakpoint(const std::string &payload,
+                                 bool insert);
+
+    DebugTarget &target;
+    DebugTransport &transport;
+    RspDecoder decoder;
+    CallGraphProfiler *profiler = nullptr;
+    SymbolTable symbols;
+    std::FILE *logFile = nullptr;
+    uint64_t sliceCycles = 200000;
+    std::string lastFrame; ///< retransmitted on '-'
+    StopInfo lastStop;
+    bool noAck = false;
+    bool running_ = false;
+    bool alive_ = true;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_DEBUG_SERVER_HH

@@ -1,0 +1,175 @@
+#include "debug/transport.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+/* ---- LoopbackTransport ----------------------------------------- */
+
+bool
+LoopbackTransport::poll(std::string &out)
+{
+    out += toServer;
+    toServer.clear();
+    return open;
+}
+
+void
+LoopbackTransport::send(std::string_view bytes)
+{
+    if (open)
+        toClient.append(bytes.data(), bytes.size());
+}
+
+void
+LoopbackTransport::clientSend(std::string_view bytes)
+{
+    if (open)
+        toServer.append(bytes.data(), bytes.size());
+}
+
+std::string
+LoopbackTransport::clientTake()
+{
+    std::string out = std::move(toClient);
+    toClient.clear();
+    return out;
+}
+
+/* ---- TcpServerTransport ---------------------------------------- */
+
+namespace
+{
+
+void
+setNonBlocking(int fd)
+{
+    int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // anonymous namespace
+
+TcpServerTransport::~TcpServerTransport()
+{
+    shutdown();
+}
+
+bool
+TcpServerTransport::listen(uint16_t port)
+{
+    shutdown();
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        return false;
+    int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listenFd, 1) < 0) {
+        ::close(listenFd);
+        listenFd = -1;
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) == 0)
+        boundPort = ntohs(addr.sin_port);
+    setNonBlocking(listenFd);
+    return true;
+}
+
+bool
+TcpServerTransport::acceptClient()
+{
+    if (clientFd >= 0)
+        return true;
+    if (listenFd < 0)
+        return false;
+    int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0)
+        return false;
+    setNonBlocking(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    clientFd = fd;
+    return true;
+}
+
+bool
+TcpServerTransport::poll(std::string &out)
+{
+    if (clientFd < 0)
+        return false;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(clientFd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            out.append(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n == 0) { // orderly shutdown by gdb
+            close();
+            return false;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+            return true;
+        close();
+        return false;
+    }
+}
+
+void
+TcpServerTransport::send(std::string_view bytes)
+{
+    size_t off = 0;
+    while (clientFd >= 0 && off < bytes.size()) {
+        ssize_t n = ::send(clientFd, bytes.data() + off,
+                           bytes.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+            continue; // replies are tiny; spin until the buffer drains
+        close();
+        return;
+    }
+}
+
+void
+TcpServerTransport::close()
+{
+    if (clientFd >= 0) {
+        ::close(clientFd);
+        clientFd = -1;
+    }
+}
+
+void
+TcpServerTransport::shutdown()
+{
+    close();
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+}
+
+} // namespace jaavr

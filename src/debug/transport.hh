@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Byte transports for the RSP debug stub.
+ *
+ * The server core is written against the small DebugTransport
+ * interface so the protocol logic never touches a socket directly.
+ * Production uses TcpServerTransport (a poll-based, single-client
+ * TCP listener that avr-gdb's `target remote :port` connects to);
+ * tests and CI use LoopbackTransport, an in-process pipe pair, so a
+ * complete debug session runs deterministically with no network and
+ * no external gdb binary.
+ */
+
+#ifndef JAAVR_DEBUG_TRANSPORT_HH
+#define JAAVR_DEBUG_TRANSPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jaavr
+{
+
+/**
+ * One byte-stream peer. poll() is non-blocking: it appends whatever
+ * input is pending (possibly nothing) and returns false only once the
+ * peer is gone for good.
+ */
+class DebugTransport
+{
+  public:
+    virtual ~DebugTransport() = default;
+
+    /**
+     * Append pending input bytes to @p out without blocking.
+     * @return false once the connection is closed/broken; true
+     * otherwise, even when no bytes were pending.
+     */
+    virtual bool poll(std::string &out) = 0;
+
+    /** Queue/send @p bytes to the peer. */
+    virtual void send(std::string_view bytes) = 0;
+
+    /** True while a peer is attached. */
+    virtual bool connected() const = 0;
+
+    /** Drop the peer (listener, if any, stays up). */
+    virtual void close() = 0;
+};
+
+/**
+ * In-process transport: the "client" half is plain method calls, so a
+ * test is both gdb and the wire. Single-threaded and deterministic —
+ * bytes come back exactly when the test asks for them.
+ */
+class LoopbackTransport : public DebugTransport
+{
+  public:
+    // Server side (DebugTransport).
+    bool poll(std::string &out) override;
+    void send(std::string_view bytes) override;
+    bool connected() const override { return open; }
+    void close() override { open = false; }
+
+    // Client side, for tests.
+    /** Push bytes that the server will see on its next poll(). */
+    void clientSend(std::string_view bytes);
+    /** Take everything the server has sent so far. */
+    std::string clientTake();
+
+  private:
+    std::string toServer;
+    std::string toClient;
+    bool open = true;
+};
+
+/**
+ * Single-client TCP listener. accept and recv are non-blocking, so
+ * poll() composes with the ISS run loop: the server slices execution
+ * and polls between slices to catch gdb's interrupt (0x03).
+ */
+class TcpServerTransport : public DebugTransport
+{
+  public:
+    TcpServerTransport() = default;
+    ~TcpServerTransport() override;
+
+    TcpServerTransport(const TcpServerTransport &) = delete;
+    TcpServerTransport &operator=(const TcpServerTransport &) = delete;
+
+    /**
+     * Bind and listen on 127.0.0.1:@p port (0 picks an ephemeral
+     * port; read it back with port()). Returns false on failure.
+     */
+    bool listen(uint16_t port);
+
+    /** Port actually bound, valid after listen() succeeds. */
+    uint16_t port() const { return boundPort; }
+
+    /**
+     * Accept a pending connection if one is waiting. Non-blocking;
+     * returns true once a client is attached.
+     */
+    bool acceptClient();
+
+    bool poll(std::string &out) override;
+    void send(std::string_view bytes) override;
+    bool connected() const override { return clientFd >= 0; }
+    void close() override;
+
+    /** Also tear down the listening socket. */
+    void shutdown();
+
+  private:
+    int listenFd = -1;
+    int clientFd = -1;
+    uint16_t boundPort = 0;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_DEBUG_TRANSPORT_HH

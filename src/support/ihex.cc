@@ -1,0 +1,302 @@
+#include "support/ihex.hh"
+
+#include <algorithm>
+
+#include "support/hex.hh"
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+uint32_t
+IhexImage::minAddr() const
+{
+    return chunks.empty() ? 0 : chunks.front().addr;
+}
+
+uint32_t
+IhexImage::endAddr() const
+{
+    return chunks.empty() ? 0 : chunks.back().end();
+}
+
+size_t
+IhexImage::byteCount() const
+{
+    size_t n = 0;
+    for (const IhexChunk &c : chunks)
+        n += c.bytes.size();
+    return n;
+}
+
+void
+IhexImage::add(uint32_t addr, const std::vector<uint8_t> &bytes)
+{
+    if (bytes.empty())
+        return;
+    // Carve the new range out of any existing chunk (last write
+    // wins), then splice the bytes in, coalescing with neighbours.
+    uint32_t lo = addr;
+    uint32_t hi = addr + static_cast<uint32_t>(bytes.size());
+    std::vector<IhexChunk> next;
+    IhexChunk fresh{addr, bytes};
+    for (IhexChunk &c : chunks) {
+        if (c.end() <= lo || c.addr >= hi) {
+            next.push_back(std::move(c));
+            continue;
+        }
+        if (c.addr < lo) {
+            IhexChunk head{c.addr, {c.bytes.begin(),
+                                    c.bytes.begin() + (lo - c.addr)}};
+            next.push_back(std::move(head));
+        }
+        if (c.end() > hi) {
+            IhexChunk tail{hi, {c.bytes.begin() + (hi - c.addr),
+                                c.bytes.end()}};
+            next.push_back(std::move(tail));
+        }
+    }
+    next.push_back(std::move(fresh));
+    std::sort(next.begin(), next.end(),
+              [](const IhexChunk &a, const IhexChunk &b) {
+                  return a.addr < b.addr;
+              });
+    chunks.clear();
+    for (IhexChunk &c : next) {
+        if (!chunks.empty() && chunks.back().end() == c.addr)
+            chunks.back().bytes.insert(chunks.back().bytes.end(),
+                                       c.bytes.begin(), c.bytes.end());
+        else
+            chunks.push_back(std::move(c));
+    }
+}
+
+std::vector<uint8_t>
+IhexImage::flatten(uint8_t fill) const
+{
+    std::vector<uint8_t> out(endAddr() - minAddr(), fill);
+    for (const IhexChunk &c : chunks)
+        std::copy(c.bytes.begin(), c.bytes.end(),
+                  out.begin() + (c.addr - minAddr()));
+    return out;
+}
+
+std::vector<uint16_t>
+IhexImage::words(uint8_t fill) const
+{
+    if (empty())
+        return {};
+    uint32_t base = minAddr() & ~1u;
+    std::vector<uint8_t> dense((endAddr() - base + 1) & ~1u, fill);
+    for (const IhexChunk &c : chunks)
+        std::copy(c.bytes.begin(), c.bytes.end(),
+                  dense.begin() + (c.addr - base));
+    std::vector<uint16_t> out(dense.size() / 2);
+    for (size_t i = 0; i < out.size(); i++)
+        out[i] = static_cast<uint16_t>(dense[2 * i]) |
+                 (static_cast<uint16_t>(dense[2 * i + 1]) << 8);
+    return out;
+}
+
+namespace
+{
+
+void
+setErr(std::string *err, unsigned line, const std::string &what)
+{
+    if (err)
+        *err = csprintf("line %u: %s", line, what.c_str());
+}
+
+/** Decode @p n hex digits at @p s; returns -1 on a non-hex digit. */
+int64_t
+hexField(const char *s, size_t n)
+{
+    int64_t v = 0;
+    for (size_t i = 0; i < n; i++) {
+        int d = hexDigit(s[i]);
+        if (d < 0)
+            return -1;
+        v = (v << 4) | d;
+    }
+    return v;
+}
+
+} // anonymous namespace
+
+bool
+parseIhex(const std::string &text, IhexImage &out, std::string *err)
+{
+    out.chunks.clear();
+    uint32_t base = 0; // extended segment/linear offset
+    bool sawEof = false;
+    unsigned lineNo = 0;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        lineNo++;
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' ' ||
+                line.back() == '\t'))
+            line.pop_back();
+        size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue; // blank line
+        line.erase(0, first);
+        if (line[0] != ':') {
+            setErr(err, lineNo, "record does not start with ':'");
+            return false;
+        }
+        if (sawEof) {
+            setErr(err, lineNo, "record after EOF record");
+            return false;
+        }
+        if (line.size() % 2 != 1) {
+            // ':' plus an odd number of hex digits.
+            setErr(err, lineNo, "odd number of hex digits");
+            return false;
+        }
+        if (line.size() < 1 + 10) {
+            setErr(err, lineNo, "record too short");
+            return false;
+        }
+        const char *p = line.c_str() + 1;
+        size_t nbytes = (line.size() - 1) / 2;
+        int64_t len = hexField(p, 2);
+        int64_t addr = hexField(p + 2, 4);
+        int64_t type = hexField(p + 6, 2);
+        if (len < 0 || addr < 0 || type < 0) {
+            setErr(err, lineNo, "non-hex digit in record header");
+            return false;
+        }
+        if (nbytes != static_cast<size_t>(len) + 5) {
+            setErr(err, lineNo,
+                   csprintf("record length %lld does not match %zu "
+                            "data bytes",
+                            static_cast<long long>(len), nbytes - 5));
+            return false;
+        }
+        std::vector<uint8_t> data(len);
+        unsigned sum =
+            static_cast<unsigned>(len + (addr >> 8) + addr + type);
+        for (int64_t i = 0; i < len; i++) {
+            int64_t b = hexField(p + 8 + 2 * i, 2);
+            if (b < 0) {
+                setErr(err, lineNo, "non-hex digit in record data");
+                return false;
+            }
+            data[i] = static_cast<uint8_t>(b);
+            sum += static_cast<unsigned>(b);
+        }
+        int64_t check = hexField(p + 8 + 2 * len, 2);
+        if (check < 0) {
+            setErr(err, lineNo, "non-hex digit in checksum");
+            return false;
+        }
+        if (((sum + check) & 0xff) != 0) {
+            setErr(err, lineNo,
+                   csprintf("checksum mismatch (expected 0x%02x, got "
+                            "0x%02x)",
+                            static_cast<unsigned>(-sum) & 0xff,
+                            static_cast<unsigned>(check)));
+            return false;
+        }
+        switch (type) {
+          case 0x00: // data
+            out.add(base + static_cast<uint32_t>(addr), data);
+            break;
+          case 0x01: // EOF
+            if (len != 0) {
+                setErr(err, lineNo, "EOF record with data");
+                return false;
+            }
+            sawEof = true;
+            break;
+          case 0x02: // extended segment address
+          case 0x04: // extended linear address
+            if (len != 2) {
+                setErr(err, lineNo, "address record length is not 2");
+                return false;
+            }
+            base = (static_cast<uint32_t>(data[0]) << 8 | data[1])
+                   << (type == 0x02 ? 4 : 16);
+            break;
+          case 0x03: // start segment address (CS:IP) — ignored
+          case 0x05: // start linear address — ignored
+            if (len != 4) {
+                setErr(err, lineNo, "start record length is not 4");
+                return false;
+            }
+            break;
+          default:
+            setErr(err, lineNo,
+                   csprintf("unknown record type 0x%02llx",
+                            static_cast<unsigned long long>(type)));
+            return false;
+        }
+    }
+    if (!sawEof) {
+        setErr(err, lineNo, "missing EOF record");
+        return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+void
+emitRecord(std::string &out, uint8_t type, uint16_t addr,
+           const uint8_t *data, size_t len)
+{
+    unsigned sum = static_cast<unsigned>(len) + (addr >> 8) +
+                   (addr & 0xff) + type;
+    out += csprintf(":%02zX%04X%02X", len, addr, type);
+    for (size_t i = 0; i < len; i++) {
+        out += csprintf("%02X", data[i]);
+        sum += data[i];
+    }
+    out += csprintf("%02X\n", static_cast<unsigned>(-sum) & 0xff);
+}
+
+} // anonymous namespace
+
+std::string
+writeIhex(const IhexImage &img, size_t record_len)
+{
+    if (record_len == 0 || record_len > 255)
+        record_len = 16;
+    std::string out;
+    uint32_t base = 0;
+    bool baseEmitted = false;
+    for (const IhexChunk &c : img.chunks) {
+        uint32_t a = c.addr;
+        size_t off = 0;
+        while (off < c.bytes.size()) {
+            uint32_t hi = a >> 16;
+            if (!baseEmitted || hi != base) {
+                uint8_t ext[2] = {static_cast<uint8_t>(hi >> 8),
+                                  static_cast<uint8_t>(hi)};
+                emitRecord(out, 0x04, 0, ext, 2);
+                base = hi;
+                baseEmitted = true;
+            }
+            // Stay inside the current 64 KiB page.
+            size_t n = std::min({record_len, c.bytes.size() - off,
+                                 static_cast<size_t>(0x10000 -
+                                                     (a & 0xffff))});
+            emitRecord(out, 0x00, static_cast<uint16_t>(a),
+                       c.bytes.data() + off, n);
+            a += static_cast<uint32_t>(n);
+            off += n;
+        }
+    }
+    out += ":00000001FF\n";
+    return out;
+}
+
+} // namespace jaavr

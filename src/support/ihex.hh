@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Intel HEX reader/writer.
+ *
+ * Used by the debug subsystem (`jaavr-gdb --load`) to serve external
+ * firmware images and by the avrgen harnesses to export assembled
+ * flash images. The parser is strict but never aborts: every
+ * malformed record (bad start code, odd digit count, non-hex digit,
+ * length mismatch, checksum error, unknown record type, data after
+ * EOF) is reported through the error string so a server feeding it
+ * untrusted input can reject the file gracefully.
+ *
+ * Supported record types: 00 (data), 01 (EOF), 02 (extended segment
+ * address), 03 (start segment address, validated and ignored),
+ * 04 (extended linear address), 05 (start linear address, validated
+ * and ignored).
+ */
+
+#ifndef JAAVR_SUPPORT_IHEX_HH
+#define JAAVR_SUPPORT_IHEX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jaavr
+{
+
+/** One contiguous run of bytes at an absolute byte address. */
+struct IhexChunk
+{
+    uint32_t addr = 0;
+    std::vector<uint8_t> bytes;
+
+    uint32_t end() const
+    {
+        return addr + static_cast<uint32_t>(bytes.size());
+    }
+
+    bool operator==(const IhexChunk &) const = default;
+};
+
+/**
+ * A parsed (or to-be-written) image: sorted, coalesced, disjoint
+ * chunks of the byte address space. Overlapping add()s are resolved
+ * last-writer-wins, matching what flashing the records in file order
+ * would produce.
+ */
+struct IhexImage
+{
+    std::vector<IhexChunk> chunks;
+
+    bool empty() const { return chunks.empty(); }
+
+    /** Lowest / one-past-highest populated byte address (0 if empty). */
+    uint32_t minAddr() const;
+    uint32_t endAddr() const;
+
+    /** Total populated bytes across all chunks. */
+    size_t byteCount() const;
+
+    /** Merge @p bytes at @p addr (last write wins on overlap). */
+    void add(uint32_t addr, const std::vector<uint8_t> &bytes);
+
+    /**
+     * Dense byte image over [minAddr(), endAddr()), gaps filled with
+     * @p fill (0xff = erased flash).
+     */
+    std::vector<uint8_t> flatten(uint8_t fill = 0xff) const;
+
+    /**
+     * The image as little-endian 16-bit flash words starting at word
+     * address minAddr() / 2; a leading odd byte and gaps are padded
+     * with @p fill. Pair with loadWordAddr() for Machine::loadProgram.
+     */
+    std::vector<uint16_t> words(uint8_t fill = 0xff) const;
+
+    /** Flash word address words() starts at. */
+    uint32_t loadWordAddr() const { return minAddr() / 2; }
+};
+
+/**
+ * Parse Intel HEX @p text into @p out. Returns false on malformed
+ * input with a line-numbered description in @p err (out is left in an
+ * unspecified but valid state). Never aborts.
+ */
+bool parseIhex(const std::string &text, IhexImage &out,
+               std::string *err = nullptr);
+
+/**
+ * Serialize @p img as Intel HEX with @p record_len data bytes per
+ * record, emitting type-04 extended-linear-address records as needed
+ * and a terminating EOF record.
+ */
+std::string writeIhex(const IhexImage &img, size_t record_len = 16);
+
+} // namespace jaavr
+
+#endif // JAAVR_SUPPORT_IHEX_HH

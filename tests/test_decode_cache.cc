@@ -13,6 +13,8 @@
 #include "avr/machine.hh"
 #include "avrasm/assembler.hh"
 #include "avrgen/opf_harness.hh"
+#include "avr/profiler.hh"
+#include "debug/target.hh"
 #include "field/opf_field.hh"
 #include "nt/opf_prime.hh"
 #include "support/logging.hh"
@@ -302,6 +304,69 @@ TEST(DecodeCache, CycleBudgetBoundaryIdenticalOnBothPaths)
             EXPECT_EQ(fit.call(0, c + 1), c);
         }
     }
+}
+
+/*
+ * The debug hook must be free when no debugger wants stops: a
+ * DebugTarget that is attached but has no breakpoints or watchpoints
+ * selects the plain run loops, and even an armed (but unreachable)
+ * breakpoint — which engages the Debugged loop variants — must add
+ * exactly zero cycles and zero architectural drift. Covers every
+ * runFast instantiation mode on both paths, plus the
+ * Profiled+Debugged combination.
+ */
+TEST(DecodeCache, DebugHookAddsZeroCyclesWhenNotStopping)
+{
+    OpfPrime prime = makeOpf(0xff4c, 144);
+    OpfField field(prime);
+    Rng rng(0xdb9);
+    auto a = field.fromBig(BigUInt::randomBits(rng, prime.k));
+    auto b = field.fromBig(BigUInt::randomBits(rng, prime.k));
+    // Unused flash, never executed by the OPF image.
+    constexpr uint32_t unreachable = 2 * 0xf000;
+
+    for (CpuMode mode : {CpuMode::CA, CpuMode::FAST, CpuMode::ISE}) {
+        for (bool reference : {false, true}) {
+            OpfAvrLibrary base(prime, mode);
+            base.machine().forceReference = reference;
+            OpfRun r0 = base.mul(a, b);
+
+            // Attached but passive: no breakpoints, no watchpoints.
+            OpfAvrLibrary passive(prime, mode);
+            passive.machine().forceReference = reference;
+            DebugTarget quiet(passive.machine());
+            EXPECT_FALSE(quiet.wantsStops());
+            OpfRun r1 = passive.mul(a, b);
+            EXPECT_EQ(r1.result, r0.result);
+            EXPECT_EQ(r1.cycles, r0.cycles);
+            expectSameState(passive.machine(), base.machine());
+
+            // Armed with a breakpoint that never hits: the Debugged
+            // loop runs, but timing must be bit-identical.
+            OpfAvrLibrary armed(prime, mode);
+            armed.machine().forceReference = reference;
+            DebugTarget watching(armed.machine());
+            ASSERT_TRUE(watching.setBreakpoint(unreachable));
+            EXPECT_TRUE(watching.wantsStops());
+            OpfRun r2 = armed.mul(a, b);
+            EXPECT_EQ(r2.result, r0.result);
+            EXPECT_EQ(r2.cycles, r0.cycles);
+            EXPECT_EQ(r2.instructions, r0.instructions);
+            expectSameState(armed.machine(), base.machine());
+        }
+    }
+
+    // Profiled + Debugged fast-loop instantiation.
+    OpfAvrLibrary base(prime, CpuMode::ISE);
+    OpfRun r0 = base.mul(a, b);
+    OpfAvrLibrary both(prime, CpuMode::ISE);
+    CallGraphProfiler prof(both.machine(), both.symbols());
+    DebugTarget dbg(both.machine());
+    ASSERT_TRUE(dbg.setBreakpoint(unreachable));
+    OpfRun r1 = both.mul(a, b);
+    EXPECT_EQ(r1.result, r0.result);
+    EXPECT_EQ(r1.cycles, r0.cycles);
+    expectSameState(both.machine(), base.machine());
 }
 
 /** The environment flag forces the reference path at construction. */

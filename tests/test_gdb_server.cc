@@ -1,0 +1,421 @@
+/**
+ * @file
+ * End-to-end RSP debug sessions over the in-process loopback
+ * transport — no sockets, no external gdb, fully deterministic.
+ *
+ * The main scenario is the acceptance script of the debug subsystem:
+ * load the OPF-160 image in ISE mode, arrange a Montgomery
+ * multiplication call over the wire, hit a breakpoint inside the mul,
+ * read and modify registers and SRAM through packets, single-step
+ * across MAC-ISE instructions, hit a data watchpoint on the result
+ * buffer, run to the exit sentinel, check the (modified) result
+ * against the host field model, drive the monitor commands, and
+ * receive a T-stop for an injected illegal-opcode trap. The session
+ * transcript is logged to DEBUG_session.log (a CI artifact).
+ */
+
+#include <gtest/gtest.h>
+
+#include "avrasm/assembler.hh"
+#include "avrgen/opf_harness.hh"
+#include "debug/server.hh"
+#include "field/opf_field.hh"
+#include "nt/opf_prime.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+using namespace jaavr;
+
+namespace
+{
+
+/** A scripted gdb: sends frames, pumps the server, decodes replies. */
+struct RspClient
+{
+    RspClient(GdbServer &srv, LoopbackTransport &wire)
+        : srv(srv), wire(wire)
+    {}
+
+    GdbServer &srv;
+    LoopbackTransport &wire;
+    RspDecoder dec;
+    std::vector<RspEvent> events;
+    size_t next = 0;
+    bool noAck = false;
+    std::vector<std::string> console; ///< decoded `O` packet texts
+    int naksSeen = 0;
+    int acksSeen = 0;
+
+    void
+    pump()
+    {
+        srv.poll();
+        std::string bytes = wire.clientTake();
+        if (bytes.empty())
+            return;
+        std::vector<RspEvent> ev = dec.feed(bytes);
+        events.insert(events.end(), ev.begin(), ev.end());
+    }
+
+    /** Pump until a (non-console) reply packet arrives. */
+    std::string
+    waitPacket()
+    {
+        for (int spins = 0; spins < 200000; spins++) {
+            while (next < events.size()) {
+                RspEvent ev = events[next++];
+                if (ev.kind == RspEvent::Kind::Ack) {
+                    acksSeen++;
+                    continue;
+                }
+                if (ev.kind == RspEvent::Kind::Nak) {
+                    naksSeen++;
+                    continue;
+                }
+                if (ev.kind != RspEvent::Kind::Packet)
+                    continue;
+                if (!noAck)
+                    wire.clientSend("+");
+                std::vector<uint8_t> text;
+                if (ev.payload.size() > 1 && ev.payload[0] == 'O' &&
+                    rspUnhexBytes(
+                        std::string_view(ev.payload).substr(1), text)) {
+                    console.emplace_back(text.begin(), text.end());
+                    continue;
+                }
+                return ev.payload;
+            }
+            pump();
+        }
+        ADD_FAILURE() << "timed out waiting for a reply packet";
+        return "<timeout>";
+    }
+
+    std::string
+    request(const std::string &payload)
+    {
+        wire.clientSend(rspFrame(payload));
+        return waitPacket();
+    }
+
+    /** `monitor <cmd>`: qRcmd round trip, output decoded. */
+    std::string
+    monitor(const std::string &cmd)
+    {
+        std::string reply = request(
+            "qRcmd," +
+            rspHexBytes(reinterpret_cast<const uint8_t *>(cmd.data()),
+                        cmd.size()));
+        std::vector<uint8_t> text;
+        if (!rspUnhexBytes(reply, text)) {
+            ADD_FAILURE() << "non-hex monitor reply: " << reply;
+            return reply;
+        }
+        return {text.begin(), text.end()};
+    }
+};
+
+std::vector<uint8_t>
+wordsToBytes(const OpfField::Words &w)
+{
+    std::vector<uint8_t> out;
+    for (uint32_t word : w)
+        for (int i = 0; i < 4; i++)
+            out.push_back(static_cast<uint8_t>(word >> (8 * i)));
+    return out;
+}
+
+OpfField::Words
+bytesToWords(const std::vector<uint8_t> &bytes, size_t s)
+{
+    OpfField::Words out(s, 0);
+    for (size_t i = 0; i < bytes.size(); i++)
+        out[i / 4] |= static_cast<uint32_t>(bytes[i]) << (8 * (i % 4));
+    return out;
+}
+
+std::string
+hexOf(const std::vector<uint8_t> &bytes)
+{
+    return rspHexBytes(bytes.data(), bytes.size());
+}
+
+/** Word address of the @p n-th instruction at/after @p start. */
+uint32_t
+nthBoundary(const Machine &m, uint32_t start, unsigned n)
+{
+    uint32_t a = start;
+    for (unsigned i = 0; i < n; i++)
+        a += m.decoded(a).inst.words;
+    return a;
+}
+
+} // anonymous namespace
+
+TEST(GdbServer, FullLoopbackDebugSession)
+{
+    const OpfPrime &prime = paperOpfPrime();
+    OpfField field(prime);
+    const size_t s = prime.k / 32 + 1; // 5 words = 160 bits
+    Rng rng(0x160);
+    OpfField::Words a = field.fromBig(BigUInt::randomBits(rng, prime.k));
+    OpfField::Words b = field.fromBig(BigUInt::randomBits(rng, prime.k));
+
+    OpfAvrLibrary lib(prime, CpuMode::ISE);
+    Machine &m = lib.machine();
+    DebugTarget target(m);
+    LoopbackTransport wire;
+    GdbServer srv(target, wire);
+    SymbolTable syms = lib.symbols();
+    srv.setSymbols(syms);
+    CallGraphProfiler prof(m, syms);
+    srv.setProfiler(&prof);
+    std::FILE *log = fopen("DEBUG_session.log", "w");
+    ASSERT_NE(log, nullptr);
+    srv.setLog(log);
+
+    RspClient gdb(srv, wire);
+
+    // --- handshake, still in ack mode -----------------------------
+    std::string supported = gdb.request("qSupported:swbreak+");
+    EXPECT_NE(supported.find("PacketSize="), std::string::npos);
+    EXPECT_NE(supported.find("QStartNoAckMode+"), std::string::npos);
+    EXPECT_NE(supported.find("swbreak+"), std::string::npos);
+    EXPECT_GT(gdb.acksSeen, 0) << "server must ack in ack mode";
+
+    // A corrupted frame draws a NAK, and the retransmit goes through.
+    gdb.wire.clientSend("$qC#00");
+    gdb.wire.clientSend(rspFrame("qC"));
+    EXPECT_EQ(gdb.waitPacket(), "QC1");
+    EXPECT_GT(gdb.naksSeen, 0);
+
+    EXPECT_EQ(gdb.request("QStartNoAckMode"), "OK");
+    gdb.noAck = true;
+    EXPECT_EQ(gdb.request("Hg0"), "OK");
+    std::string initial = gdb.request("?");
+    EXPECT_EQ(initial.rfind("T05", 0), 0u) << initial;
+
+    // --- find opf_mul via the symbol table ------------------------
+    uint32_t mulEntry = 0;
+    for (const auto &[addr, name] : syms.entries())
+        if (name == "opf_mul")
+            mulEntry = addr;
+    ASSERT_NE(mulEntry, 0u);
+
+    // --- marshal the call entirely over the wire ------------------
+    // Operands at the fixed OPF harness addresses...
+    std::vector<uint8_t> abytes = wordsToBytes(a);
+    std::vector<uint8_t> bbytes = wordsToBytes(b);
+    EXPECT_EQ(gdb.request(csprintf("M%x,%zx:%s",
+                                   kGdbDataBase + OpfMemoryMap::aAddr,
+                                   abytes.size(),
+                                   hexOf(abytes).c_str())),
+              "OK");
+    EXPECT_EQ(gdb.request(csprintf("M%x,%zx:%s",
+                                   kGdbDataBase + OpfMemoryMap::bAddr,
+                                   bbytes.size(),
+                                   hexOf(bbytes).c_str())),
+              "OK");
+    // ...read one back through the other memory packet.
+    EXPECT_EQ(gdb.request(csprintf("m%x,%zx",
+                                   kGdbDataBase + OpfMemoryMap::aAddr,
+                                   abytes.size())),
+              hexOf(abytes));
+
+    // The exit sentinel Machine::call() would push, via a memory
+    // write and an SP register write; Y/Z point at the operands.
+    EXPECT_EQ(gdb.request(csprintf("M%x,2:ffff", kGdbDataBase + 0x10fe)),
+              "OK");
+    EXPECT_EQ(gdb.request("P21=fd10"), "OK"); // SP = 0x10fd
+    EXPECT_EQ(gdb.request(csprintf("P1c=%02x",
+                                   OpfMemoryMap::aAddr & 0xff)),
+              "OK");
+    EXPECT_EQ(gdb.request(csprintf("P1d=%02x",
+                                   OpfMemoryMap::aAddr >> 8)),
+              "OK");
+    EXPECT_EQ(gdb.request(csprintf("P1e=%02x",
+                                   OpfMemoryMap::bAddr & 0xff)),
+              "OK");
+    EXPECT_EQ(gdb.request(csprintf("P1f=%02x",
+                                   OpfMemoryMap::bAddr >> 8)),
+              "OK");
+    // PC = opf_mul entry (gdb PCs are byte addresses).
+    std::vector<uint8_t> pcBytes = {
+        static_cast<uint8_t>((2 * mulEntry)),
+        static_cast<uint8_t>((2 * mulEntry) >> 8),
+        static_cast<uint8_t>((2 * mulEntry) >> 16), 0};
+    EXPECT_EQ(gdb.request("P22=" + hexOf(pcBytes)), "OK");
+    EXPECT_EQ(gdb.request("p22"), hexOf(pcBytes));
+
+    // --- modify an operand byte over the wire ---------------------
+    abytes[3] ^= 0x5a;
+    EXPECT_EQ(gdb.request(csprintf(
+                  "M%x,1:%02x", kGdbDataBase + OpfMemoryMap::aAddr + 3,
+                  abytes[3])),
+              "OK");
+    OpfField::Words aMod = bytesToWords(abytes, s);
+
+    // --- breakpoint a few instructions into the mul ---------------
+    uint32_t bpWord = nthBoundary(m, mulEntry, 5);
+    EXPECT_EQ(gdb.request(csprintf("Z0,%x,2", 2 * bpWord)), "OK");
+    gdb.wire.clientSend(rspFrame("c"));
+    std::string stop = gdb.waitPacket();
+    EXPECT_EQ(stop.rfind("T05", 0), 0u) << stop;
+    EXPECT_NE(stop.find("swbreak"), std::string::npos) << stop;
+    EXPECT_EQ(m.pc(), bpWord);
+
+    // Registers through the g packet: SP and PC where we put them.
+    std::string regs = gdb.request("g");
+    ASSERT_EQ(regs.size(), 2 * DebugTarget::kRegBlockLen);
+    std::vector<uint8_t> regBytes;
+    ASSERT_TRUE(rspUnhexBytes(regs, regBytes));
+    EXPECT_EQ(regBytes[28], OpfMemoryMap::aAddr & 0xff); // Y low
+    EXPECT_EQ(regBytes[29], OpfMemoryMap::aAddr >> 8);   // Y high
+    uint32_t pcByte = regBytes[35] | (regBytes[36] << 8) |
+                      (regBytes[37] << 16) |
+                      (static_cast<uint32_t>(regBytes[38]) << 24);
+    EXPECT_EQ(pcByte, 2 * bpWord);
+
+    // Write a scratch register, read it back both ways, restore.
+    std::string r25 = gdb.request("p19");
+    EXPECT_EQ(gdb.request("P19=7e"), "OK");
+    EXPECT_EQ(gdb.request("p19"), "7e");
+    EXPECT_EQ(m.reg(25), 0x7e);
+    EXPECT_EQ(gdb.request("P19=" + r25), "OK");
+
+    // --- single-step across the MAC-ISE instructions --------------
+    uint64_t macs0 = m.mac().totalMacs();
+    bool crossed = false;
+    for (int i = 0; i < 400 && !crossed; i++) {
+        std::string step = gdb.request("s");
+        ASSERT_EQ(step.rfind("T05", 0), 0u) << step;
+        crossed = m.mac().totalMacs() > macs0;
+    }
+    EXPECT_TRUE(crossed)
+        << "no MAC-ISE instruction crossed while stepping opf_mul";
+
+    // --- watchpoint on the result buffer --------------------------
+    EXPECT_EQ(gdb.request(csprintf("z0,%x,2", 2 * bpWord)), "OK");
+    EXPECT_EQ(gdb.request(csprintf("Z2,%x,%zx",
+                                   kGdbDataBase +
+                                       OpfMemoryMap::resultAddr,
+                                   4 * s)),
+              "OK");
+    gdb.wire.clientSend(rspFrame("c"));
+    stop = gdb.waitPacket();
+    EXPECT_EQ(stop.rfind("T05", 0), 0u) << stop;
+    EXPECT_NE(stop.find(csprintf("watch:%x;",
+                                 kGdbDataBase +
+                                     OpfMemoryMap::resultAddr)),
+              std::string::npos)
+        << stop;
+
+    // --- run to completion and check the product ------------------
+    EXPECT_EQ(gdb.request(csprintf("z2,%x,%zx",
+                                   kGdbDataBase +
+                                       OpfMemoryMap::resultAddr,
+                                   4 * s)),
+              "OK");
+    gdb.wire.clientSend(rspFrame("vCont;c"));
+    EXPECT_EQ(gdb.waitPacket(), "W00");
+    std::string resHex = gdb.request(csprintf(
+        "m%x,%zx", kGdbDataBase + OpfMemoryMap::resultAddr, 4 * s));
+    std::vector<uint8_t> resBytes;
+    ASSERT_TRUE(rspUnhexBytes(resHex, resBytes));
+    EXPECT_EQ(bytesToWords(resBytes, s), field.montMul(aMod, b))
+        << "debugged mul result does not match the host field model";
+
+    // --- monitor commands -----------------------------------------
+    EXPECT_NE(gdb.monitor("help").find("profile"), std::string::npos);
+    EXPECT_NE(gdb.monitor("stats").find("instructions"),
+              std::string::npos);
+    EXPECT_NE(gdb.monitor("symbols").find("opf_mul"),
+              std::string::npos);
+    EXPECT_FALSE(gdb.monitor("profile").empty());
+    EXPECT_NE(gdb.monitor("bogus").find("unknown command"),
+              std::string::npos);
+    EXPECT_NE(gdb.monitor("reset").find("reset"), std::string::npos);
+    EXPECT_EQ(m.stats().instructions, 0u);
+
+    // --- injected illegal-opcode trap -> T04 + console text -------
+    // Plant the reserved opcode 0x9404 in unused flash by writing it
+    // through the debugger, then jump there.
+    EXPECT_EQ(gdb.request(csprintf("M%x,2:0494", 2 * 0x7000)), "OK");
+    EXPECT_EQ(m.flashWord(0x7000), 0x9404);
+    std::vector<uint8_t> trapPc = {0x00, 0xe0, 0x00, 0x00}; // 2*0x7000
+    EXPECT_EQ(gdb.request("P22=" + hexOf(trapPc)), "OK");
+    gdb.wire.clientSend(rspFrame("c"));
+    stop = gdb.waitPacket();
+    EXPECT_EQ(stop.rfind("T04", 0), 0u) << stop; // SIGILL
+    ASSERT_FALSE(gdb.console.empty());
+    EXPECT_NE(gdb.console.back().find("illegal"), std::string::npos)
+        << gdb.console.back();
+    EXPECT_NE(gdb.monitor("trap").find("illegal"), std::string::npos);
+
+    // --- detach ---------------------------------------------------
+    EXPECT_EQ(gdb.request("D"), "OK");
+    EXPECT_FALSE(srv.alive());
+    EXPECT_FALSE(srv.poll());
+    fclose(log);
+
+    // The session log is a CI artifact; it must have real content.
+    std::FILE *back = fopen("DEBUG_session.log", "r");
+    ASSERT_NE(back, nullptr);
+    fseek(back, 0, SEEK_END);
+    EXPECT_GT(ftell(back), 1000);
+    fclose(back);
+}
+
+TEST(GdbServer, InterruptStopsAContinue)
+{
+    Machine m(CpuMode::FAST);
+    m.loadProgram(assemble("loop:\nrjmp loop\n", "spin").words, 0);
+    DebugTarget target(m);
+    LoopbackTransport wire;
+    GdbServer srv(target, wire);
+    srv.setSliceCycles(10000);
+    RspClient gdb(srv, wire);
+
+    EXPECT_EQ(gdb.request("QStartNoAckMode"), "OK");
+    gdb.noAck = true;
+    gdb.wire.clientSend(rspFrame("c"));
+    for (int i = 0; i < 5; i++)
+        gdb.pump(); // let it spin a few slices
+    uint64_t before = m.stats().cycles;
+    EXPECT_GT(before, 0u);
+    gdb.wire.clientSend("\x03");
+    std::string stop = gdb.waitPacket();
+    EXPECT_EQ(stop.rfind("T02", 0), 0u) << stop; // SIGINT
+    EXPECT_FALSE(srv.running());
+
+    // The session survives and the machine continues on demand.
+    gdb.wire.clientSend(rspFrame("c"));
+    for (int i = 0; i < 3; i++)
+        gdb.pump();
+    gdb.wire.clientSend("\x03");
+    EXPECT_EQ(gdb.waitPacket().rfind("T02", 0), 0u);
+    EXPECT_GT(m.stats().cycles, before);
+
+    gdb.wire.clientSend(rspFrame("k"));
+    for (int i = 0; i < 3 && srv.alive(); i++)
+        gdb.pump();
+    EXPECT_FALSE(srv.alive());
+}
+
+TEST(GdbServer, UnknownPacketsGetEmptyReplies)
+{
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble("nop\nret\n", "t").words, 0);
+    DebugTarget target(m);
+    LoopbackTransport wire;
+    GdbServer srv(target, wire);
+    RspClient gdb(srv, wire);
+    EXPECT_EQ(gdb.request("QStartNoAckMode"), "OK");
+    gdb.noAck = true;
+    EXPECT_EQ(gdb.request("qXfer:features:read::0,0"), "");
+    EXPECT_EQ(gdb.request("vMustReplyEmpty"), "");
+    EXPECT_EQ(gdb.request("Z9,0,0"), "");
+    EXPECT_EQ(gdb.request("m10000000000000000000,4"), "E01");
+    EXPECT_EQ(gdb.request("P22=zz"), "E01");
+    EXPECT_EQ(gdb.request("vCont?"), "vCont;c;C;s;S");
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Intel HEX reader/writer tests: round trips (chunked, high-address,
+ * odd alignment), the words() flash view, and the full malformed-
+ * record taxonomy — every rejection must come back as a false return
+ * with a line-numbered error, never as an abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/ihex.hh"
+#include "support/random.hh"
+
+using namespace jaavr;
+
+namespace
+{
+
+IhexImage
+roundTrip(const IhexImage &img, size_t record_len = 16)
+{
+    std::string text = writeIhex(img, record_len);
+    IhexImage back;
+    std::string err;
+    EXPECT_TRUE(parseIhex(text, back, &err)) << err << "\n" << text;
+    return back;
+}
+
+} // anonymous namespace
+
+TEST(Ihex, EmptyImageRoundTrips)
+{
+    IhexImage img;
+    EXPECT_EQ(writeIhex(img), ":00000001FF\n");
+    EXPECT_EQ(roundTrip(img).chunks, img.chunks);
+    EXPECT_EQ(img.byteCount(), 0u);
+}
+
+TEST(Ihex, SimpleRecordParses)
+{
+    // The canonical Wikipedia example record.
+    IhexImage img;
+    std::string err;
+    ASSERT_TRUE(parseIhex(":0B0010006164647265737320676170A7\n"
+                          ":00000001FF\n",
+                          img, &err))
+        << err;
+    ASSERT_EQ(img.chunks.size(), 1u);
+    EXPECT_EQ(img.chunks[0].addr, 0x10u);
+    EXPECT_EQ(img.chunks[0].bytes,
+              (std::vector<uint8_t>{'a', 'd', 'd', 'r', 'e', 's', 's',
+                                    ' ', 'g', 'a', 'p'}));
+}
+
+TEST(Ihex, RandomImageRoundTrips)
+{
+    Rng rng(42);
+    IhexImage img;
+    for (int c = 0; c < 8; c++) {
+        std::vector<uint8_t> bytes(1 + rng.below(300));
+        for (uint8_t &b : bytes)
+            b = static_cast<uint8_t>(rng.next32());
+        img.add(static_cast<uint32_t>(rng.below(0x30000)), bytes);
+    }
+    for (size_t rec : {1u, 7u, 16u, 255u}) {
+        IhexImage back = roundTrip(img, rec);
+        EXPECT_EQ(back.chunks, img.chunks) << "record_len " << rec;
+    }
+}
+
+TEST(Ihex, HighAddressesUseExtendedLinearRecords)
+{
+    IhexImage img;
+    img.add(0x0001fffe, {0x11, 0x22, 0x33, 0x44});
+    std::string text = writeIhex(img);
+    // Crossing the 64 KiB page boundary needs two type-04 records.
+    EXPECT_NE(text.find(":02000004000"), std::string::npos);
+    IhexImage back = roundTrip(img);
+    EXPECT_EQ(back.chunks, img.chunks);
+    EXPECT_EQ(back.minAddr(), 0x0001fffeu);
+    EXPECT_EQ(back.endAddr(), 0x00020002u);
+}
+
+TEST(Ihex, ExtendedSegmentAddressApplies)
+{
+    // Type-02 bases shift left by 4: 0x1000 -> 0x10000.
+    IhexImage img;
+    std::string err;
+    ASSERT_TRUE(parseIhex(":020000021000EC\n"
+                          ":02000000AABB99\n"
+                          ":00000001FF\n",
+                          img, &err))
+        << err;
+    ASSERT_EQ(img.chunks.size(), 1u);
+    EXPECT_EQ(img.chunks[0].addr, 0x10000u);
+    EXPECT_EQ(img.chunks[0].bytes, (std::vector<uint8_t>{0xaa, 0xbb}));
+}
+
+TEST(Ihex, OverlappingAddIsLastWriterWins)
+{
+    IhexImage img;
+    img.add(0x100, {1, 2, 3, 4, 5, 6});
+    img.add(0x102, {0xaa, 0xbb});
+    ASSERT_EQ(img.chunks.size(), 1u);
+    EXPECT_EQ(img.chunks[0].bytes,
+              (std::vector<uint8_t>{1, 2, 0xaa, 0xbb, 5, 6}));
+    // Adjacent chunks coalesce.
+    img.add(0x106, {7});
+    ASSERT_EQ(img.chunks.size(), 1u);
+    EXPECT_EQ(img.byteCount(), 7u);
+}
+
+TEST(Ihex, FlattenFillsGaps)
+{
+    IhexImage img;
+    img.add(0x10, {1, 2});
+    img.add(0x15, {3});
+    std::vector<uint8_t> flat = img.flatten(0xee);
+    EXPECT_EQ(flat, (std::vector<uint8_t>{1, 2, 0xee, 0xee, 0xee, 3}));
+}
+
+TEST(Ihex, WordsViewIsLittleEndianAndAligned)
+{
+    IhexImage img;
+    img.add(0x21, {0xbb, 0x34, 0x12}); // odd start address
+    std::vector<uint16_t> w = img.words(0xff);
+    EXPECT_EQ(img.loadWordAddr(), 0x10u);
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_EQ(w[0], 0xbbffu); // low byte padded with fill
+    EXPECT_EQ(w[1], 0x1234u);
+}
+
+/* ---- malformed input: reject, never abort ---------------------- */
+
+namespace
+{
+
+void
+expectReject(const std::string &text, const char *what)
+{
+    IhexImage img;
+    std::string err;
+    EXPECT_FALSE(parseIhex(text, img, &err)) << what;
+    EXPECT_FALSE(err.empty()) << what;
+}
+
+} // anonymous namespace
+
+TEST(Ihex, MalformedRecordsAreRejected)
+{
+    expectReject("garbage\n:00000001FF\n", "no start code");
+    expectReject(":0100000055\n:00000001FF\n", "truncated data");
+    expectReject(":01000000555\n:00000001FF\n", "odd digit count");
+    expectReject(":01000000GGAA\n:00000001FF\n", "non-hex digit");
+    expectReject(":010000005500\n:00000001FF\n", "bad checksum");
+    expectReject(":0100000655A4\n:00000001FF\n", "unknown record type");
+    expectReject(":020000040000FA\n", "missing EOF");
+    expectReject(":00000001FF\n:0100000055AA\n", "data after EOF");
+    expectReject(":0100000155A9\n", "EOF record with data");
+    expectReject(":01000004AA51\n:00000001FF\n", "short type-04");
+    expectReject(":0100", "truncated header");
+    expectReject(":\n:00000001FF\n", "bare colon");
+}
+
+TEST(Ihex, WhitespaceAndCrlfAreAccepted)
+{
+    IhexImage img;
+    std::string err;
+    ASSERT_TRUE(parseIhex("  :02000000AABB99\r\n"
+                          "\n"
+                          ":00000001FF\r\n",
+                          img, &err))
+        << err;
+    EXPECT_EQ(img.byteCount(), 2u);
+}
+
+TEST(Ihex, FuzzedParserNeverAborts)
+{
+    Rng rng(0xbeef);
+    const char alphabet[] = ":0123456789abcdefABCDEF\r\n xyz*}$#";
+    for (int iter = 0; iter < 2000; iter++) {
+        std::string text;
+        size_t n = rng.below(120);
+        for (size_t i = 0; i < n; i++)
+            text += alphabet[rng.below(sizeof(alphabet) - 1)];
+        IhexImage img;
+        std::string err;
+        parseIhex(text, img, &err); // must simply return
+    }
+    // Mutated valid records: flip one character at a time.
+    IhexImage src;
+    src.add(0x40, {1, 2, 3, 4, 5, 6, 7, 8});
+    std::string good = writeIhex(src);
+    for (size_t i = 0; i < good.size(); i++) {
+        std::string bad = good;
+        bad[i] ^= 0x11;
+        IhexImage img;
+        std::string err;
+        parseIhex(bad, img, &err);
+    }
+}
