@@ -43,6 +43,7 @@
 #include "field/opf_field.hh"
 #include "nt/opf_prime.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/random.hh"
 
 using namespace jaavr;
@@ -52,6 +53,15 @@ namespace
 {
 
 constexpr const char *kJsonPath = "BENCH_fault.json";
+constexpr const char *kMetricsPath = "METRICS_fault.json";
+
+/** Campaign-wide detector telemetry, snapshotted at exit. */
+MetricsRegistry &
+metrics()
+{
+    static MetricsRegistry reg;
+    return reg;
+}
 
 // --- Outcome bookkeeping --------------------------------------------
 
@@ -118,9 +128,27 @@ report(const std::string &sweep, const std::string &family,
                 (unsigned long long)t.crosscheck,
                 (unsigned long long)t.corrected,
                 (unsigned long long)t.silent, 100.0 * t.silentRate());
-    JsonLine line;
-    line.str("bench", "fault_campaign")
-        .str("sweep", sweep)
+    // Detector telemetry: one labeled counter per outcome class, so
+    // the snapshot mirrors the JSON tallies but in registry form.
+    MetricLabels where = {{"sweep", sweep},
+                          {"family", family},
+                          {"plan", plan}};
+    metrics().counter("fault_trials", where).inc(t.trials);
+    const std::pair<const char *, uint64_t> dets[] = {
+        {"trap", t.trap},           {"redundancy", t.redundancy},
+        {"validation", t.validation}, {"duplication", t.duplication},
+        {"crosscheck", t.crosscheck},
+    };
+    for (const auto &[det, n] : dets) {
+        MetricLabels l = where;
+        l.emplace_back("detector", det);
+        metrics().counter("fault_detected", l).inc(n);
+    }
+    metrics().counter("fault_corrected", where).inc(t.corrected);
+    metrics().counter("fault_silent", where).inc(t.silent);
+
+    JsonLine line = benchLine("fault_campaign");
+    line.str("sweep", sweep)
         .str("family", family)
         .str("plan", plan)
         .num("seed", seed)
@@ -592,13 +620,14 @@ main(int argc, char **argv)
     sweepIss(trials_a, seed);
     sweepCurves(trials_b, seed);
 
-    JsonLine meta;
-    meta.str("bench", "fault_campaign")
-        .str("sweep", "meta")
+    JsonLine meta = benchLine("fault_campaign");
+    meta.str("sweep", "meta")
         .num("seed", seed)
         .num("aborts", uint64_t(0))
         .str("mode", smoke ? "smoke" : "full");
     appendJsonLine(kJsonPath, meta);
+    metrics().writeJsonLines(kMetricsPath, benchLine("fault_campaign"));
     note(std::string("JSON appended to ") + kJsonPath);
+    note(std::string("metrics snapshot appended to ") + kMetricsPath);
     return 0;
 }

@@ -109,8 +109,7 @@ compare(const std::string &workload, CpuMode mode, Machine &m,
          {std::pair<const char *, const Sample &>{"fast", fast},
           {"reference", ref}}) {
         appendJsonLine(kJsonPath,
-                       JsonLine()
-                           .str("bench", "iss_throughput")
+                       benchLine("iss_throughput")
                            .str("workload", workload)
                            .str("mode", cpuModeName(mode))
                            .str("path", path)

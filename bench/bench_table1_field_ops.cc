@@ -66,8 +66,7 @@ main()
             row(op + std::string(" (") + cpuModeName(modes[m]) + ")",
                 paper_vals[m], measured, "cyc");
             appendJsonLine("BENCH_table1.json",
-                           JsonLine()
-                               .str("bench", "table1_field_ops")
+                           benchLine("table1_field_ops")
                                .str("op", op)
                                .str("mode", cpuModeName(modes[m]))
                                .num("paper_cycles", paper_vals[m])

@@ -10,6 +10,7 @@
 #include "avr/profiler.hh"
 #include "avrgen/opf_harness.hh"
 #include "bench/bench_util.hh"
+#include "model/area_power.hh"
 #include "model/experiments.hh"
 #include "nt/opf_prime.hh"
 
@@ -121,8 +122,7 @@ main()
                     it.op, static_cast<unsigned long long>(it.count),
                     static_cast<unsigned long long>(it.cycles), pct);
         appendJsonLine("PROFILE_table2.json",
-                       JsonLine()
-                           .str("bench", "table2_pointmult")
+                       benchLine("table2_pointmult")
                            .str("workload", "glv_jsf_ca")
                            .str("symbol", it.op)
                            .num("calls", it.count)
@@ -164,5 +164,26 @@ main()
     prof.writeChromeTrace("TRACE_table2_scalarmult.json");
     note("profiler export: PROFILE_table2.json (JSON lines), "
          "TRACE_table2_scalarmult.json (chrome://tracing)");
+
+    // --- Energy per routine (Table III power model x profiler) -----
+    // The replayed cycle attribution priced through the chip power
+    // model of the GLV configuration, so the profile reads in the
+    // paper's energy units (Table III reports whole-multiplication
+    // energies; this breaks the same budget down per routine).
+    heading("Energy per routine (GLV chip power model, CA mode)");
+    const auto fp = curveFootprint(CurveId::GlvOpf, CpuMode::CA);
+    const PowerBreakdown chip =
+        PowerModel::chip(CpuMode::CA, fp.romBytes, fp.ramBytes);
+    std::printf("%s", energyPerRoutineReport(prof, chip).c_str());
+    for (const RoutineEnergy &e : energyPerRoutine(prof, chip))
+        appendJsonLine("PROFILE_table2.json",
+                       benchLine("table2_pointmult")
+                           .str("workload", "glv_replay_energy")
+                           .str("symbol", e.name)
+                           .num("calls", e.calls)
+                           .num("inclusive_cycles", e.inclusiveCycles)
+                           .num("exclusive_cycles", e.exclusiveCycles)
+                           .num("inclusive_uj", e.inclusiveUj)
+                           .num("exclusive_uj", e.exclusiveUj));
     return 0;
 }

@@ -15,6 +15,7 @@
 #define JAAVR_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "support/json.hh"
@@ -26,6 +27,47 @@ namespace jaavr::bench
 // benches share one (correctly escaping) implementation.
 using jaavr::JsonLine;
 using jaavr::appendJsonLine;
+
+/** Schema of the stamped bench records (bump on breaking changes). */
+inline constexpr uint64_t kBenchSchemaVersion = 2;
+
+/**
+ * Git revision for run stamping: the JAAVR_GIT_SHA environment
+ * variable wins (CI exports the checkout SHA), else the
+ * configure-time revision CMake baked into the bench binaries, else
+ * "unknown" (e.g. building from a tarball).
+ */
+inline std::string
+gitSha()
+{
+    if (const char *env = std::getenv("JAAVR_GIT_SHA"); env && *env)
+        return env;
+#ifdef JAAVR_BUILD_GIT_SHA
+    return JAAVR_BUILD_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
+
+/**
+ * One JSON record pre-stamped with run metadata — schema version,
+ * git revision, ISS path (fast or reference, from
+ * JAAVR_ISS_REFERENCE) and the emitting bench — so every line in a
+ * BENCH_*.json trajectory is self-describing. All benches start
+ * their records here.
+ */
+inline JsonLine
+benchLine(const std::string &bench)
+{
+    const char *ref = std::getenv("JAAVR_ISS_REFERENCE");
+    JsonLine line;
+    line.num("schema_version", kBenchSchemaVersion)
+        .str("git_sha", gitSha())
+        .str("iss_path",
+             ref && *ref && *ref != '0' ? "reference" : "fast")
+        .str("bench", bench);
+    return line;
+}
 
 inline void
 heading(const std::string &title)
@@ -39,14 +81,26 @@ note(const std::string &text)
     std::printf("  %s\n", text.c_str());
 }
 
+/** "(xR.RR)" ratio tag, or "(n/a)" when the paper gives no value —
+ *  a 0 reference is "not reported", not a zero to divide by. */
+inline std::string
+ratioTag(double paper, double measured)
+{
+    if (paper <= 0)
+        return "(n/a)";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "(x%.2f)", measured / paper);
+    return buf;
+}
+
 /** Print one paper-vs-measured row with the measured/paper ratio. */
 inline void
 row(const std::string &label, double paper, double measured,
     const char *unit)
 {
-    std::printf("  %-38s paper %12.0f %-7s  measured %12.0f  (x%.2f)\n",
+    std::printf("  %-38s paper %12.0f %-7s  measured %12.0f  %s\n",
                 label.c_str(), paper, unit, measured,
-                paper > 0 ? measured / paper : 0.0);
+                ratioTag(paper, measured).c_str());
 }
 
 /** Paper-vs-measured row for small ratios (two decimals). */
@@ -54,9 +108,9 @@ inline void
 rowF(const std::string &label, double paper, double measured,
      const char *unit)
 {
-    std::printf("  %-38s paper %12.2f %-7s  measured %12.2f  (x%.2f)\n",
+    std::printf("  %-38s paper %12.2f %-7s  measured %12.2f  %s\n",
                 label.c_str(), paper, unit, measured,
-                paper > 0 ? measured / paper : 0.0);
+                ratioTag(paper, measured).c_str());
 }
 
 /** Row without a paper reference value. */

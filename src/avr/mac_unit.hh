@@ -77,6 +77,30 @@ class MacUnit
         macsPerformed++;
     }
 
+    /**
+     * Algorithm-1 MAC: one nibble exposed by the SWAP trigger. Same
+     * datapath as mac(), but classified for the telemetry counters
+     * (Fig. 1 distinguishes the two trigger algorithms).
+     */
+    void
+    macSwap(std::array<uint8_t, 32> &regs, uint8_t nibble)
+    {
+        alg1Count++;
+        mac(regs, nibble);
+    }
+
+    /**
+     * Algorithm-2 trigger: the byte loaded into R24 feeds both of its
+     * nibbles (low first) through the MAC datapath in one cycle.
+     */
+    void
+    macLoad(std::array<uint8_t, 32> &regs, uint8_t value)
+    {
+        alg2Count += 2;
+        mac(regs, value & 0x0f);
+        mac(regs, value >> 4);
+    }
+
     /** Barrel-shifter counter (0..7). */
     uint8_t shiftCounter() const { return counter; }
 
@@ -87,10 +111,18 @@ class MacUnit
     /** Total MAC operations performed (statistics). */
     uint64_t totalMacs() const { return macsPerformed; }
 
+    /** MACs triggered through the Algorithm-1 (SWAP) path. */
+    uint64_t alg1Macs() const { return alg1Count; }
+
+    /** MACs triggered through the Algorithm-2 (load) path. */
+    uint64_t alg2Macs() const { return alg2Count; }
+
   private:
     uint8_t counter = 0;
     uint8_t pending = 0;
     uint64_t macsPerformed = 0;
+    uint64_t alg1Count = 0;
+    uint64_t alg2Count = 0;
 };
 
 } // namespace jaavr

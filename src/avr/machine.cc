@@ -5,6 +5,7 @@
 #include "avr/fault.hh"
 #include "avr/profiler.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace jaavr
 {
@@ -462,8 +463,7 @@ Machine::triggerLoadMac(uint8_t value)
     // The two micro-MACs are applied immediately; the shadow counter
     // plus the hazard checks in step() make that indistinguishable
     // from the real one-per-following-cycle retirement.
-    macUnit.mac(regs, value & 0x0f);
-    macUnit.mac(regs, value >> 4);
+    macUnit.macLoad(regs, value);
 }
 
 unsigned
@@ -755,7 +755,7 @@ Machine::step()
       case Op::SWAP: {
         uint8_t d = regs[inst.rd];
         if (swap_mac)
-            macUnit.mac(regs, d & 0x0f);
+            macUnit.macSwap(regs, d & 0x0f);
         regs[inst.rd] = static_cast<uint8_t>((d << 4) | (d >> 4));
         break;
       }
@@ -1073,20 +1073,35 @@ void
 Machine::runReference(uint64_t max_cycles)
 {
     uint64_t start = execStats.cycles;
+    // Sampled once at entry, mirroring DebugHook::wantsStops() in
+    // run(): a sink that activates mid-run records from the next run.
+    WaveSink *const wave =
+        (waveSnk && waveSnk->active()) ? waveSnk : nullptr;
     while (pcWord != exitAddress) {
         if (dbgHook && dbgHook->onBoundary(pcWord, execStats.cycles)) {
             pendingTrap = Trap{TrapKind::DebugBreak, pcWord, 0};
+            if (wave)
+                wave->onTrap(*this, pendingTrap);
             return;
         }
         if (faultInj && faultInj->checkFire(pcWord, execStats.cycles)) {
             if (applyBoundaryFault())
                 continue;  // instruction skip consumed the boundary
         }
-        step();
-        if (pendingTrap)
+        uint32_t pc0 = pcWord;
+        unsigned cycles = step();
+        if (pendingTrap) {
+            if (wave)
+                wave->onTrap(*this, pendingTrap);
             return;
+        }
+        if (wave)
+            wave->onStep(*this, pc0,
+                         decodeCache[pc0 & (flashWords - 1)].inst, cycles);
         if (execStats.cycles - start >= max_cycles) {
             pendingTrap = Trap{TrapKind::CycleBudget, pcWord, 0};
+            if (wave)
+                wave->onTrap(*this, pendingTrap);
             return;
         }
     }
@@ -1360,8 +1375,7 @@ Machine::runFast(uint64_t max_cycles)
             if constexpr (Ise) {
                 if (load_mac && rd == 24) {
                     // triggerLoadMac() on the local register file
-                    macUnit.mac(r8, v & 0x0f);
-                    macUnit.mac(r8, v >> 4);
+                    macUnit.macLoad(r8, v);
                     mac_triggered = true;
                 }
             }
@@ -1536,7 +1550,7 @@ Machine::runFast(uint64_t max_cycles)
             uint8_t d = r8[inst.rd];
             if constexpr (Ise) {
                 if (swap_mac)
-                    macUnit.mac(r8, d & 0x0f);
+                    macUnit.macSwap(r8, d & 0x0f);
             }
             r8[inst.rd] = static_cast<uint8_t>((d << 4) | (d >> 4));
             break;
@@ -1833,7 +1847,10 @@ Machine::run(uint64_t max_cycles)
 {
     pendingTrap = Trap();
     uint64_t start = execStats.cycles;
-    if (trace || forceReference) {
+    // An active wave sink needs the machine's architectural state
+    // current after every retirement, which only the reference loop
+    // provides; idle sinks leave the fast path untouched (WaveSink).
+    if (trace || forceReference || (waveSnk && waveSnk->active())) {
         runReference(max_cycles);
     } else {
         const bool prof = profSink != nullptr;
@@ -1860,6 +1877,11 @@ Machine::run(uint64_t max_cycles)
                      : runFast<false, false, false, false>(max_cycles);
         }
     }
+    // Single count point for trap telemetry: every path (fast or
+    // reference) funnels through here, so kinds are never counted
+    // twice.
+    if (pendingTrap)
+        execStats.trapCount[static_cast<size_t>(pendingTrap.kind)]++;
     return {execStats.cycles - start, pendingTrap};
 }
 
@@ -1873,6 +1895,35 @@ Machine::call(uint32_t word_addr, uint64_t max_cycles)
     if (profSink)
         profSink->onCall(exitAddress, pcWord, execStats.cycles);
     return run(max_cycles);
+}
+
+void
+Machine::publishMetrics(MetricsRegistry &reg) const
+{
+    reg.counter("iss_instructions").inc(execStats.instructions);
+    reg.counter("iss_cycles").inc(execStats.cycles);
+    reg.counter("iss_mac_stall_nops").inc(execStats.macStallNops);
+    for (size_t k = 0; k < execStats.trapCount.size(); k++) {
+        if (!execStats.trapCount[k])
+            continue;
+        reg.counter("iss_traps",
+                    {{"kind", trapKindName(static_cast<TrapKind>(k))}})
+            .inc(execStats.trapCount[k]);
+    }
+    // MAC trigger counts split by the paper's two algorithms (Fig. 1:
+    // SWAP-triggered Algorithm 1 vs load-triggered Algorithm 2).
+    reg.counter("mac_triggers", {{"alg", "1"}}).inc(macUnit.alg1Macs());
+    reg.counter("mac_triggers", {{"alg", "2"}}).inc(macUnit.alg2Macs());
+    reg.counter("mac_ops_total").inc(macUnit.totalMacs());
+    for (size_t i = 0; i < kNumOps; i++) {
+        if (!execStats.opCount[i])
+            continue;
+        MetricLabels op_label{{"op", opName(static_cast<Op>(i))}};
+        reg.counter("iss_op_retired", op_label).inc(execStats.opCount[i]);
+        reg.counter("iss_op_cycles", op_label).inc(execStats.opCycles[i]);
+    }
+    reg.gauge("iss_pc").set(pcWord);
+    reg.gauge("iss_sp").set(sp());
 }
 
 } // namespace jaavr

@@ -29,6 +29,42 @@ namespace jaavr
 
 class ProfileSink;
 class FaultInjector;
+class Machine;
+class MetricsRegistry;
+struct Trap;
+
+/**
+ * Cycle-accurate waveform observer (src/avr/vcd.hh implements it as
+ * a VCD writer). Unlike ProfileSink/DebugHook — whose events carry
+ * their own arguments so the fast path can keep hot state in loop
+ * locals — a wave sink samples the *machine itself* after every
+ * retirement, which only the reference path keeps current per
+ * instruction. run() therefore routes through the reference loop
+ * while active() is true and through the normal zero-overhead fast
+ * path while it is false: an attached-but-idle sink costs exactly
+ * zero cycles, pinned by tests/test_vcd.cc the same way
+ * DebugHookAddsZeroCyclesWhenNotStopping pins the debug hook.
+ * active() is sampled once at run() entry; the sink must outlive the
+ * machine or detach before destruction.
+ */
+class WaveSink
+{
+  public:
+    virtual ~WaveSink() = default;
+
+    /** True while the sink wants per-instruction samples. */
+    virtual bool active() const = 0;
+
+    /**
+     * The instruction @p inst (fetched from @p pc) just retired for
+     * @p cycles cycles; the machine's architectural state is current.
+     */
+    virtual void onStep(const Machine &m, uint32_t pc, const Inst &inst,
+                        unsigned cycles) = 0;
+
+    /** Execution stopped on @p trap (machine state as of the trap). */
+    virtual void onTrap(const Machine &m, const Trap &trap) = 0;
+};
 
 /**
  * Execution-boundary observer for the debug subsystem (src/debug/):
@@ -139,6 +175,8 @@ struct ExecStats
     uint64_t cycles = 0;
     /** NOPs retired while MAC micro-ops were pending (hazard stalls). */
     uint64_t macStallNops = 0;
+    /** Traps raised by run()/call(), indexed by TrapKind. */
+    std::array<uint64_t, 8> trapCount{};
 
     uint64_t count(Op op) const
     {
@@ -149,6 +187,12 @@ struct ExecStats
     uint64_t cyclesOf(Op op) const
     {
         return opCycles[static_cast<size_t>(op)];
+    }
+
+    /** Number of traps of @p kind raised by run()/call(). */
+    uint64_t traps(TrapKind kind) const
+    {
+        return trapCount[static_cast<size_t>(kind)];
     }
 
     void reset() { *this = ExecStats(); }
@@ -333,6 +377,24 @@ class Machine
     void setDebugHook(DebugHook *hook) { dbgHook = hook; }
     DebugHook *debugHook() const { return dbgHook; }
 
+    /**
+     * Attach a waveform sink (nullptr detaches). active() is sampled
+     * at run() entry: true routes execution through the reference
+     * loop (per-instruction architectural sampling), false leaves the
+     * zero-overhead fast path untouched — see WaveSink.
+     */
+    void setWaveSink(WaveSink *sink) { waveSnk = sink; }
+    WaveSink *waveSink() const { return waveSnk; }
+
+    /**
+     * Publish execution telemetry into @p reg: instruction/cycle/
+     * stall counters, per-TrapKind trap counters, MAC trigger counts
+     * by algorithm, per-mnemonic retirement counters (nonzero only)
+     * and PC/SP gauges. Purely additive — call between workloads to
+     * accumulate, or after clear() for a fresh snapshot.
+     */
+    void publishMetrics(MetricsRegistry &reg) const;
+
     /** Raw flash word at @p word_addr (debugger/export accessor). */
     uint16_t flashWord(uint32_t word_addr) const
     {
@@ -428,6 +490,7 @@ class Machine
     std::unique_ptr<ProfileSink> ownedTrace; ///< lazy `trace` sink
     FaultInjector *faultInj = nullptr;
     DebugHook *dbgHook = nullptr;
+    WaveSink *waveSnk = nullptr;
     Trap pendingTrap;
     uint16_t dataLimitV = 0x10ff; ///< top of ATmega128 internal SRAM
     uint16_t stackGuardV = sramBase;

@@ -6,6 +6,7 @@
 
 #include "support/hex.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace jaavr
 {
@@ -256,6 +257,7 @@ GdbServer::handleMonitor(const std::string &cmd)
         return "jaavr-gdb monitor commands:\n"
                "  profile  per-routine cycle attribution\n"
                "  stats    ISS execution statistics\n"
+               "  metrics  telemetry snapshot (counters/gauges)\n"
                "  reset    clear statistics and profile\n"
                "  trap     describe the last machine trap\n"
                "  symbols  list known symbols\n";
@@ -274,6 +276,14 @@ GdbServer::handleMonitor(const std::string &cmd)
                         static_cast<unsigned long long>(st.cycles),
                         static_cast<unsigned long long>(st.macStallNops),
                         m.pc(), m.sp());
+    }
+    if (cmd == "metrics") {
+        // A fresh registry per request: the machine's retired
+        // statistics are the source of truth, the registry is a view.
+        MetricsRegistry reg;
+        m.publishMetrics(reg);
+        std::string snap = reg.textSnapshot();
+        return snap.empty() ? "no metrics\n" : snap;
     }
     if (cmd == "reset") {
         target.machine().resetStats();

@@ -1,5 +1,10 @@
 #include "model/area_power.hh"
 
+#include <algorithm>
+#include <cstdio>
+
+#include "avr/profiler.hh"
+
 namespace jaavr
 {
 
@@ -30,6 +35,89 @@ PowerModel::cpuUw(CpuMode mode)
         return 20.2;
     }
     return 0;
+}
+
+std::vector<RoutineEnergy>
+energyPerRoutine(const CallGraphProfiler &prof,
+                 const PowerBreakdown &power)
+{
+    std::vector<RoutineEnergy> out;
+    for (const auto &[addr, node] : prof.nodes()) {
+        RoutineEnergy e;
+        e.name = prof.name(addr);
+        e.calls = node.calls;
+        e.inclusiveCycles = node.inclusiveCycles;
+        e.exclusiveCycles = node.exclusiveCycles;
+        e.inclusiveUj = PowerModel::energyUj(power, node.inclusiveCycles);
+        e.exclusiveUj = PowerModel::energyUj(power, node.exclusiveCycles);
+        out.push_back(std::move(e));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RoutineEnergy &a, const RoutineEnergy &b) {
+                  if (a.inclusiveUj != b.inclusiveUj)
+                      return a.inclusiveUj > b.inclusiveUj;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::string
+energyPerRoutineReport(const CallGraphProfiler &prof,
+                       const PowerBreakdown &power, size_t max_rows)
+{
+    std::vector<RoutineEnergy> rows = energyPerRoutine(prof, power);
+    std::string out;
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "  %-22s %8s %12s %12s %11s %11s\n", "routine",
+                  "calls", "incl cyc", "excl cyc", "incl uJ",
+                  "excl uJ");
+    out += buf;
+    RoutineEnergy other, total;
+    size_t shown = 0;
+    for (const RoutineEnergy &e : rows) {
+        total.calls += e.calls;
+        total.exclusiveCycles += e.exclusiveCycles;
+        total.exclusiveUj += e.exclusiveUj;
+        RoutineEnergy *fold = nullptr;
+        if (shown < max_rows) {
+            std::snprintf(buf, sizeof buf,
+                          "  %-22s %8llu %12llu %12llu %11.4f %11.4f\n",
+                          e.name.c_str(),
+                          (unsigned long long)e.calls,
+                          (unsigned long long)e.inclusiveCycles,
+                          (unsigned long long)e.exclusiveCycles,
+                          e.inclusiveUj, e.exclusiveUj);
+            out += buf;
+            shown++;
+        } else {
+            fold = &other;
+        }
+        if (fold) {
+            fold->calls += e.calls;
+            fold->inclusiveCycles += e.inclusiveCycles;
+            fold->exclusiveCycles += e.exclusiveCycles;
+            fold->inclusiveUj += e.inclusiveUj;
+            fold->exclusiveUj += e.exclusiveUj;
+        }
+    }
+    if (rows.size() > max_rows) {
+        std::snprintf(buf, sizeof buf,
+                      "  %-22s %8llu %12llu %12llu %11.4f %11.4f\n",
+                      "(other)", (unsigned long long)other.calls,
+                      (unsigned long long)other.inclusiveCycles,
+                      (unsigned long long)other.exclusiveCycles,
+                      other.inclusiveUj, other.exclusiveUj);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "  %-22s %8llu %12s %12llu %11s %11.4f  "
+                  "@ %.1f uW\n",
+                  "total (exclusive)", (unsigned long long)total.calls,
+                  "", (unsigned long long)total.exclusiveCycles, "",
+                  total.exclusiveUj, power.total());
+    out += buf;
+    return out;
 }
 
 } // namespace jaavr

@@ -24,11 +24,15 @@
 #define JAAVR_MODEL_AREA_POWER_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "avr/timing.hh"
 
 namespace jaavr
 {
+
+class CallGraphProfiler;
 
 /** Chip-area estimate in gate equivalents. */
 struct AreaBreakdown
@@ -100,6 +104,42 @@ class PowerModel
         return p.total() * (static_cast<double>(cycles) / 1e6);
     }
 };
+
+/**
+ * Energy attribution of one profiled ISS run to one routine: the
+ * profiler's per-routine cycle counts priced through the chip power
+ * model at 1 MHz (energy = P_total * t, so cycles map linearly to
+ * microjoules).
+ */
+struct RoutineEnergy
+{
+    std::string name;
+    uint64_t calls = 0;
+    uint64_t inclusiveCycles = 0; ///< callees included
+    uint64_t exclusiveCycles = 0; ///< callees excluded
+    double inclusiveUj = 0;
+    double exclusiveUj = 0;
+};
+
+/**
+ * Price every routine the profiler attributed cycles to through
+ * @p power, sorted by inclusive energy (descending). The exclusive
+ * columns sum to the whole run's energy; inclusive columns double-
+ * count callees, exactly like the profiler's cycle report.
+ */
+std::vector<RoutineEnergy>
+energyPerRoutine(const CallGraphProfiler &prof,
+                 const PowerBreakdown &power);
+
+/**
+ * Human-readable microjoule-per-routine table for @p prof under
+ * @p power; routines at @p max_rows and beyond are folded into an
+ * "(other)" row so the totals always add up.
+ */
+std::string
+energyPerRoutineReport(const CallGraphProfiler &prof,
+                       const PowerBreakdown &power,
+                       size_t max_rows = 16);
 
 /**
  * Scaled Area-Runtime Product of Table III: normalized so the

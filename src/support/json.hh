@@ -17,6 +17,8 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -106,6 +108,199 @@ class JsonLine
   private:
     std::vector<std::string> fields;
 };
+
+/**
+ * One parsed value of a flat JSON-lines record: a string, a number,
+ * a boolean, or null. The emitter above only produces strings,
+ * numbers and null, but the parser accepts booleans too so
+ * hand-written baseline files can use them.
+ */
+struct JsonValue
+{
+    enum class Kind : uint8_t { Null, Str, Num, Bool };
+
+    Kind kind = Kind::Null;
+    std::string str;
+    double num = 0;
+    bool boolean = false;
+
+    bool isStr() const { return kind == Kind::Str; }
+    bool isNum() const { return kind == Kind::Num; }
+};
+
+/** A parsed flat JSON object, insertion order lost (keyed lookup). */
+using JsonObject = std::map<std::string, JsonValue>;
+
+namespace detail
+{
+
+inline void
+skipWs(const std::string &s, size_t &i)
+{
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' ||
+                            s[i] == '\r' || s[i] == '\n'))
+        i++;
+}
+
+/** Parse a JSON string literal at s[i] == '"'; false on error. */
+inline bool
+parseJsonString(const std::string &s, size_t &i, std::string &out)
+{
+    if (i >= s.size() || s[i] != '"')
+        return false;
+    i++;
+    out.clear();
+    while (i < s.size()) {
+        char c = s[i];
+        if (c == '"') {
+            i++;
+            return true;
+        }
+        if (c == '\\') {
+            if (i + 1 >= s.size())
+                return false;
+            char e = s[++i];
+            switch (e) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (i + 4 >= s.size())
+                    return false;
+                unsigned v = 0;
+                for (int k = 0; k < 4; k++) {
+                    char h = s[++i];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                // The emitter only escapes C0 controls; decode the
+                // Latin-1 range and reject anything wider (no
+                // surrogate handling in this flat-record parser).
+                if (v > 0xff)
+                    return false;
+                out += static_cast<char>(v);
+                break;
+              }
+              default:
+                return false;
+            }
+            i++;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            return false; // raw control characters are invalid JSON
+        } else {
+            out += c;
+            i++;
+        }
+    }
+    return false; // unterminated
+}
+
+} // namespace detail
+
+/**
+ * Parse one flat JSON-lines record (a single object of string /
+ * number / bool / null values — exactly what JsonLine emits) into
+ * @p out. Returns false, with a human-readable reason in @p err when
+ * given, on anything malformed, nested, or trailing. An empty or
+ * whitespace-only line is rejected (callers skip blank lines
+ * themselves when they are legal).
+ */
+inline bool
+parseJsonLine(const std::string &line, JsonObject &out,
+              std::string *err = nullptr)
+{
+    auto fail = [&](const char *why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    out.clear();
+    size_t i = 0;
+    detail::skipWs(line, i);
+    if (i >= line.size() || line[i] != '{')
+        return fail("expected '{'");
+    i++;
+    detail::skipWs(line, i);
+    if (i < line.size() && line[i] == '}') {
+        i++;
+    } else {
+        while (true) {
+            detail::skipWs(line, i);
+            std::string key;
+            if (!detail::parseJsonString(line, i, key))
+                return fail("bad key string");
+            detail::skipWs(line, i);
+            if (i >= line.size() || line[i] != ':')
+                return fail("expected ':'");
+            i++;
+            detail::skipWs(line, i);
+            JsonValue v;
+            if (i >= line.size())
+                return fail("missing value");
+            char c = line[i];
+            if (c == '"') {
+                v.kind = JsonValue::Kind::Str;
+                if (!detail::parseJsonString(line, i, v.str))
+                    return fail("bad value string");
+            } else if (line.compare(i, 4, "null") == 0) {
+                v.kind = JsonValue::Kind::Null;
+                i += 4;
+            } else if (line.compare(i, 4, "true") == 0) {
+                v.kind = JsonValue::Kind::Bool;
+                v.boolean = true;
+                i += 4;
+            } else if (line.compare(i, 5, "false") == 0) {
+                v.kind = JsonValue::Kind::Bool;
+                v.boolean = false;
+                i += 5;
+            } else if (c == '-' || (c >= '0' && c <= '9')) {
+                size_t end = i;
+                while (end < line.size() &&
+                       (line[end] == '-' || line[end] == '+' ||
+                        line[end] == '.' || line[end] == 'e' ||
+                        line[end] == 'E' ||
+                        (line[end] >= '0' && line[end] <= '9')))
+                    end++;
+                char *stop = nullptr;
+                std::string numtext = line.substr(i, end - i);
+                v.kind = JsonValue::Kind::Num;
+                v.num = std::strtod(numtext.c_str(), &stop);
+                if (!stop || *stop != '\0')
+                    return fail("bad number");
+                i = end;
+            } else {
+                return fail("unsupported value (nested object/array?)");
+            }
+            out[key] = v;
+            detail::skipWs(line, i);
+            if (i < line.size() && line[i] == ',') {
+                i++;
+                continue;
+            }
+            if (i < line.size() && line[i] == '}') {
+                i++;
+                break;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+    detail::skipWs(line, i);
+    if (i != line.size())
+        return fail("trailing characters");
+    return true;
+}
 
 /**
  * Append @p line to the JSON-lines file @p path (created on first

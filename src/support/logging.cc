@@ -10,6 +10,36 @@ namespace jaavr
 namespace
 {
 
+/**
+ * Parse JAAVR_LOG_LEVEL once. Accepted values (case-sensitive,
+ * numeric synonyms in parentheses): "quiet"/"silent" (0) — only
+ * panic/fatal print; "error" (1) — same, reserved for future error
+ * severities; "warn" (2) — warn() prints, inform() is silent;
+ * "info" (3, the default) — everything prints. CI bench/report jobs
+ * set JAAVR_LOG_LEVEL=warn so harmless inform() noise does not bury
+ * real diagnostics in the logs.
+ */
+LogLevel
+envLogLevel()
+{
+    const char *v = std::getenv("JAAVR_LOG_LEVEL");
+    if (!v || !*v)
+        return LogLevel::Info;
+    std::string s(v);
+    if (s == "quiet" || s == "silent" || s == "0")
+        return LogLevel::Quiet;
+    if (s == "error" || s == "1")
+        return LogLevel::Error;
+    if (s == "warn" || s == "warning" || s == "2")
+        return LogLevel::Warn;
+    if (s == "info" || s == "3")
+        return LogLevel::Info;
+    std::fprintf(stderr,
+                 "warn: unknown JAAVR_LOG_LEVEL \"%s\" "
+                 "(quiet|error|warn|info); defaulting to info\n", v);
+    return LogLevel::Info;
+}
+
 std::string
 vformat(const char *fmt, va_list ap)
 {
@@ -32,6 +62,15 @@ emit(const char *tag, const char *fmt, va_list ap)
 }
 
 } // anonymous namespace
+
+LogLevel
+logLevel()
+{
+    // Latched on first use: the level is an environment property of
+    // the process, not something to re-read per message.
+    static const LogLevel level = envLogLevel();
+    return level;
+}
 
 void
 panic(const char *fmt, ...)
@@ -56,6 +95,8 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (logLevel() < LogLevel::Warn)
+        return;
     va_list ap;
     va_start(ap, fmt);
     emit("warn", fmt, ap);
@@ -65,6 +106,8 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
+    if (logLevel() < LogLevel::Info)
+        return;
     va_list ap;
     va_start(ap, fmt);
     emit("info", fmt, ap);

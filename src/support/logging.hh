@@ -17,6 +17,22 @@
 namespace jaavr
 {
 
+/**
+ * Verbosity threshold for the non-terminating helpers, from the
+ * JAAVR_LOG_LEVEL environment variable ("quiet"/"error"/"warn"/
+ * "info" or 0..3; default Info). panic()/fatal() always print.
+ */
+enum class LogLevel : int
+{
+    Quiet = 0, ///< nothing below fatal
+    Error = 1, ///< reserved (no error-severity helper yet)
+    Warn = 2,  ///< warn() prints, inform() is silent
+    Info = 3,  ///< everything prints (default)
+};
+
+/** The process log level, latched from the environment on first use. */
+LogLevel logLevel();
+
 /** Print a formatted message and abort(). Use for internal bugs only. */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

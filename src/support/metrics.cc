@@ -1,0 +1,155 @@
+#include "support/metrics.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : ub(std::move(upper_bounds))
+{
+    std::sort(ub.begin(), ub.end());
+    counts.assign(ub.size() + 1, 0);
+}
+
+void
+Histogram::observe(double v, uint64_t weight)
+{
+    if (counts.empty())
+        counts.assign(1, 0);
+    size_t i = 0;
+    while (i < ub.size() && v > ub[i])
+        i++;
+    counts[i] += weight;
+    total += weight;
+    sumV += v * double(weight);
+}
+
+std::string
+MetricsRegistry::labelKey(const MetricLabels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    for (size_t i = 0; i < labels.size(); i++) {
+        out += (i ? "," : "") + labels[i].first + "=\"" +
+               labels[i].second + "\"";
+    }
+    return out + "}";
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, const MetricLabels &labels)
+{
+    Key k{name, labelKey(labels)};
+    labelSets.emplace(k, labels);
+    return counters[k];
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const MetricLabels &labels)
+{
+    Key k{name, labelKey(labels)};
+    labelSets.emplace(k, labels);
+    return gauges[k];
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> upper_bounds,
+                           const MetricLabels &labels)
+{
+    Key k{name, labelKey(labels)};
+    labelSets.emplace(k, labels);
+    auto it = histograms.find(k);
+    if (it == histograms.end())
+        it = histograms.emplace(k, Histogram(std::move(upper_bounds)))
+                 .first;
+    return it->second;
+}
+
+size_t
+MetricsRegistry::size() const
+{
+    return counters.size() + gauges.size() + histograms.size();
+}
+
+void
+MetricsRegistry::clear()
+{
+    counters.clear();
+    gauges.clear();
+    histograms.clear();
+    labelSets.clear();
+}
+
+std::string
+MetricsRegistry::textSnapshot() const
+{
+    std::string out;
+    for (const auto &[k, c] : counters)
+        out += csprintf("counter   %s%s %llu\n", k.name.c_str(),
+                        k.labels.c_str(),
+                        static_cast<unsigned long long>(c.value()));
+    for (const auto &[k, g] : gauges)
+        out += csprintf("gauge     %s%s %g\n", k.name.c_str(),
+                        k.labels.c_str(), g.value());
+    for (const auto &[k, h] : histograms) {
+        out += csprintf("histogram %s%s count=%llu sum=%g mean=%g",
+                        k.name.c_str(), k.labels.c_str(),
+                        static_cast<unsigned long long>(h.count()),
+                        h.sum(), h.mean());
+        for (size_t i = 0; i < h.bounds().size(); i++)
+            out += csprintf(" le_%g=%llu", h.bounds()[i],
+                            static_cast<unsigned long long>(
+                                h.bucketCount(i)));
+        out += csprintf(" le_inf=%llu\n",
+                        static_cast<unsigned long long>(
+                            h.bucketCount(h.bounds().size())));
+    }
+    return out;
+}
+
+std::vector<JsonLine>
+MetricsRegistry::jsonSnapshot(const JsonLine &stamp) const
+{
+    std::vector<JsonLine> out;
+    auto base = [&](const Key &k, const char *type) {
+        JsonLine line = stamp;
+        line.str("metric", k.name).str("type", type);
+        auto it = labelSets.find(k);
+        if (it != labelSets.end())
+            for (const auto &[lk, lv] : it->second)
+                line.str(lk, lv);
+        return line;
+    };
+    for (const auto &[k, c] : counters)
+        out.push_back(base(k, "counter").num("value", c.value()));
+    for (const auto &[k, g] : gauges)
+        out.push_back(base(k, "gauge").num("value", g.value()));
+    for (const auto &[k, h] : histograms) {
+        JsonLine line = base(k, "histogram")
+                            .num("count", h.count())
+                            .num("sum", h.sum())
+                            .num("mean", h.mean());
+        for (size_t i = 0; i < h.bounds().size(); i++)
+            line.num(csprintf("le_%g", h.bounds()[i]), h.bucketCount(i));
+        line.num("le_inf", h.bucketCount(h.bounds().size()));
+        out.push_back(line);
+    }
+    return out;
+}
+
+bool
+MetricsRegistry::writeJsonLines(const std::string &path,
+                                const JsonLine &stamp) const
+{
+    bool ok = true;
+    for (const JsonLine &line : jsonSnapshot(stamp))
+        ok = appendJsonLine(path, line) && ok;
+    return ok;
+}
+
+} // namespace jaavr

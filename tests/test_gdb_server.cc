@@ -332,6 +332,9 @@ TEST(GdbServer, FullLoopbackDebugSession)
     EXPECT_NE(gdb.monitor("symbols").find("opf_mul"),
               std::string::npos);
     EXPECT_FALSE(gdb.monitor("profile").empty());
+    std::string metrics = gdb.monitor("metrics");
+    EXPECT_NE(metrics.find("iss_cycles"), std::string::npos);
+    EXPECT_NE(metrics.find("iss_op_retired"), std::string::npos);
     EXPECT_NE(gdb.monitor("bogus").find("unknown command"),
               std::string::npos);
     EXPECT_NE(gdb.monitor("reset").find("reset"), std::string::npos);

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * MetricsRegistry semantics (identity, labels, histogram bucketing,
+ * deterministic snapshot ordering) and the JSON-lines round trip
+ * through the flat-record parser in support/json.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "support/json.hh"
+#include "support/metrics.hh"
+
+using namespace jaavr;
+
+TEST(Metrics, CounterIdentityByNameAndLabels)
+{
+    MetricsRegistry reg;
+    reg.counter("ops").inc();
+    reg.counter("ops").inc(41);
+    EXPECT_EQ(reg.counter("ops").value(), 42u);
+
+    // Different label sets are different instances.
+    reg.counter("ops", {{"mode", "ise"}}).inc(7);
+    EXPECT_EQ(reg.counter("ops").value(), 42u);
+    EXPECT_EQ(reg.counter("ops", {{"mode", "ise"}}).value(), 7u);
+    EXPECT_EQ(reg.counter("ops", {{"mode", "ca"}}).value(), 0u);
+    EXPECT_EQ(reg.size(), 3u);
+
+    reg.clear();
+    EXPECT_EQ(reg.size(), 0u);
+    EXPECT_EQ(reg.counter("ops").value(), 0u);
+}
+
+TEST(Metrics, GaugeHoldsLastValue)
+{
+    MetricsRegistry reg;
+    reg.gauge("depth").set(3);
+    reg.gauge("depth").set(1.5);
+    EXPECT_DOUBLE_EQ(reg.gauge("depth").value(), 1.5);
+}
+
+TEST(Metrics, HistogramBucketBoundaries)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("cycles", {1, 10});
+    h.observe(0.5);
+    h.observe(1); // boundary lands in its own bucket (le semantics)
+    h.observe(5);
+    h.observe(10);
+    h.observe(11);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 27.5);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+    ASSERT_EQ(h.bounds().size(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 2u); // <= 1
+    EXPECT_EQ(h.bucketCount(1), 2u); // <= 10
+    EXPECT_EQ(h.bucketCount(2), 1u); // overflow
+
+    // Weighted observation.
+    h.observe(3, 10);
+    EXPECT_EQ(h.count(), 15u);
+    EXPECT_EQ(h.bucketCount(1), 12u);
+
+    // Re-lookup keeps the original bounds.
+    Histogram &again = reg.histogram("cycles", {100, 200});
+    EXPECT_EQ(&again, &h);
+    EXPECT_EQ(again.bounds().size(), 2u);
+    EXPECT_DOUBLE_EQ(again.bounds()[1], 10);
+}
+
+TEST(Metrics, TextSnapshotIsDeterministicallyOrdered)
+{
+    MetricsRegistry reg;
+    reg.counter("zeta").inc();
+    reg.counter("alpha", {{"k", "2"}}).inc();
+    reg.counter("alpha", {{"k", "1"}}).inc();
+    reg.gauge("mid").set(4);
+
+    std::string snap = reg.textSnapshot();
+    size_t a1 = snap.find("alpha{k=\"1\"}");
+    size_t a2 = snap.find("alpha{k=\"2\"}");
+    size_t z = snap.find("zeta");
+    size_t m = snap.find("mid");
+    ASSERT_NE(a1, std::string::npos);
+    ASSERT_NE(a2, std::string::npos);
+    ASSERT_NE(z, std::string::npos);
+    ASSERT_NE(m, std::string::npos);
+    EXPECT_LT(a1, a2); // label order breaks the name tie
+    EXPECT_LT(a2, z);  // counters sort by name
+
+    // Two identical registries produce byte-identical snapshots.
+    MetricsRegistry reg2;
+    reg2.gauge("mid").set(4);
+    reg2.counter("alpha", {{"k", "1"}}).inc();
+    reg2.counter("alpha", {{"k", "2"}}).inc();
+    reg2.counter("zeta").inc();
+    EXPECT_EQ(reg2.textSnapshot(), snap);
+}
+
+TEST(Metrics, JsonSnapshotRoundTrips)
+{
+    MetricsRegistry reg;
+    reg.counter("macs", {{"alg", "2"}}).inc(200);
+    reg.gauge("sp").set(0x10ff);
+    reg.histogram("lat", {4}, {{"mode", "ise"}}).observe(2, 3);
+
+    JsonLine stamp;
+    stamp.str("bench", "unit").num("schema_version", uint64_t(2));
+    std::vector<JsonLine> lines = reg.jsonSnapshot(stamp);
+    ASSERT_EQ(lines.size(), 3u);
+
+    bool saw_counter = false, saw_gauge = false, saw_hist = false;
+    for (const JsonLine &line : lines) {
+        JsonObject obj;
+        std::string err;
+        ASSERT_TRUE(parseJsonLine(line.text(), obj, &err)) << err;
+        // The stamp rides on every record.
+        ASSERT_TRUE(obj.at("bench").isStr());
+        EXPECT_EQ(obj.at("bench").str, "unit");
+        EXPECT_EQ(obj.at("schema_version").num, 2);
+        const std::string &type = obj.at("type").str;
+        if (type == "counter") {
+            saw_counter = true;
+            EXPECT_EQ(obj.at("metric").str, "macs");
+            EXPECT_EQ(obj.at("alg").str, "2");
+            EXPECT_EQ(obj.at("value").num, 200);
+        } else if (type == "gauge") {
+            saw_gauge = true;
+            EXPECT_EQ(obj.at("metric").str, "sp");
+            EXPECT_EQ(obj.at("value").num, 0x10ff);
+        } else if (type == "histogram") {
+            saw_hist = true;
+            EXPECT_EQ(obj.at("metric").str, "lat");
+            EXPECT_EQ(obj.at("mode").str, "ise");
+            EXPECT_EQ(obj.at("count").num, 3);
+            EXPECT_EQ(obj.at("sum").num, 6);
+            EXPECT_EQ(obj.at("le_4").num, 3);
+            EXPECT_EQ(obj.at("le_inf").num, 0);
+        }
+    }
+    EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+}
+
+TEST(Metrics, WriteJsonLinesAppendsParsableRecords)
+{
+    std::string path =
+        testing::TempDir() + "/jaavr_metrics_roundtrip.json";
+    std::remove(path.c_str());
+
+    MetricsRegistry reg;
+    reg.counter("a").inc(1);
+    reg.counter("b").inc(2);
+    ASSERT_TRUE(reg.writeJsonLines(path));
+    ASSERT_TRUE(reg.writeJsonLines(path)); // appends, second snapshot
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    size_t n = 0;
+    while (std::getline(in, line)) {
+        JsonObject obj;
+        std::string err;
+        EXPECT_TRUE(parseJsonLine(line, obj, &err)) << err;
+        n++;
+    }
+    EXPECT_EQ(n, 4u);
+    std::remove(path.c_str());
+}
+
+TEST(JsonParse, AcceptsEmitterOutputWithEscapes)
+{
+    JsonLine line;
+    line.str("k", "a\"b\\c\nd\te\x01" "f")
+        .num("n", -12.5)
+        .num("u", uint64_t(77));
+    JsonObject obj;
+    std::string err;
+    ASSERT_TRUE(parseJsonLine(line.text(), obj, &err)) << err;
+    EXPECT_EQ(obj.at("k").str, "a\"b\\c\nd\te\x01" "f");
+    EXPECT_DOUBLE_EQ(obj.at("n").num, -12.5);
+    EXPECT_DOUBLE_EQ(obj.at("u").num, 77);
+
+    // Non-finite numbers are emitted as null and parse as Null.
+    JsonLine nan_line;
+    nan_line.num("x", std::nan(""));
+    ASSERT_TRUE(parseJsonLine(nan_line.text(), obj, &err)) << err;
+    EXPECT_EQ(obj.at("x").kind, JsonValue::Kind::Null);
+}
+
+TEST(JsonParse, AcceptsLiteralsAndWhitespace)
+{
+    JsonObject obj;
+    ASSERT_TRUE(parseJsonLine("{}", obj));
+    EXPECT_TRUE(obj.empty());
+    ASSERT_TRUE(parseJsonLine(
+        "  { \"a\" : true , \"b\" : false , \"c\" : null }  ", obj));
+    EXPECT_EQ(obj.at("a").kind, JsonValue::Kind::Bool);
+    EXPECT_TRUE(obj.at("a").boolean);
+    EXPECT_FALSE(obj.at("b").boolean);
+    EXPECT_EQ(obj.at("c").kind, JsonValue::Kind::Null);
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    JsonObject obj;
+    EXPECT_FALSE(parseJsonLine("", obj));
+    EXPECT_FALSE(parseJsonLine("   ", obj));
+    EXPECT_FALSE(parseJsonLine("{\"a\":1} trailing", obj));
+    EXPECT_FALSE(parseJsonLine("{\"a\":{}}", obj));  // nested object
+    EXPECT_FALSE(parseJsonLine("{\"a\":[1]}", obj)); // array
+    EXPECT_FALSE(parseJsonLine("{\"a\":1", obj));    // unterminated
+    EXPECT_FALSE(parseJsonLine("{\"a\":12..3}", obj));
+    EXPECT_FALSE(parseJsonLine("{\"a\":\"\x01\"}", obj)); // raw control
+    EXPECT_FALSE(parseJsonLine("{\"a\":\"\\u12\"}", obj));
+    EXPECT_FALSE(parseJsonLine("{a:1}", obj)); // unquoted key
+
+    std::string err;
+    EXPECT_FALSE(parseJsonLine("{\"a\":nope}", obj, &err));
+    EXPECT_FALSE(err.empty());
+}

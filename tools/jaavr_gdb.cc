@@ -21,6 +21,7 @@
 #include <string>
 
 #include "avr/profiler.hh"
+#include "avr/vcd.hh"
 #include "avrgen/opf_harness.hh"
 #include "debug/server.hh"
 #include "nt/opf_prime.hh"
@@ -51,6 +52,8 @@ usage(const char *argv0)
                  "  --export-hex FILE write the loaded flash image as "
                  "Intel HEX and exit\n"
                  "  --log FILE        mirror the RSP session to FILE\n"
+                 "  --vcd FILE        dump a cycle-accurate VCD "
+                 "waveform of the session\n"
                  "  --slice N         ISS cycles per continue slice "
                  "(default 200000)\n",
                  argv0);
@@ -100,7 +103,7 @@ main(int argc, char **argv)
     uint16_t port = 3333;
     CpuMode mode = CpuMode::ISE;
     std::string image = "opf160";
-    std::string loadFile, exportFile, logPath;
+    std::string loadFile, exportFile, logPath, vcdPath;
     long entry = -1;
     uint64_t slice = 200000;
 
@@ -131,6 +134,8 @@ main(int argc, char **argv)
             exportFile = next();
         } else if (arg == "--log") {
             logPath = next();
+        } else if (arg == "--vcd") {
+            vcdPath = next();
         } else if (arg == "--slice") {
             slice = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--help" || arg == "-h") {
@@ -228,6 +233,14 @@ main(int argc, char **argv)
     std::printf("client attached\n");
     std::fflush(stdout);
 
+    VcdWriter vcd;
+    if (!vcdPath.empty()) {
+        m->setWaveSink(&vcd);
+        if (!vcd.open(vcdPath, *m))
+            return 1;
+        std::printf("dumping VCD waveform to %s\n", vcdPath.c_str());
+    }
+
     CallGraphProfiler profiler(*m, symbols);
     GdbServer server(target, tcp);
     server.setSymbols(symbols);
@@ -243,6 +256,13 @@ main(int argc, char **argv)
         server.setLog(log);
     }
     server.serve();
+    if (vcd.active()) {
+        std::printf("VCD: %llu instructions over %llu cycles -> %s\n",
+                    static_cast<unsigned long long>(vcd.samples()),
+                    static_cast<unsigned long long>(vcd.time()),
+                    vcdPath.c_str());
+        vcd.close();
+    }
     if (log)
         std::fclose(log);
     tcp.shutdown();

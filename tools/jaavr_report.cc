@@ -1,0 +1,352 @@
+/**
+ * @file
+ * jaavr-report: trajectory aggregator and regression gate over the
+ * JSON-lines files the bench binaries emit (BENCH_*.json).
+ *
+ * Inputs:
+ *  - a baselines file (default bench/baselines.json): one JSON line
+ *    per tracked workload. Every *string* field except "metric" is a
+ *    match field; a bench line matches when all of them are equal.
+ *    Reserved numeric fields: "baseline" (the checked-in cycle
+ *    count), optional "paper" (the paper-pinned target) and
+ *    "paper_pinned" (nonzero: the workload gates the build).
+ *  - one or more bench JSON-lines files; every line must parse as a
+ *    flat JSON object (the same validation CI applies with
+ *    `python3 -m json.tool --json-lines`). The *last* matching line
+ *    per baseline wins, so re-running a bench supersedes older rows.
+ *
+ * Outputs:
+ *  - REPORT_trajectory.json (override with --out): one JSON line per
+ *    baseline with measured value, delta vs baseline and status, plus
+ *    a trailing summary line;
+ *  - a markdown paper-vs-measured table on stdout (and --markdown
+ *    FILE to also write it to a file).
+ *
+ * Exit status: 0 on success; with --gate, 1 when any paper-pinned
+ * workload regressed by more than the threshold (--threshold PCT,
+ * default 2%) or is missing from the inputs; 2 on usage, I/O or
+ * malformed-input errors.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace
+{
+
+using jaavr::JsonLine;
+using jaavr::JsonObject;
+using jaavr::JsonValue;
+using jaavr::appendJsonLine;
+using jaavr::parseJsonLine;
+
+struct Options
+{
+    std::string baselines = "bench/baselines.json";
+    std::string out = "REPORT_trajectory.json";
+    std::string markdown;
+    std::vector<std::string> inputs;
+    double thresholdPct = 2.0;
+    bool gate = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options] BENCH_*.json...\n"
+        "  --baselines FILE   baselines (default bench/baselines.json)\n"
+        "  --out FILE         trajectory output "
+        "(default REPORT_trajectory.json)\n"
+        "  --markdown FILE    also write the markdown table to FILE\n"
+        "  --threshold PCT    regression gate threshold (default 2)\n"
+        "  --gate             exit 1 on paper-pinned regression/missing\n",
+        argv0);
+}
+
+/**
+ * Read every line of @p path as a flat JSON object. Returns false
+ * after diagnosing the first malformed line (file:line and reason).
+ */
+bool
+readJsonLines(const std::string &path, std::vector<JsonObject> &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        lineno++;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue; // blank lines are legal between records
+        JsonObject obj;
+        std::string err;
+        if (!parseJsonLine(line, obj, &err)) {
+            std::fprintf(stderr, "error: %s:%zu: %s\n", path.c_str(),
+                         lineno, err.c_str());
+            return false;
+        }
+        out.push_back(std::move(obj));
+    }
+    return true;
+}
+
+/** The string-valued match fields of a baseline (all but "metric"). */
+std::vector<std::pair<std::string, std::string>>
+matchFields(const JsonObject &baseline)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto &[key, val] : baseline)
+        if (val.isStr() && key != "metric")
+            out.emplace_back(key, val.str);
+    return out;
+}
+
+bool
+matches(const JsonObject &line,
+        const std::vector<std::pair<std::string, std::string>> &fields)
+{
+    for (const auto &[key, want] : fields) {
+        auto it = line.find(key);
+        if (it == line.end() || !it->second.isStr() ||
+            it->second.str != want)
+            return false;
+    }
+    return true;
+}
+
+double
+numField(const JsonObject &obj, const std::string &key, double fallback)
+{
+    auto it = obj.find(key);
+    if (it == obj.end())
+        return fallback;
+    if (it->second.isNum())
+        return it->second.num;
+    if (it->second.kind == JsonValue::Kind::Bool)
+        return it->second.boolean ? 1.0 : 0.0;
+    return fallback;
+}
+
+std::string
+fmtNum(double v)
+{
+    char buf[64];
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+    else
+        std::snprintf(buf, sizeof buf, "%.2f", v);
+    return buf;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--baselines") {
+            opt.baselines = value();
+        } else if (arg == "--out") {
+            opt.out = value();
+        } else if (arg == "--markdown") {
+            opt.markdown = value();
+        } else if (arg == "--threshold") {
+            opt.thresholdPct = std::atof(value());
+        } else if (arg == "--gate") {
+            opt.gate = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "error: unknown option %s\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        } else {
+            opt.inputs.push_back(arg);
+        }
+    }
+    if (opt.inputs.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::vector<JsonObject> baselines;
+    if (!readJsonLines(opt.baselines, baselines))
+        return 2;
+    if (baselines.empty()) {
+        std::fprintf(stderr, "error: %s has no baseline entries\n",
+                     opt.baselines.c_str());
+        return 2;
+    }
+
+    // Validate and merge every input line (order preserved: later
+    // files and later lines supersede earlier ones on match).
+    std::vector<JsonObject> lines;
+    for (const std::string &path : opt.inputs)
+        if (!readJsonLines(path, lines))
+            return 2;
+
+    // Truncate the trajectory file: a report run replaces, not
+    // appends — the bench JSON lines are the accumulating record.
+    {
+        std::ofstream trunc(opt.out, std::ios::trunc);
+        if (!trunc) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opt.out.c_str());
+            return 2;
+        }
+    }
+
+    std::string md;
+    md += "| bench | workload | paper | baseline | measured | delta "
+          "| status |\n";
+    md += "|---|---|---:|---:|---:|---:|---|\n";
+
+    size_t regressions = 0, missing = 0, improved = 0;
+    size_t gateFailures = 0; // pinned workloads regressed or missing
+    for (const JsonObject &base : baselines) {
+        auto fields = matchFields(base);
+        std::string metric = "measured_cycles";
+        if (auto it = base.find("metric");
+            it != base.end() && it->second.isStr())
+            metric = it->second.str;
+        double baseline = numField(base, "baseline", -1);
+        if (baseline < 0) {
+            std::fprintf(stderr,
+                         "error: baseline entry without a numeric "
+                         "\"baseline\" field in %s\n",
+                         opt.baselines.c_str());
+            return 2;
+        }
+        double paper = numField(base, "paper", -1);
+        bool pinned = numField(base, "paper_pinned", 0) != 0;
+
+        // Last matching line that carries the metric wins.
+        const JsonObject *hit = nullptr;
+        for (const JsonObject &line : lines) {
+            if (!matches(line, fields))
+                continue;
+            auto it = line.find(metric);
+            if (it != line.end() && it->second.isNum())
+                hit = &line;
+        }
+
+        std::string benchName, workload;
+        for (const auto &[key, val] : fields) {
+            if (key == "bench") {
+                benchName = val;
+                continue;
+            }
+            if (!workload.empty())
+                workload += " ";
+            workload += key + "=" + val;
+        }
+
+        JsonLine out;
+        out.str("report", "trajectory").str("bench", benchName);
+        for (const auto &[key, val] : fields)
+            if (key != "bench")
+                out.str(key, val);
+        out.str("metric", metric).num("baseline", baseline);
+        if (paper >= 0)
+            out.num("paper", paper);
+        out.num("paper_pinned", uint64_t(pinned ? 1 : 0));
+
+        std::string status;
+        double measured = -1, delta_pct = 0;
+        if (!hit) {
+            status = "missing";
+            missing++;
+        } else {
+            measured = numField(*hit, metric, -1);
+            delta_pct = baseline > 0
+                            ? (measured - baseline) / baseline * 100.0
+                            : 0.0;
+            if (delta_pct > opt.thresholdPct) {
+                status = "regression";
+                regressions++;
+            } else if (measured < baseline) {
+                status = "improved";
+                improved++;
+            } else {
+                status = "ok";
+            }
+            out.num("measured", measured).num("delta_pct", delta_pct);
+        }
+        out.str("status", status);
+        appendJsonLine(opt.out, out);
+
+        md += "| " + benchName + " | " + workload + " | " +
+              (paper >= 0 ? fmtNum(paper) : std::string("n/a")) +
+              " | " + fmtNum(baseline) + " | " +
+              (hit ? fmtNum(measured) : std::string("n/a")) + " | " +
+              (hit ? fmtNum(delta_pct) + "%" : std::string("n/a")) +
+              " | " + status + (pinned ? " (pinned)" : "") + " |\n";
+
+        if (pinned && status != "ok" && status != "improved") {
+            gateFailures++;
+            std::fprintf(stderr,
+                         "gate: %s %s: %s (baseline %s, measured %s, "
+                         "threshold %.2f%%)\n",
+                         benchName.c_str(), workload.c_str(),
+                         status.c_str(), fmtNum(baseline).c_str(),
+                         hit ? fmtNum(measured).c_str() : "n/a",
+                         opt.thresholdPct);
+        }
+    }
+
+    JsonLine summary;
+    summary.str("report", "summary")
+        .num("entries", uint64_t(baselines.size()))
+        .num("bench_lines", uint64_t(lines.size()))
+        .num("missing", uint64_t(missing))
+        .num("regressions", uint64_t(regressions))
+        .num("improved", uint64_t(improved))
+        .num("gate_failures", uint64_t(gateFailures))
+        .num("threshold_pct", opt.thresholdPct);
+    appendJsonLine(opt.out, summary);
+
+    std::fputs(md.c_str(), stdout);
+    if (!opt.markdown.empty()) {
+        std::ofstream mdf(opt.markdown, std::ios::trunc);
+        if (!mdf) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opt.markdown.c_str());
+            return 2;
+        }
+        mdf << md;
+    }
+
+    std::fprintf(stderr,
+                 "report: %zu workloads, %zu missing, %zu regressed, "
+                 "%zu improved -> %s\n",
+                 baselines.size(), missing, regressions, improved,
+                 opt.out.c_str());
+
+    if (opt.gate && gateFailures)
+        return 1;
+    return 0;
+}
