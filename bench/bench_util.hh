@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "support/json.hh"
@@ -50,21 +51,38 @@ gitSha()
 }
 
 /**
+ * The ISS backend the environment selects for this run:
+ * JAAVR_ISS_REFERENCE=1 wins (legacy force-reference switch), then
+ * JAAVR_ISS_BACKEND (reference|fast|superblock), else the default
+ * superblock backend. Mirrors the Machine's own env handling.
+ */
+inline std::string
+issPathFromEnv()
+{
+    if (const char *ref = std::getenv("JAAVR_ISS_REFERENCE");
+        ref && *ref && *ref != '0')
+        return "reference";
+    if (const char *be = std::getenv("JAAVR_ISS_BACKEND");
+        be && (!std::strcmp(be, "reference") ||
+               !std::strcmp(be, "fast") ||
+               !std::strcmp(be, "superblock")))
+        return be;
+    return "superblock";
+}
+
+/**
  * One JSON record pre-stamped with run metadata — schema version,
- * git revision, ISS path (fast or reference, from
- * JAAVR_ISS_REFERENCE) and the emitting bench — so every line in a
- * BENCH_*.json trajectory is self-describing. All benches start
- * their records here.
+ * git revision, ISS path (the environment-selected backend) and the
+ * emitting bench — so every line in a BENCH_*.json trajectory is
+ * self-describing. All benches start their records here.
  */
 inline JsonLine
 benchLine(const std::string &bench)
 {
-    const char *ref = std::getenv("JAAVR_ISS_REFERENCE");
     JsonLine line;
     line.num("schema_version", kBenchSchemaVersion)
         .str("git_sha", gitSha())
-        .str("iss_path",
-             ref && *ref && *ref != '0' ? "reference" : "fast")
+        .str("iss_path", issPathFromEnv())
         .str("bench", bench);
     return line;
 }

@@ -382,10 +382,34 @@ opName(Op op)
     return "<?>";
 }
 
+Synonym
+synonymOf(const Inst &inst)
+{
+    if (inst.rd != inst.rr)
+        return Synonym::None;
+    switch (inst.op) {
+      case Op::ADD: return Synonym::LSL;
+      case Op::ADC: return Synonym::ROL;
+      case Op::AND: return Synonym::TST;
+      case Op::EOR: return Synonym::CLR;
+      default: return Synonym::None;
+    }
+}
+
 std::string
 disassemble(const Inst &i)
 {
     const char *n = opName(i.op);
+    // Synonym encodings print as their idiomatic mnemonic; the
+    // assembler folds these back to the canonical form, so the
+    // disassemble/assemble round trip stays closed.
+    switch (synonymOf(i)) {
+      case Synonym::LSL: return csprintf("lsl r%d", i.rd);
+      case Synonym::ROL: return csprintf("rol r%d", i.rd);
+      case Synonym::TST: return csprintf("tst r%d", i.rd);
+      case Synonym::CLR: return csprintf("clr r%d", i.rd);
+      case Synonym::None: break;
+    }
     switch (i.op) {
       case Op::ADD: case Op::ADC: case Op::SUB: case Op::SBC:
       case Op::AND: case Op::OR: case Op::EOR: case Op::MOV:

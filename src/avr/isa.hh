@@ -77,6 +77,29 @@ struct Inst
  */
 Inst decode(uint16_t w0, uint16_t w1);
 
+/**
+ * Canonicalized synonym encodings. On the AVR four common mnemonics
+ * are not distinct opcodes at all but register-register instructions
+ * with rd == rr (LSL Rd = ADD Rd,Rd; ROL Rd = ADC Rd,Rd; TST Rd =
+ * AND Rd,Rd; CLR Rd = EOR Rd,Rd), so decode() folds them into their
+ * canonical Op implicitly. synonymOf() recovers the classification:
+ * the superblock translator uses it to emit specialized single-operand
+ * handler shapes, and disassemble() prints the idiomatic mnemonic.
+ * The exhaustive 65536-word suite (tests/test_superblock.cc) proves
+ * the canonical execution is bit-identical for every such word.
+ */
+enum class Synonym : uint8_t
+{
+    None = 0,
+    LSL, ///< ADD Rd,Rd — logical shift left
+    ROL, ///< ADC Rd,Rd — rotate left through carry
+    TST, ///< AND Rd,Rd — test for zero or minus
+    CLR, ///< EOR Rd,Rd — clear register
+};
+
+/** Synonym classification of a decoded instruction (None if plain). */
+Synonym synonymOf(const Inst &inst);
+
 /** Mnemonic of an operation. */
 const char *opName(Op op);
 

@@ -1,9 +1,12 @@
 #include "avr/machine.hh"
 
 #include <cstdlib>
+#include <cstring>
 
 #include "avr/fault.hh"
+#include "avr/flags.hh"
 #include "avr/profiler.hh"
+#include "avr/superblock.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 
@@ -20,111 +23,46 @@ envForceReference()
     return v && *v && *v != '0';
 }
 
-// SREG bit masks (indices as in Machine: C Z N V S H T I).
-constexpr uint8_t mC = 0x01, mZ = 0x02, mN = 0x04, mV = 0x08,
-                  mS = 0x10, mH = 0x20;
-
-/*
- * Branchless equivalents of the Machine's setFlag-based helpers,
- * used only by the predecoded fast path: one read-modify-write of
- * SREG per instruction instead of one per flag. The reference path
- * keeps the original helpers; tests/test_decode_cache.cc pins the
- * two to bit-identical SREG values.
+/**
+ * JAAVR_ISS_BACKEND=reference|fast|superblock. Unset or unknown
+ * values keep the default (Superblock); the separate
+ * JAAVR_ISS_REFERENCE=1 switch still wins in run().
  */
-
-/** addFlags(): writes H, S, V, N, Z, C. */
-inline void
-addFlagsB(uint8_t &sreg, uint8_t d, uint8_t s, uint8_t r)
+IssBackend
+envBackend()
 {
-    uint8_t carries = (d & s) | (s & ~r) | (~r & d);
-    uint8_t ovf = (d & s & ~r) | (~d & ~s & r);
-    uint8_t n = (r >> 7) & 1;
-    uint8_t v = (ovf >> 7) & 1;
-    uint8_t f = static_cast<uint8_t>((carries >> 7) & 1);      // C
-    f |= static_cast<uint8_t>(r == 0) << 1;                    // Z
-    f |= n << 2;                                               // N
-    f |= v << 3;                                               // V
-    f |= (n ^ v) << 4;                                         // S
-    f |= ((carries >> 3) & 1) << 5;                            // H
-    sreg = (sreg & 0xc0) | f;
+    const char *v = std::getenv("JAAVR_ISS_BACKEND");
+    if (!v || !*v)
+        return IssBackend::Superblock;
+    if (!std::strcmp(v, "reference"))
+        return IssBackend::Reference;
+    if (!std::strcmp(v, "fast"))
+        return IssBackend::Fast;
+    if (!std::strcmp(v, "superblock"))
+        return IssBackend::Superblock;
+    warn("ignoring unknown JAAVR_ISS_BACKEND=%s "
+         "(reference|fast|superblock)", v);
+    return IssBackend::Superblock;
 }
 
-/** subFlags(): writes H, S, V, N, Z, C; Z sticky when @p keep_z. */
-inline void
-subFlagsB(uint8_t &sreg, uint8_t d, uint8_t s, uint8_t r, bool keep_z)
-{
-    uint8_t borrows = (~d & s) | (s & r) | (r & ~d);
-    uint8_t ovf = (d & ~s & ~r) | (~d & s & r);
-    uint8_t n = (r >> 7) & 1;
-    uint8_t v = (ovf >> 7) & 1;
-    uint8_t z = static_cast<uint8_t>(r == 0);
-    if (keep_z)  // constant at every call site
-        z &= (sreg >> 1) & 1;
-    uint8_t f = static_cast<uint8_t>((borrows >> 7) & 1);
-    f |= z << 1;
-    f |= n << 2;
-    f |= v << 3;
-    f |= (n ^ v) << 4;
-    f |= ((borrows >> 3) & 1) << 5;
-    sreg = (sreg & 0xc0) | f;
-}
-
-/** AND/OR/EOR flags: V=0, S=N, plus N and Z; C and H untouched. */
-inline void
-logicFlagsB(uint8_t &sreg, uint8_t r)
-{
-    uint8_t n = (r >> 7) & 1;
-    uint8_t f = static_cast<uint8_t>(static_cast<uint8_t>(r == 0) << 1 |
-                                     n << 2 | n << 4);
-    sreg = (sreg & ~(mZ | mN | mV | mS)) | f;
-}
-
-/** INC/DEC flags: S, V (given), N, Z; C and H untouched. */
-inline void
-incDecFlagsB(uint8_t &sreg, uint8_t r, bool v)
-{
-    uint8_t n = (r >> 7) & 1;
-    uint8_t vb = v ? 1 : 0;
-    uint8_t f = static_cast<uint8_t>(static_cast<uint8_t>(r == 0) << 1 |
-                                     n << 2 | vb << 3 | (n ^ vb) << 4);
-    sreg = (sreg & ~(mZ | mN | mV | mS)) | f;
-}
-
-/** ASR/LSR/ROR flags: S, V=N^C, N, Z, C; H untouched. */
-inline void
-shiftFlagsB(uint8_t &sreg, uint8_t r, uint8_t carry_bit)
-{
-    uint8_t n = (r >> 7) & 1;
-    uint8_t c = carry_bit & 1;
-    uint8_t v = n ^ c;
-    uint8_t f = static_cast<uint8_t>(c | static_cast<uint8_t>(r == 0) << 1 |
-                                     n << 2 | v << 3 | (n ^ v) << 4);
-    sreg = (sreg & ~(mC | mZ | mN | mV | mS)) | f;
-}
-
-/** ADIW/SBIW flags on the 16-bit result: S, V, N, Z, C; H untouched. */
-inline void
-wideFlagsB(uint8_t &sreg, uint16_t r, bool v, bool c)
-{
-    uint8_t n = (r >> 15) & 1;
-    uint8_t vb = v ? 1 : 0;
-    uint8_t f = static_cast<uint8_t>((c ? 1 : 0) |
-                                     static_cast<uint8_t>(r == 0) << 1 |
-                                     n << 2 | vb << 3 | (n ^ vb) << 4);
-    sreg = (sreg & ~(mC | mZ | mN | mV | mS)) | f;
-}
-
-/** MUL/MULS/MULSU/FMUL* flags: Z and C only. */
-inline void
-mulFlagsB(uint8_t &sreg, uint16_t product, bool carry)
-{
-    uint8_t f = static_cast<uint8_t>((carry ? 1 : 0) |
-                                     static_cast<uint8_t>(product == 0)
-                                         << 1);
-    sreg = (sreg & ~(mC | mZ)) | f;
-}
+// Short local aliases for the shared SREG masks (avr/flags.hh); the
+// branchless *FlagsB helpers themselves now live there so the
+// superblock backend can share them.
+constexpr uint8_t mC = sregC, mZ = sregZ, mN = sregN, mV = sregV,
+                  mS = sregS;
 
 } // anonymous namespace
+
+const char *
+issBackendName(IssBackend backend)
+{
+    switch (backend) {
+      case IssBackend::Reference: return "reference";
+      case IssBackend::Fast: return "fast";
+      case IssBackend::Superblock: return "superblock";
+    }
+    return "?";
+}
 
 const char *
 trapKindName(TrapKind kind)
@@ -175,7 +113,8 @@ Machine::Machine(CpuMode mode)
     : forceReference(envForceReference()),
       cpuMode(mode),
       sram(dataSpace - sramBase, 0),
-      flash(flashWords, 0xffff)
+      flash(flashWords, 0xffff),
+      backendV(envBackend())
 {
     // Erased flash is uniform, so one decode fills the whole cache.
     decodeCache.assign(flashWords, makeDecoded(0xffff, 0xffff));
@@ -206,6 +145,11 @@ Machine::loadProgram(const std::vector<uint16_t> &words, uint32_t word_addr)
                      (flashWords - 1);
         decodeCache[a] = makeDecoded(flash[a], fetch(a + 1));
     }
+    // Translated traces may span the rewritten region (or chain into
+    // it); invalidate conservatively. Covers the GDB flash-patch path
+    // (DebugTarget::writeMemory routes flash writes through here).
+    if (sbCache)
+        sbCache->invalidateAll();
 }
 
 void
@@ -217,6 +161,10 @@ Machine::corruptFlashWord(uint32_t word_addr, uint16_t mask)
     // The predecessor's two-word operand may have been this word.
     uint32_t prev = (a - 1) & (flashWords - 1);
     decodeCache[prev] = makeDecoded(flash[prev], flash[a]);
+    // Self-modifying flash (fault injection, GDB patches): any
+    // translated trace may embed the old word, so drop them all.
+    if (sbCache)
+        sbCache->invalidateAll();
 }
 
 DecodedInst
@@ -232,6 +180,10 @@ Machine::makeDecoded(uint16_t w0, uint16_t w1) const
          d.inst.op == Op::LD_X || d.inst.op == Op::LD_X_INC ||
          d.inst.op == Op::LD_Y_INC || d.inst.op == Op::LD_Z_INC ||
          d.inst.op == Op::LDS);
+    // Canonicalization: classify synonym encodings (LSL=ADD Rd,Rd,
+    // ROL=ADC, TST=AND, CLR=EOR) once at predecode so the superblock
+    // translator can emit specialized single-operand handlers.
+    d.synonym = synonymOf(d.inst);
     return d;
 }
 
@@ -1842,6 +1794,15 @@ Machine::runFast(uint64_t max_cycles)
     flush();
 }
 
+void
+Machine::runFastPlain(uint64_t max_cycles)
+{
+    if (cpuMode == CpuMode::ISE)
+        runFast<true, false, false, false>(max_cycles);
+    else
+        runFast<false, false, false, false>(max_cycles);
+}
+
 RunResult
 Machine::run(uint64_t max_cycles)
 {
@@ -1868,13 +1829,19 @@ Machine::run(uint64_t max_cycles)
             else
                 prof ? runFast<false, true, true, false>(max_cycles)
                      : runFast<false, false, true, false>(max_cycles);
-        } else {
+        } else if (prof) {
             if (cpuMode == CpuMode::ISE)
-                prof ? runFast<true, true, false, false>(max_cycles)
-                     : runFast<true, false, false, false>(max_cycles);
+                runFast<true, true, false, false>(max_cycles);
             else
-                prof ? runFast<false, true, false, false>(max_cycles)
-                     : runFast<false, false, false, false>(max_cycles);
+                runFast<false, true, false, false>(max_cycles);
+        } else if (backendV == IssBackend::Superblock) {
+            // The fully unobserved case: no sink, hook or pending
+            // fault — the only shape the superblock backend handles.
+            runSuperblock(max_cycles);
+        } else if (backendV == IssBackend::Reference) {
+            runReference(max_cycles);
+        } else {
+            runFastPlain(max_cycles);
         }
     }
     // Single count point for trap telemetry: every path (fast or

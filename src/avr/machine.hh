@@ -31,7 +31,29 @@ class ProfileSink;
 class FaultInjector;
 class Machine;
 class MetricsRegistry;
+class SuperblockCache;
 struct Trap;
+
+/**
+ * Execution backend selected for run()/call() (see DESIGN.md §11):
+ * Reference is the per-step decode loop, Fast the predecoded
+ * mode-specialized loop of PR 1, Superblock the trace-translating
+ * threaded-dispatch backend built on top of the decode cache.
+ * Superblock is the default where legal; runs with attached sinks,
+ * hooks, pending faults or tracing fall back exactly as before
+ * (sinks → reference, hooks/faults → specialized fast loops).
+ * Overridable via JAAVR_ISS_BACKEND=reference|fast|superblock;
+ * JAAVR_ISS_REFERENCE=1 still forces the reference loop and wins.
+ */
+enum class IssBackend : uint8_t
+{
+    Reference,
+    Fast,
+    Superblock,
+};
+
+/** Short stable name for @p backend ("reference", ...). */
+const char *issBackendName(IssBackend backend);
 
 /**
  * Cycle-accurate waveform observer (src/avr/vcd.hh implements it as
@@ -212,6 +234,7 @@ struct DecodedInst
     uint8_t cycles = 1;       ///< baseCycles(inst.op, mode)
     bool touchesMac = false;  ///< reads/writes {R0..R8, R16..R19}
     bool macLoadForm = false; ///< Algorithm-2 trigger shape (load to R24)
+    Synonym synonym = Synonym::None; ///< canonicalized alias encoding
 };
 
 class Machine
@@ -424,6 +447,17 @@ class Machine
      */
     bool forceReference;
 
+    /**
+     * Execution backend for run()/call() (default Superblock unless
+     * overridden by JAAVR_ISS_BACKEND or JAAVR_ISS_REFERENCE in the
+     * environment). The backend only selects among *legal* loops:
+     * tracing, wave sinks, profilers, debug hooks and pending faults
+     * force the reference/specialized paths regardless, so attaching
+     * an observer never changes observed architectural state.
+     */
+    IssBackend backend() const { return backendV; }
+    void setBackend(IssBackend b) { backendV = b; }
+
   private:
     // SREG bit indices.
     static constexpr unsigned fC = 0, fZ = 1, fN = 2, fV = 3, fS = 4,
@@ -475,6 +509,24 @@ class Machine
     template <bool Ise, bool Profiled, bool Faulted, bool Debugged>
     void runFast(uint64_t max_cycles);
 
+    /**
+     * Plain (no-hook) fast-path dispatch by mode; the side-exit
+     * target of the superblock backend (superblock.cc cannot see the
+     * runFast template definition).
+     */
+    void runFastPlain(uint64_t max_cycles);
+
+    /**
+     * Superblock-threaded run loop (superblock.cc): translated
+     * traces over the decode cache, executed via computed-goto
+     * threaded dispatch with block-level statistics accumulation.
+     * Falls back to runFastPlain() on side exits (traps, MAC-shadow
+     * activity, budget-critical blocks); see DESIGN.md §11.
+     */
+    void runSuperblock(uint64_t max_cycles);
+
+    friend class SuperblockCache;
+
     CpuMode cpuMode;
     std::array<uint8_t, 32> regs{};
     std::array<uint8_t, 0x40> io{};
@@ -494,6 +546,8 @@ class Machine
     Trap pendingTrap;
     uint16_t dataLimitV = 0x10ff; ///< top of ATmega128 internal SRAM
     uint16_t stackGuardV = sramBase;
+    IssBackend backendV = IssBackend::Superblock;
+    std::unique_ptr<SuperblockCache> sbCache; ///< lazily built traces
 };
 
 } // namespace jaavr

@@ -1,0 +1,1192 @@
+/**
+ * @file
+ * Superblock translation and the trace-threaded run loop
+ * (DESIGN.md §11).
+ *
+ * Machine::runSuperblock() mirrors the plain runFast<> instantiation
+ * instruction for instruction — the semantics of every handler below
+ * are copied from the corresponding runFast case, and
+ * tests/test_superblock.cc pins the two (and step()) to bit- and
+ * cycle-identical state over all 65536 opcode words and the OPF
+ * workloads. What changes is the execution structure:
+ *
+ *  - dispatch is computed-goto threaded over pre-translated traces
+ *    (SbInst carries the handler label and pre-extracted operands),
+ *    falling back to a switch on non-GNU compilers;
+ *  - statistics accumulate block-at-a-time: per-exit cycle prefixes
+ *    replace the per-instruction `consumed/insts` updates, and the
+ *    cycle budget is pre-checked against the block's worst case so
+ *    the hot path carries no per-instruction budget test;
+ *  - the PC is not materialized between instructions at all — only
+ *    exits compute it, from translate-time constants.
+ *
+ * Side-exit contract (everything here funnels back to the fast
+ * path / reference loop, never the other way around):
+ *  - traps: the trapping instruction does not retire; the exit
+ *    charges the retired prefix and publishes the trap exactly as
+ *    runFast does;
+ *  - MAC activity: the backend only executes while MACCR == 0 and no
+ *    shadow micro-ops are pending (checked at every block entry); a
+ *    store that turns the MAC unit on side-exits after retiring and
+ *    the rest of the run executes in runFastPlain();
+ *  - budget-critical blocks delegate to runFastPlain(), which places
+ *    the CycleBudget trap with per-instruction precision;
+ *  - attached observers (profiler, debug hook, wave sink, fault
+ *    injector, tracing) are handled one level up: Machine::run()
+ *    never selects this backend while any of them is live.
+ */
+
+#include "avr/superblock.hh"
+
+#include <unordered_set>
+
+#include "avr/flags.hh"
+#include "avr/mac_unit.hh"
+#include "avr/machine.hh"
+#include "avr/timing.hh"
+#include "support/logging.hh"
+
+// Computed-goto threading needs the GNU labels-as-values extension;
+// define JAAVR_SB_NO_THREADED to force the portable switch dispatch
+// (exercised by tests to keep both paths honest).
+#if !defined(JAAVR_SB_NO_THREADED) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define JAAVR_SB_THREADED 1
+#endif
+
+namespace jaavr
+{
+
+SuperblockCache::SuperblockCache()
+    : table(Machine::flashWords, nullptr)
+{
+}
+
+void
+SuperblockCache::invalidateAll()
+{
+    std::fill(table.begin(), table.end(), nullptr);
+    blocks.clear();
+}
+
+SbBlock *
+SuperblockCache::translate(const Machine &m, uint32_t entry,
+                           void *const *labels)
+{
+    // A runaway working set (e.g. a fault campaign re-corrupting
+    // flash between runs already invalidates; this is the backstop
+    // for programs with thousands of distinct entries).
+    if (blocks.size() >= kMaxBlocks)
+        invalidateAll();
+
+    auto owned = std::make_unique<SbBlock>();
+    SbBlock *blk = owned.get();
+    blk->entry = entry & 0xffff;
+
+    std::unordered_set<uint32_t> visited;
+    uint32_t pc = blk->entry;
+    uint32_t total = 0; // base cycles of the retiring prefix
+    bool open = true;
+
+    auto emit = [&](SbOp h, SbInst &si) {
+        si.h = static_cast<uint8_t>(h);
+        si.lbl = labels ? labels[static_cast<size_t>(h)] : nullptr;
+        blk->code.push_back(si);
+    };
+
+    while (open) {
+        if (pc == Machine::exitAddress || blk->code.size() >= kMaxInsts ||
+            !visited.insert(pc).second) {
+            // Exit sentinel, length cap, or a loop back-edge: close
+            // the trace with a non-retiring continuation.
+            SbInst si;
+            si.pc = pc;
+            si.prefixCycles = total;
+            emit(SbOp::EXIT_STATIC, si);
+            break;
+        }
+        const DecodedInst &dc = m.decoded(pc);
+        const Inst &inst = dc.inst;
+        SbInst si;
+        si.pc = pc;
+        si.op = static_cast<uint8_t>(inst.op);
+        si.a = inst.rd;
+        si.b = inst.rr;
+        si.imm = inst.imm;
+        si.cycles = dc.cycles;
+        si.prefixCycles = total;
+        const uint32_t next = (pc + inst.words) & 0xffff;
+
+        // Fall-through emission: the element retires and the trace
+        // continues at the static successor.
+        auto simple = [&](SbOp h) {
+            emit(h, si);
+            total += dc.cycles;
+            pc = next;
+        };
+        // Skip instructions: the taken leg's target and extra cycles
+        // depend only on the skipped word's length, which the decode
+        // cache knows; flash writes invalidate the whole cache, so
+        // baking it in is safe.
+        auto skip = [&](SbOp h) {
+            bool two = m.decoded(next).inst.words == 2;
+            si.extra = static_cast<uint8_t>(skipExtra(two));
+            si.target = (next + (two ? 2u : 1u)) & 0xffff;
+            simple(h);
+        };
+        // Terminal: the element retires, then the exit handler
+        // computes the continuation.
+        auto terminal = [&](SbOp h) {
+            emit(h, si);
+            total += dc.cycles;
+            open = false;
+        };
+
+        switch (inst.op) {
+          // Canonicalized synonym encodings get specialized
+          // single-operand handlers (satellite: decode
+          // canonicalization; see Synonym in avr/isa.hh).
+          case Op::ADD:
+            simple(dc.synonym == Synonym::LSL ? SbOp::LSL : SbOp::ADD);
+            break;
+          case Op::ADC:
+            simple(dc.synonym == Synonym::ROL ? SbOp::ROL : SbOp::ADC);
+            break;
+          case Op::AND:
+            simple(dc.synonym == Synonym::TST ? SbOp::TST : SbOp::AND);
+            break;
+          case Op::EOR:
+            simple(dc.synonym == Synonym::CLR ? SbOp::CLR : SbOp::EOR);
+            break;
+          case Op::SUB: simple(SbOp::SUB); break;
+          case Op::SBC: simple(SbOp::SBC); break;
+          case Op::OR: simple(SbOp::OR); break;
+          case Op::MOV: simple(SbOp::MOV); break;
+          case Op::CP: simple(SbOp::CP); break;
+          case Op::CPC: simple(SbOp::CPC); break;
+          case Op::MUL: simple(SbOp::MUL); break;
+          case Op::MULS: simple(SbOp::MULS); break;
+          case Op::MULSU: simple(SbOp::MULSU); break;
+          case Op::FMUL: simple(SbOp::FMUL); break;
+          case Op::FMULS: simple(SbOp::FMULS); break;
+          case Op::FMULSU: simple(SbOp::FMULSU); break;
+          case Op::MOVW: simple(SbOp::MOVW); break;
+          case Op::SUBI: simple(SbOp::SUBI); break;
+          case Op::SBCI: simple(SbOp::SBCI); break;
+          case Op::ANDI: simple(SbOp::ANDI); break;
+          case Op::ORI: simple(SbOp::ORI); break;
+          case Op::CPI: simple(SbOp::CPI); break;
+          case Op::LDI: simple(SbOp::LDI); break;
+          case Op::ADIW: simple(SbOp::ADIW); break;
+          case Op::SBIW: simple(SbOp::SBIW); break;
+          case Op::COM: simple(SbOp::COM); break;
+          case Op::NEG: simple(SbOp::NEG); break;
+          case Op::SWAP: simple(SbOp::SWAP); break;
+          case Op::INC: simple(SbOp::INC); break;
+          case Op::DEC: simple(SbOp::DEC); break;
+          case Op::ASR: simple(SbOp::ASR); break;
+          case Op::LSR: simple(SbOp::LSR); break;
+          case Op::ROR: simple(SbOp::ROR); break;
+          case Op::BSET:
+            si.a = inst.bit;
+            simple(SbOp::BSET);
+            break;
+          case Op::BCLR:
+            si.a = inst.bit;
+            simple(SbOp::BCLR);
+            break;
+          case Op::BLD:
+            si.b = inst.bit;
+            simple(SbOp::BLD);
+            break;
+          case Op::BST:
+            si.b = inst.bit;
+            simple(SbOp::BST);
+            break;
+          case Op::SBI:
+            si.b = inst.bit;
+            simple(SbOp::SBI);
+            break;
+          case Op::CBI:
+            si.b = inst.bit;
+            simple(SbOp::CBI);
+            break;
+          case Op::SBIC:
+            si.b = inst.bit;
+            skip(SbOp::SKIP_SBIC);
+            break;
+          case Op::SBIS:
+            si.b = inst.bit;
+            skip(SbOp::SKIP_SBIS);
+            break;
+          case Op::IN: simple(SbOp::IN); break;
+          case Op::OUT: simple(SbOp::OUT); break;
+          case Op::LD_X: simple(SbOp::LD_X); break;
+          case Op::LD_X_INC: simple(SbOp::LD_X_INC); break;
+          case Op::LD_X_DEC: simple(SbOp::LD_X_DEC); break;
+          case Op::LDD_Y:
+            si.imm = static_cast<uint16_t>(inst.disp);
+            simple(SbOp::LDD_Y);
+            break;
+          case Op::LD_Y_INC: simple(SbOp::LD_Y_INC); break;
+          case Op::LD_Y_DEC: simple(SbOp::LD_Y_DEC); break;
+          case Op::LDD_Z:
+            si.imm = static_cast<uint16_t>(inst.disp);
+            simple(SbOp::LDD_Z);
+            break;
+          case Op::LD_Z_INC: simple(SbOp::LD_Z_INC); break;
+          case Op::LD_Z_DEC: simple(SbOp::LD_Z_DEC); break;
+          case Op::LDS:
+            si.addr = static_cast<uint16_t>(inst.k);
+            simple(SbOp::LDS);
+            break;
+          case Op::ST_X: simple(SbOp::ST_X); break;
+          case Op::ST_X_INC: simple(SbOp::ST_X_INC); break;
+          case Op::ST_X_DEC: simple(SbOp::ST_X_DEC); break;
+          case Op::STD_Y:
+            si.imm = static_cast<uint16_t>(inst.disp);
+            simple(SbOp::STD_Y);
+            break;
+          case Op::ST_Y_INC: simple(SbOp::ST_Y_INC); break;
+          case Op::ST_Y_DEC: simple(SbOp::ST_Y_DEC); break;
+          case Op::STD_Z:
+            si.imm = static_cast<uint16_t>(inst.disp);
+            simple(SbOp::STD_Z);
+            break;
+          case Op::ST_Z_INC: simple(SbOp::ST_Z_INC); break;
+          case Op::ST_Z_DEC: simple(SbOp::ST_Z_DEC); break;
+          case Op::STS:
+            si.addr = static_cast<uint16_t>(inst.k);
+            simple(SbOp::STS);
+            break;
+          case Op::PUSH: simple(SbOp::PUSH); break;
+          case Op::POP: simple(SbOp::POP); break;
+          case Op::LPM_R0: simple(SbOp::LPM_R0); break;
+          case Op::LPM: simple(SbOp::LPM); break;
+          case Op::LPM_INC: simple(SbOp::LPM_INC); break;
+          case Op::NOP: case Op::SLEEP: case Op::WDR: case Op::BREAK:
+            simple(SbOp::NOPLIKE);
+            break;
+
+          // Direct jumps stitch: the transfer retires as a "ghost"
+          // (cycles via the prefix sums, no runtime control flow)
+          // and translation continues at the target. Revisits and
+          // the length cap close the trace at the loop top.
+          case Op::RJMP:
+            emit(SbOp::GHOST, si);
+            total += dc.cycles;
+            pc = (pc + 1 + inst.disp) & 0xffff;
+            break;
+          case Op::JMP:
+            emit(SbOp::GHOST, si);
+            total += dc.cycles;
+            pc = inst.k & 0xffff;
+            break;
+          // Direct calls stitch through into the callee; only the
+          // return-address push happens at run time.
+          case Op::RCALL:
+            si.addr = static_cast<uint16_t>((pc + 1) & 0xffff);
+            emit(SbOp::CALL_THROUGH, si);
+            total += dc.cycles;
+            pc = (pc + 1 + inst.disp) & 0xffff;
+            break;
+          case Op::CALL:
+            si.addr = static_cast<uint16_t>((pc + 2) & 0xffff);
+            emit(SbOp::CALL_THROUGH, si);
+            total += dc.cycles;
+            pc = inst.k & 0xffff;
+            break;
+
+          case Op::BRBS:
+            si.a = inst.bit;
+            si.target = (pc + 1 + inst.disp) & 0xffff;
+            simple(SbOp::BRBS);
+            break;
+          case Op::BRBC:
+            si.a = inst.bit;
+            si.target = (pc + 1 + inst.disp) & 0xffff;
+            simple(SbOp::BRBC);
+            break;
+          case Op::CPSE: skip(SbOp::SKIP_CPSE); break;
+          case Op::SBRC:
+            si.b = inst.bit;
+            skip(SbOp::SKIP_SBRC);
+            break;
+          case Op::SBRS:
+            si.b = inst.bit;
+            skip(SbOp::SKIP_SBRS);
+            break;
+
+          // Indirect control flow terminates the trace.
+          case Op::RET: terminal(SbOp::EXIT_RET); break;
+          case Op::RETI: terminal(SbOp::EXIT_RETI); break;
+          case Op::IJMP: terminal(SbOp::EXIT_IJMP); break;
+          case Op::ICALL:
+            si.addr = static_cast<uint16_t>((pc + 1) & 0xffff);
+            terminal(SbOp::EXIT_ICALL);
+            break;
+
+          case Op::INVALID:
+            // Non-retiring: the handler re-reads the flash word to
+            // discriminate FlashOutOfBounds from IllegalOpcode at
+            // run time, exactly like the fast path.
+            emit(SbOp::EXIT_TRAP, si);
+            open = false;
+            break;
+        }
+    }
+
+    // Worst-case cycles of one pass: every element's base cost plus
+    // the largest single taken-branch/skip extra (an exit leaves the
+    // trace, so at most one extra applies per pass).
+    blk->maxCycles = total + 2;
+    table[blk->entry] = blk;
+    blocks.push_back(std::move(owned));
+    return blk;
+}
+
+/**
+ * The superblock-threaded run loop. Hot state (SREG, the register
+ * file, the statistics accumulators) lives in locals exactly as in
+ * runFast — byte stores into the simulated SRAM may alias any member
+ * through the uint8_t*, so member accesses cannot be cached across
+ * them by the compiler — and is flushed on every exit.
+ */
+void
+Machine::runSuperblock(uint64_t max_cycles)
+{
+    if (!sbCache)
+        sbCache = std::make_unique<SuperblockCache>();
+
+#ifdef JAAVR_SB_THREADED
+    // Labels-as-values dispatch table, indexed by SbOp in declaration
+    // order (the same X-macro builds both, so they cannot skew).
+    static void *const label_tab[kNumSbOps] = {
+#define X(n) &&lbl_##n,
+        JAAVR_SB_OPS(X)
+#undef X
+    };
+    void *const *const labels = label_tab;
+#define SB_NEXT() goto *ip->lbl
+#else
+    void *const *const labels = nullptr;
+#define SB_NEXT() goto sb_dispatch
+#endif
+
+    uint64_t consumed = 0;
+    uint64_t insts = 0;
+    uint32_t pc = pcWord;
+    const uint16_t data_limit = dataLimitV;
+    const uint16_t stack_guard = stackGuardV;
+    const bool ise = cpuMode == CpuMode::ISE;
+    // Set by the guarded access lambdas; checked once per retired
+    // instruction. Never reset: the loop exits on the first trap.
+    TrapKind trap_kind = TrapKind::None;
+    uint16_t trap_addr = 0;
+    // Set by a slow-path (I/O space) store; rechecked at retirement
+    // so a store that enables the MAC unit side-exits the trace.
+    bool io_dirty = false;
+
+    uint8_t sreg = sregBits;
+    std::array<uint8_t, 32> r8 = regs;
+    std::array<uint32_t, kNumOps> op_count{};
+    std::array<uint32_t, kNumOps> op_extra{};
+    const uint16_t *const flash_data = flash.data();
+    uint8_t *const sram_data = sram.data();
+    SuperblockCache *const cache = sbCache.get();
+
+    auto pair = [&](unsigned i) -> uint16_t {
+        return static_cast<uint16_t>(r8[i]) |
+               (static_cast<uint16_t>(r8[i + 1]) << 8);
+    };
+    auto setPair = [&](unsigned i, uint16_t v) {
+        r8[i] = static_cast<uint8_t>(v);
+        r8[i + 1] = static_cast<uint8_t>(v >> 8);
+    };
+
+    // Delta-based so the periodic flush cannot double-count; per-op
+    // cycle totals are reconstructed as op_count * base + op_extra
+    // (the same invariant runFast maintains).
+    uint64_t flushed_insts = 0;
+    uint64_t flushed_cycles = 0;
+    auto flush = [&] {
+        execStats.instructions += insts - flushed_insts;
+        execStats.cycles += consumed - flushed_cycles;
+        flushed_insts = insts;
+        flushed_cycles = consumed;
+        pcWord = pc & 0xffff;
+        sregBits = sreg;
+        regs = r8;
+        const std::array<uint8_t, kNumOps> &base_tab =
+            baseCycleTable(cpuMode);
+        for (size_t i = 0; i < kNumOps; i++) {
+            execStats.opCount[i] += op_count[i];
+            execStats.opCycles[i] +=
+                uint64_t(op_count[i]) * base_tab[i] + op_extra[i];
+        }
+        op_count.fill(0);
+        op_extra.fill(0);
+    };
+
+    // Guarded data-space access, copied from runFast (no debug hooks
+    // here, and no MAC shadow tracking: the backend never runs while
+    // the MAC unit is live). The register/IO fallback syncs the local
+    // SREG around readData/writeData, which can touch SREG at 0x5f.
+    auto loadMem = [&](uint16_t a) -> uint8_t {
+        if (a >= sramBase) [[likely]] {
+            if (a > data_limit) [[unlikely]] {
+                trap_kind = TrapKind::SramOutOfBounds;
+                trap_addr = a;
+                return 0xff;
+            }
+            return sram_data[a - sramBase];
+        }
+        sregBits = sreg;
+        regs = r8;
+        uint8_t v = readData(a);
+        sreg = sregBits;
+        r8 = regs;
+        return v;
+    };
+    auto storeMem = [&](uint16_t a, uint8_t v) {
+        if (a >= sramBase) [[likely]] {
+            if (a > data_limit) [[unlikely]] {
+                trap_kind = TrapKind::SramOutOfBounds;
+                trap_addr = a;
+                return;
+            }
+            sram_data[a - sramBase] = v;
+            return;
+        }
+        sregBits = sreg;
+        regs = r8;
+        writeData(a, v);
+        sreg = sregBits;
+        r8 = regs;
+        io_dirty = true;
+    };
+    auto ioRead = [&](uint8_t ioaddr) -> uint8_t {
+        sregBits = sreg;
+        regs = r8;
+        uint8_t v = readData(ioBase + ioaddr);
+        sreg = sregBits;
+        r8 = regs;
+        return v;
+    };
+    auto ioWrite = [&](uint8_t ioaddr, uint8_t v) {
+        sregBits = sreg;
+        regs = r8;
+        writeData(ioBase + ioaddr, v);
+        sreg = sregBits;
+        r8 = regs;
+        io_dirty = true;
+    };
+    auto pushB = [&](uint8_t v) {
+        uint16_t a = sp();
+        if (a < stack_guard) [[unlikely]] {
+            trap_kind = TrapKind::StackOverflow;
+            trap_addr = a;
+            return;
+        }
+        storeMem(a, v);
+        if (trap_kind == TrapKind::None) [[likely]]
+            setSp(a - 1);
+    };
+    auto popB = [&]() -> uint8_t {
+        setSp(sp() + 1);
+        return loadMem(sp());
+    };
+    auto pushRet = [&](uint32_t ret) {
+        pushB(static_cast<uint8_t>(ret));
+        pushB(static_cast<uint8_t>(ret >> 8));
+    };
+    auto popRet = [&]() -> uint32_t {
+        uint32_t hi = popB();
+        uint32_t lo = popB();
+        return (hi << 8) | lo;
+    };
+
+    const SbInst *ip = nullptr;
+    const SbInst *code0 = nullptr;
+
+// Retirement tails. Plain ALU work cannot trap; memory handlers
+// check the trap flag (the trapping instruction must not retire);
+// store handlers additionally side-exit when a slow-path store may
+// have enabled the MAC unit mid-trace.
+#define SB_RETIRE()                                                     \
+    do {                                                                \
+        op_count[ip->op]++;                                             \
+        ip++;                                                           \
+        SB_NEXT();                                                      \
+    } while (0)
+#define SB_RETIRE_MEM()                                                 \
+    do {                                                                \
+        if (trap_kind != TrapKind::None) [[unlikely]]                   \
+            goto trap_exit;                                             \
+        op_count[ip->op]++;                                             \
+        ip++;                                                           \
+        SB_NEXT();                                                      \
+    } while (0)
+#define SB_RETIRE_STORE()                                               \
+    do {                                                                \
+        if (trap_kind != TrapKind::None) [[unlikely]]                   \
+            goto trap_exit;                                             \
+        op_count[ip->op]++;                                             \
+        if (io_dirty) [[unlikely]] {                                    \
+            io_dirty = false;                                           \
+            if (ise && io[ioMaccr] != 0)                                \
+                goto maccr_side_exit;                                   \
+        }                                                               \
+        ip++;                                                           \
+        SB_NEXT();                                                      \
+    } while (0)
+
+  next_block:
+    if (pc == exitAddress) {
+        flush();
+        return;
+    }
+    // Keep the 32-bit op_count entries from saturating (runFast
+    // flushes on the same period).
+    if (insts - flushed_insts >= 0x1000000) [[unlikely]]
+        flush();
+    // ISE legality: traces assume no MAC activity. Pending shadow
+    // micro-ops or an enabled MACCR delegate the rest of the run to
+    // the fast path, which carries the full hazard machinery.
+    if (ise && (io[ioMaccr] != 0 || macUnit.pendingShadow() != 0)) {
+        flush();
+        runFastPlain(max_cycles - consumed);
+        return;
+    }
+    io_dirty = false;
+    {
+        SbBlock *b = cache->lookup(pc);
+        if (!b) [[unlikely]]
+            b = cache->translate(*this, pc, labels);
+        // Budget pre-check: if this pass could cross the budget,
+        // delegate to the fast path for per-instruction precision.
+        // Passing it guarantees consumed stays below max_cycles for
+        // the whole pass, so handlers carry no budget test.
+        if (consumed + b->maxCycles >= max_cycles) [[unlikely]] {
+            flush();
+            runFastPlain(max_cycles - consumed);
+            return;
+        }
+        code0 = b->code.data();
+        ip = code0;
+    }
+    SB_NEXT();
+
+#ifndef JAAVR_SB_THREADED
+  sb_dispatch:
+    switch (static_cast<SbOp>(ip->h)) {
+#define X(n) case SbOp::n: goto lbl_##n;
+        JAAVR_SB_OPS(X)
+#undef X
+    }
+    fatal("superblock: corrupt dispatch code %u", ip->h);
+#endif
+
+  lbl_ADD: {
+    uint8_t d = r8[ip->a], s = r8[ip->b];
+    uint8_t r = d + s;
+    r8[ip->a] = r;
+    addFlagsB(sreg, d, s, r);
+    SB_RETIRE();
+  }
+  lbl_LSL: {
+    // Canonicalized LSL Rd == ADD Rd,Rd: single read, doubled.
+    uint8_t d = r8[ip->a];
+    uint8_t r = static_cast<uint8_t>(d + d);
+    r8[ip->a] = r;
+    addFlagsB(sreg, d, d, r);
+    SB_RETIRE();
+  }
+  lbl_ADC: {
+    uint8_t d = r8[ip->a], s = r8[ip->b];
+    uint8_t r = d + s + (sreg & sregC);
+    r8[ip->a] = r;
+    addFlagsB(sreg, d, s, r);
+    SB_RETIRE();
+  }
+  lbl_ROL: {
+    // Canonicalized ROL Rd == ADC Rd,Rd.
+    uint8_t d = r8[ip->a];
+    uint8_t r = static_cast<uint8_t>(d + d + (sreg & sregC));
+    r8[ip->a] = r;
+    addFlagsB(sreg, d, d, r);
+    SB_RETIRE();
+  }
+  lbl_SUB: {
+    uint8_t d = r8[ip->a], s = r8[ip->b];
+    uint8_t r = d - s;
+    r8[ip->a] = r;
+    subFlagsB(sreg, d, s, r, false);
+    SB_RETIRE();
+  }
+  lbl_SBC: {
+    uint8_t d = r8[ip->a], s = r8[ip->b];
+    uint8_t r = d - s - (sreg & sregC);
+    r8[ip->a] = r;
+    subFlagsB(sreg, d, s, r, true);
+    SB_RETIRE();
+  }
+  lbl_AND: {
+    uint8_t r = r8[ip->a] & r8[ip->b];
+    r8[ip->a] = r;
+    logicFlagsB(sreg, r);
+    SB_RETIRE();
+  }
+  lbl_TST: {
+    // Canonicalized TST Rd == AND Rd,Rd: flags only, no write.
+    logicFlagsB(sreg, r8[ip->a]);
+    SB_RETIRE();
+  }
+  lbl_OR: {
+    uint8_t r = r8[ip->a] | r8[ip->b];
+    r8[ip->a] = r;
+    logicFlagsB(sreg, r);
+    SB_RETIRE();
+  }
+  lbl_EOR: {
+    uint8_t r = r8[ip->a] ^ r8[ip->b];
+    r8[ip->a] = r;
+    logicFlagsB(sreg, r);
+    SB_RETIRE();
+  }
+  lbl_CLR: {
+    // Canonicalized CLR Rd == EOR Rd,Rd: constant result and flags.
+    r8[ip->a] = 0;
+    sreg = (sreg & ~(sregZ | sregN | sregV | sregS)) | sregZ;
+    SB_RETIRE();
+  }
+  lbl_MOV: {
+    r8[ip->a] = r8[ip->b];
+    SB_RETIRE();
+  }
+  lbl_CP: {
+    uint8_t d = r8[ip->a], s = r8[ip->b];
+    subFlagsB(sreg, d, s, d - s, false);
+    SB_RETIRE();
+  }
+  lbl_CPC: {
+    uint8_t d = r8[ip->a], s = r8[ip->b];
+    uint8_t r = d - s - (sreg & sregC);
+    subFlagsB(sreg, d, s, r, true);
+    SB_RETIRE();
+  }
+  lbl_MUL: {
+    uint16_t p = static_cast<uint16_t>(r8[ip->a]) * r8[ip->b];
+    r8[0] = static_cast<uint8_t>(p);
+    r8[1] = static_cast<uint8_t>(p >> 8);
+    mulFlagsB(sreg, p, p & 0x8000);
+    SB_RETIRE();
+  }
+  lbl_MULS: {
+    int16_t p = static_cast<int16_t>(static_cast<int8_t>(r8[ip->a])) *
+                static_cast<int8_t>(r8[ip->b]);
+    uint16_t u = static_cast<uint16_t>(p);
+    r8[0] = static_cast<uint8_t>(u);
+    r8[1] = static_cast<uint8_t>(u >> 8);
+    mulFlagsB(sreg, u, u & 0x8000);
+    SB_RETIRE();
+  }
+  lbl_MULSU: {
+    int16_t p = static_cast<int16_t>(static_cast<int8_t>(r8[ip->a])) *
+                static_cast<uint8_t>(r8[ip->b]);
+    uint16_t u = static_cast<uint16_t>(p);
+    r8[0] = static_cast<uint8_t>(u);
+    r8[1] = static_cast<uint8_t>(u >> 8);
+    mulFlagsB(sreg, u, u & 0x8000);
+    SB_RETIRE();
+  }
+  lbl_FMUL: {
+    int32_t p = static_cast<uint16_t>(r8[ip->a]) * r8[ip->b];
+    uint16_t u = static_cast<uint16_t>(p);
+    bool c = u & 0x8000;
+    u <<= 1;
+    r8[0] = static_cast<uint8_t>(u);
+    r8[1] = static_cast<uint8_t>(u >> 8);
+    mulFlagsB(sreg, u, c);
+    SB_RETIRE();
+  }
+  lbl_FMULS: {
+    int32_t p = static_cast<int8_t>(r8[ip->a]) *
+                static_cast<int8_t>(r8[ip->b]);
+    uint16_t u = static_cast<uint16_t>(p);
+    bool c = u & 0x8000;
+    u <<= 1;
+    r8[0] = static_cast<uint8_t>(u);
+    r8[1] = static_cast<uint8_t>(u >> 8);
+    mulFlagsB(sreg, u, c);
+    SB_RETIRE();
+  }
+  lbl_FMULSU: {
+    int32_t p = static_cast<int8_t>(r8[ip->a]) * r8[ip->b];
+    uint16_t u = static_cast<uint16_t>(p);
+    bool c = u & 0x8000;
+    u <<= 1;
+    r8[0] = static_cast<uint8_t>(u);
+    r8[1] = static_cast<uint8_t>(u >> 8);
+    mulFlagsB(sreg, u, c);
+    SB_RETIRE();
+  }
+  lbl_MOVW: {
+    r8[ip->a] = r8[ip->b];
+    r8[ip->a + 1] = r8[ip->b + 1];
+    SB_RETIRE();
+  }
+  lbl_SUBI: {
+    uint8_t d = r8[ip->a];
+    uint8_t r = d - static_cast<uint8_t>(ip->imm);
+    r8[ip->a] = r;
+    subFlagsB(sreg, d, static_cast<uint8_t>(ip->imm), r, false);
+    SB_RETIRE();
+  }
+  lbl_SBCI: {
+    uint8_t d = r8[ip->a];
+    uint8_t r = d - static_cast<uint8_t>(ip->imm) - (sreg & sregC);
+    r8[ip->a] = r;
+    subFlagsB(sreg, d, static_cast<uint8_t>(ip->imm), r, true);
+    SB_RETIRE();
+  }
+  lbl_ANDI: {
+    uint8_t r = r8[ip->a] & static_cast<uint8_t>(ip->imm);
+    r8[ip->a] = r;
+    logicFlagsB(sreg, r);
+    SB_RETIRE();
+  }
+  lbl_ORI: {
+    uint8_t r = r8[ip->a] | static_cast<uint8_t>(ip->imm);
+    r8[ip->a] = r;
+    logicFlagsB(sreg, r);
+    SB_RETIRE();
+  }
+  lbl_CPI: {
+    uint8_t d = r8[ip->a];
+    subFlagsB(sreg, d, static_cast<uint8_t>(ip->imm),
+              d - static_cast<uint8_t>(ip->imm), false);
+    SB_RETIRE();
+  }
+  lbl_LDI: {
+    r8[ip->a] = static_cast<uint8_t>(ip->imm);
+    SB_RETIRE();
+  }
+  lbl_ADIW: {
+    uint16_t d = pair(ip->a);
+    uint16_t r = d + ip->imm;
+    setPair(ip->a, r);
+    wideFlagsB(sreg, r, !(d & 0x8000) && (r & 0x8000),
+               !(r & 0x8000) && (d & 0x8000));
+    SB_RETIRE();
+  }
+  lbl_SBIW: {
+    uint16_t d = pair(ip->a);
+    uint16_t r = d - ip->imm;
+    setPair(ip->a, r);
+    wideFlagsB(sreg, r, (d & 0x8000) && !(r & 0x8000),
+               (r & 0x8000) && !(d & 0x8000));
+    SB_RETIRE();
+  }
+  lbl_COM: {
+    uint8_t r = ~r8[ip->a];
+    r8[ip->a] = r;
+    uint8_t n = (r >> 7) & 1;
+    sreg = (sreg & ~(sregC | sregZ | sregN | sregV | sregS)) | sregC |
+           static_cast<uint8_t>(r == 0) << 1 | n << 2 | n << 4;
+    SB_RETIRE();
+  }
+  lbl_NEG: {
+    uint8_t d = r8[ip->a];
+    uint8_t r = -d;
+    r8[ip->a] = r;
+    subFlagsB(sreg, 0, d, r, false);
+    SB_RETIRE();
+  }
+  lbl_SWAP: {
+    // No MAC swap trigger here: the backend never runs with MACCR
+    // enabled (checked at every block entry).
+    uint8_t d = r8[ip->a];
+    r8[ip->a] = static_cast<uint8_t>((d << 4) | (d >> 4));
+    SB_RETIRE();
+  }
+  lbl_INC: {
+    uint8_t r = r8[ip->a] + 1;
+    r8[ip->a] = r;
+    incDecFlagsB(sreg, r, r == 0x80);
+    SB_RETIRE();
+  }
+  lbl_DEC: {
+    uint8_t r = r8[ip->a] - 1;
+    r8[ip->a] = r;
+    incDecFlagsB(sreg, r, r == 0x7f);
+    SB_RETIRE();
+  }
+  lbl_ASR: {
+    uint8_t d = r8[ip->a];
+    uint8_t r = static_cast<uint8_t>((d >> 1) | (d & 0x80));
+    r8[ip->a] = r;
+    shiftFlagsB(sreg, r, d & 1);
+    SB_RETIRE();
+  }
+  lbl_LSR: {
+    uint8_t d = r8[ip->a];
+    uint8_t r = d >> 1;
+    r8[ip->a] = r;
+    shiftFlagsB(sreg, r, d & 1);
+    SB_RETIRE();
+  }
+  lbl_ROR: {
+    uint8_t d = r8[ip->a];
+    uint8_t r = static_cast<uint8_t>(
+        (d >> 1) | (static_cast<unsigned>(sreg & sregC) << 7));
+    r8[ip->a] = r;
+    shiftFlagsB(sreg, r, d & 1);
+    SB_RETIRE();
+  }
+  lbl_BSET: {
+    sreg |= static_cast<uint8_t>(1u << ip->a);
+    SB_RETIRE();
+  }
+  lbl_BCLR: {
+    sreg &= static_cast<uint8_t>(~(1u << ip->a));
+    SB_RETIRE();
+  }
+  lbl_BLD: {
+    if (sreg & sregT)
+        r8[ip->a] |= 1u << ip->b;
+    else
+        r8[ip->a] &= ~(1u << ip->b);
+    SB_RETIRE();
+  }
+  lbl_BST: {
+    sreg = static_cast<uint8_t>((sreg & ~sregT) |
+                                (((r8[ip->a] >> ip->b) & 1u) << 6));
+    SB_RETIRE();
+  }
+  lbl_SBI: {
+    ioWrite(static_cast<uint8_t>(ip->imm),
+            ioRead(static_cast<uint8_t>(ip->imm)) | (1u << ip->b));
+    SB_RETIRE_STORE();
+  }
+  lbl_CBI: {
+    ioWrite(static_cast<uint8_t>(ip->imm),
+            ioRead(static_cast<uint8_t>(ip->imm)) & ~(1u << ip->b));
+    SB_RETIRE_STORE();
+  }
+  lbl_IN: {
+    r8[ip->a] = ioRead(static_cast<uint8_t>(ip->imm));
+    SB_RETIRE();
+  }
+  lbl_OUT: {
+    ioWrite(static_cast<uint8_t>(ip->imm), r8[ip->a]);
+    SB_RETIRE_STORE();
+  }
+  lbl_SKIP_SBIC: {
+    if (!(ioRead(static_cast<uint8_t>(ip->imm)) & (1u << ip->b)))
+        goto take_skip;
+    SB_RETIRE();
+  }
+  lbl_SKIP_SBIS: {
+    if (ioRead(static_cast<uint8_t>(ip->imm)) & (1u << ip->b))
+        goto take_skip;
+    SB_RETIRE();
+  }
+  lbl_SKIP_CPSE: {
+    if (r8[ip->a] == r8[ip->b])
+        goto take_skip;
+    SB_RETIRE();
+  }
+  lbl_SKIP_SBRC: {
+    if (!(r8[ip->a] & (1u << ip->b)))
+        goto take_skip;
+    SB_RETIRE();
+  }
+  lbl_SKIP_SBRS: {
+    if (r8[ip->a] & (1u << ip->b))
+        goto take_skip;
+    SB_RETIRE();
+  }
+  lbl_LD_X: {
+    uint8_t v = loadMem(pair(26));
+    r8[ip->a] = v;
+    SB_RETIRE_MEM();
+  }
+  lbl_LD_X_INC: {
+    uint16_t ea = pair(26);
+    uint8_t v = loadMem(ea);
+    r8[ip->a] = v;
+    setPair(26, ea + 1);
+    SB_RETIRE_MEM();
+  }
+  lbl_LD_X_DEC: {
+    uint16_t ea = pair(26);
+    setPair(26, --ea);
+    uint8_t v = loadMem(ea);
+    r8[ip->a] = v;
+    SB_RETIRE_MEM();
+  }
+  lbl_LDD_Y: {
+    uint8_t v = loadMem(static_cast<uint16_t>(pair(28) + ip->imm));
+    r8[ip->a] = v;
+    SB_RETIRE_MEM();
+  }
+  lbl_LD_Y_INC: {
+    uint16_t ea = pair(28);
+    uint8_t v = loadMem(ea);
+    r8[ip->a] = v;
+    setPair(28, ea + 1);
+    SB_RETIRE_MEM();
+  }
+  lbl_LD_Y_DEC: {
+    uint16_t ea = pair(28);
+    setPair(28, --ea);
+    uint8_t v = loadMem(ea);
+    r8[ip->a] = v;
+    SB_RETIRE_MEM();
+  }
+  lbl_LDD_Z: {
+    uint8_t v = loadMem(static_cast<uint16_t>(pair(30) + ip->imm));
+    r8[ip->a] = v;
+    SB_RETIRE_MEM();
+  }
+  lbl_LD_Z_INC: {
+    uint16_t ea = pair(30);
+    uint8_t v = loadMem(ea);
+    r8[ip->a] = v;
+    setPair(30, ea + 1);
+    SB_RETIRE_MEM();
+  }
+  lbl_LD_Z_DEC: {
+    uint16_t ea = pair(30);
+    setPair(30, --ea);
+    uint8_t v = loadMem(ea);
+    r8[ip->a] = v;
+    SB_RETIRE_MEM();
+  }
+  lbl_LDS: {
+    uint8_t v = loadMem(ip->addr);
+    r8[ip->a] = v;
+    SB_RETIRE_MEM();
+  }
+  lbl_ST_X: {
+    storeMem(pair(26), r8[ip->a]);
+    SB_RETIRE_STORE();
+  }
+  lbl_ST_X_INC: {
+    uint16_t ea = pair(26);
+    storeMem(ea, r8[ip->a]);
+    setPair(26, ea + 1);
+    SB_RETIRE_STORE();
+  }
+  lbl_ST_X_DEC: {
+    uint16_t ea = pair(26);
+    setPair(26, --ea);
+    storeMem(ea, r8[ip->a]);
+    SB_RETIRE_STORE();
+  }
+  lbl_STD_Y: {
+    storeMem(static_cast<uint16_t>(pair(28) + ip->imm), r8[ip->a]);
+    SB_RETIRE_STORE();
+  }
+  lbl_ST_Y_INC: {
+    uint16_t ea = pair(28);
+    storeMem(ea, r8[ip->a]);
+    setPair(28, ea + 1);
+    SB_RETIRE_STORE();
+  }
+  lbl_ST_Y_DEC: {
+    uint16_t ea = pair(28);
+    setPair(28, --ea);
+    storeMem(ea, r8[ip->a]);
+    SB_RETIRE_STORE();
+  }
+  lbl_STD_Z: {
+    storeMem(static_cast<uint16_t>(pair(30) + ip->imm), r8[ip->a]);
+    SB_RETIRE_STORE();
+  }
+  lbl_ST_Z_INC: {
+    uint16_t ea = pair(30);
+    storeMem(ea, r8[ip->a]);
+    setPair(30, ea + 1);
+    SB_RETIRE_STORE();
+  }
+  lbl_ST_Z_DEC: {
+    uint16_t ea = pair(30);
+    setPair(30, --ea);
+    storeMem(ea, r8[ip->a]);
+    SB_RETIRE_STORE();
+  }
+  lbl_STS: {
+    storeMem(ip->addr, r8[ip->a]);
+    SB_RETIRE_STORE();
+  }
+  lbl_PUSH: {
+    pushB(r8[ip->a]);
+    SB_RETIRE_STORE();
+  }
+  lbl_POP: {
+    r8[ip->a] = popB();
+    SB_RETIRE_MEM();
+  }
+  lbl_LPM_R0: {
+    uint16_t zv = pair(30);
+    uint16_t w = flash_data[(zv >> 1) & (flashWords - 1)];
+    r8[0] = (zv & 1) ? static_cast<uint8_t>(w >> 8)
+                     : static_cast<uint8_t>(w);
+    SB_RETIRE();
+  }
+  lbl_LPM: {
+    uint16_t zv = pair(30);
+    uint16_t w = flash_data[(zv >> 1) & (flashWords - 1)];
+    r8[ip->a] = (zv & 1) ? static_cast<uint8_t>(w >> 8)
+                         : static_cast<uint8_t>(w);
+    SB_RETIRE();
+  }
+  lbl_LPM_INC: {
+    uint16_t zv = pair(30);
+    uint16_t w = flash_data[(zv >> 1) & (flashWords - 1)];
+    r8[ip->a] = (zv & 1) ? static_cast<uint8_t>(w >> 8)
+                         : static_cast<uint8_t>(w);
+    setPair(30, zv + 1);
+    SB_RETIRE();
+  }
+  lbl_NOPLIKE: {
+    // NOP/SLEEP/WDR/BREAK. No MAC-stall accounting: the backend
+    // never executes with shadow micro-ops pending.
+    SB_RETIRE();
+  }
+  lbl_GHOST: {
+    // Stitched RJMP/JMP: retires (count + cycles via the prefix
+    // sums); the control transfer was resolved at translate time.
+    SB_RETIRE();
+  }
+  lbl_CALL_THROUGH: {
+    // Stitched RCALL/CALL: push the return address, keep executing
+    // the trace straight into the callee.
+    pushRet(ip->addr);
+    SB_RETIRE_STORE();
+  }
+  lbl_BRBS: {
+    if ((sreg >> ip->a) & 1)
+        goto take_branch;
+    SB_RETIRE();
+  }
+  lbl_BRBC: {
+    if (!((sreg >> ip->a) & 1))
+        goto take_branch;
+    SB_RETIRE();
+  }
+  lbl_EXIT_RET: {
+    uint32_t ret = popRet();
+    if (trap_kind != TrapKind::None) [[unlikely]]
+        goto trap_exit;
+    op_count[ip->op]++;
+    consumed += ip->prefixCycles + ip->cycles;
+    insts += static_cast<uint64_t>(ip - code0) + 1;
+    pc = ret & 0xffff;
+    goto next_block;
+  }
+  lbl_EXIT_RETI: {
+    uint32_t ret = popRet();
+    sreg |= sregI;
+    if (trap_kind != TrapKind::None) [[unlikely]]
+        goto trap_exit;
+    op_count[ip->op]++;
+    consumed += ip->prefixCycles + ip->cycles;
+    insts += static_cast<uint64_t>(ip - code0) + 1;
+    pc = ret & 0xffff;
+    goto next_block;
+  }
+  lbl_EXIT_IJMP: {
+    op_count[ip->op]++;
+    consumed += ip->prefixCycles + ip->cycles;
+    insts += static_cast<uint64_t>(ip - code0) + 1;
+    pc = pair(30);
+    goto next_block;
+  }
+  lbl_EXIT_ICALL: {
+    // Push first, then read Z: a push that lands in the register
+    // file (SP below 0x20) must be visible to the target read,
+    // exactly as on the reference path.
+    pushRet(ip->addr);
+    if (trap_kind != TrapKind::None) [[unlikely]]
+        goto trap_exit;
+    op_count[ip->op]++;
+    consumed += ip->prefixCycles + ip->cycles;
+    insts += static_cast<uint64_t>(ip - code0) + 1;
+    pc = pair(30);
+    // A push into I/O space could have enabled the MAC unit; the
+    // block-entry check at next_block re-validates, so only the
+    // flag needs clearing (done at next_block).
+    goto next_block;
+  }
+  lbl_EXIT_STATIC: {
+    // Non-retiring continuation (loop back-edge / cap / sentinel).
+    consumed += ip->prefixCycles;
+    insts += static_cast<uint64_t>(ip - code0);
+    pc = ip->pc;
+    goto next_block;
+  }
+  lbl_EXIT_TRAP: {
+    // Undecodable word: re-read flash to discriminate erased flash
+    // from a reserved encoding, as the fast path does.
+    uint16_t w = flash_data[ip->pc & (flashWords - 1)];
+    consumed += ip->prefixCycles;
+    insts += static_cast<uint64_t>(ip - code0);
+    pc = ip->pc;
+    pendingTrap = Trap{w == 0xffff ? TrapKind::FlashOutOfBounds
+                                   : TrapKind::IllegalOpcode,
+                       ip->pc, w};
+    flush();
+    return;
+  }
+
+  take_branch: {
+    op_count[ip->op]++;
+    op_extra[ip->op] += branchTakenExtra;
+    consumed += ip->prefixCycles + ip->cycles + branchTakenExtra;
+    insts += static_cast<uint64_t>(ip - code0) + 1;
+    pc = ip->target;
+    goto next_block;
+  }
+  take_skip: {
+    op_count[ip->op]++;
+    op_extra[ip->op] += ip->extra;
+    consumed += ip->prefixCycles + ip->cycles + ip->extra;
+    insts += static_cast<uint64_t>(ip - code0) + 1;
+    pc = ip->target;
+    goto next_block;
+  }
+  maccr_side_exit: {
+    // A store just enabled the MAC unit mid-trace: the instruction
+    // retired, the rest of the trace must run with hazard checks.
+    // Translation guarantees ip[1].pc is this instruction's static
+    // fall-through successor.
+    consumed += ip->prefixCycles + ip->cycles;
+    insts += static_cast<uint64_t>(ip - code0) + 1;
+    pc = ip[1].pc;
+    flush();
+    runFastPlain(max_cycles - consumed);
+    return;
+  }
+  trap_exit: {
+    // The trapping instruction does not retire: charge the retired
+    // prefix only and leave PC at the instruction, exactly as
+    // runFast/step() do. Partial side effects (pre-decremented
+    // pointers, SP moves) persist identically.
+    consumed += ip->prefixCycles;
+    insts += static_cast<uint64_t>(ip - code0);
+    pc = ip->pc;
+    pendingTrap = Trap{trap_kind, ip->pc, trap_addr};
+    flush();
+    return;
+  }
+
+#undef SB_RETIRE
+#undef SB_RETIRE_MEM
+#undef SB_RETIRE_STORE
+#undef SB_NEXT
+}
+
+} // namespace jaavr

@@ -285,22 +285,26 @@ TEST(DecodeCache, CycleBudgetBoundaryIdenticalOnBothPaths)
     Program prog = assemble(src, "budget");
 
     for (CpuMode mode : {CpuMode::CA, CpuMode::FAST, CpuMode::ISE}) {
-        for (bool reference : {false, true}) {
+        for (IssBackend backend : {IssBackend::Reference,
+                                   IssBackend::Fast,
+                                   IssBackend::Superblock}) {
+            auto configure = [&](Machine &m) {
+                m.forceReference = backend == IssBackend::Reference;
+                m.setBackend(backend);
+                m.loadProgram(prog.words, 0);
+            };
             Machine probe(mode);
-            probe.forceReference = reference;
-            probe.loadProgram(prog.words, 0);
+            configure(probe);
             uint64_t c = probe.call(0);
 
             Machine over(mode);
-            over.forceReference = reference;
-            over.loadProgram(prog.words, 0);
+            configure(over);
             RunResult over_r = over.call(0, c);
             EXPECT_FALSE(over_r.ok());
             EXPECT_EQ(over_r.trap.kind, TrapKind::CycleBudget);
 
             Machine fit(mode);
-            fit.forceReference = reference;
-            fit.loadProgram(prog.words, 0);
+            configure(fit);
             EXPECT_EQ(fit.call(0, c + 1), c);
         }
     }

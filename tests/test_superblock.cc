@@ -1,0 +1,575 @@
+/**
+ * @file
+ * Tests pinning the superblock-threaded backend (DESIGN.md §11) to
+ * the step() reference implementation and the predecoded fast path:
+ * exhaustive all-opcode-word replay in all three CPU modes, random
+ * program soup across all three backends, trap-in-mid-trace side
+ * exits, the MACCR store side exit, trace invalidation through the
+ * GDB flash-patch path, the JAAVR_ISS_BACKEND selection switch, and
+ * the decode-canonicalization (synonym) satellite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iterator>
+
+#include "avr/isa.hh"
+#include "avr/mac_unit.hh"
+#include "avr/machine.hh"
+#include "avr/timing.hh"
+#include "avrasm/assembler.hh"
+#include "avrgen/secp160_harness.hh"
+#include "debug/target.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+using namespace jaavr;
+
+namespace
+{
+
+/**
+ * Fast whole-state equality (no gtest overhead in the hot loop):
+ * registers, SREG, SP, PC, the full internal SRAM, every statistic,
+ * the MAC unit, and the pending trap.
+ */
+bool
+sameState(const Machine &a, const Machine &b)
+{
+    for (unsigned i = 0; i < 32; i++)
+        if (a.reg(i) != b.reg(i))
+            return false;
+    if (a.sreg() != b.sreg() || a.sp() != b.sp() || a.pc() != b.pc())
+        return false;
+    if (a.stats().instructions != b.stats().instructions ||
+        a.stats().cycles != b.stats().cycles ||
+        a.stats().opCount != b.stats().opCount ||
+        a.stats().opCycles != b.stats().opCycles ||
+        a.stats().macStallNops != b.stats().macStallNops)
+        return false;
+    if (!(a.trap() == b.trap()))
+        return false;
+    if (a.mac().pendingShadow() != b.mac().pendingShadow() ||
+        a.mac().totalMacs() != b.mac().totalMacs())
+        return false;
+    return a.readBytes(Machine::sramBase, 0x1000) ==
+           b.readBytes(Machine::sramBase, 0x1000);
+}
+
+/** Detailed mismatch report (called only once sameState() failed). */
+void
+explainState(const Machine &a, const Machine &b, const char *a_name,
+             const char *b_name)
+{
+    for (unsigned i = 0; i < 32; i++)
+        EXPECT_EQ(a.reg(i), b.reg(i)) << "r" << i;
+    EXPECT_EQ(a.sreg(), b.sreg()) << "sreg";
+    EXPECT_EQ(a.sp(), b.sp()) << "sp";
+    EXPECT_EQ(a.pc(), b.pc()) << "pc";
+    EXPECT_EQ(a.stats().instructions, b.stats().instructions)
+        << "instructions";
+    EXPECT_EQ(a.stats().cycles, b.stats().cycles) << "cycles";
+    for (size_t op = 0; op < kNumOps; op++) {
+        EXPECT_EQ(a.stats().opCount[op], b.stats().opCount[op])
+            << "opCount " << opName(static_cast<Op>(op));
+        EXPECT_EQ(a.stats().opCycles[op], b.stats().opCycles[op])
+            << "opCycles " << opName(static_cast<Op>(op));
+    }
+    EXPECT_EQ(a.stats().macStallNops, b.stats().macStallNops);
+    EXPECT_TRUE(a.trap() == b.trap())
+        << "trap kind " << static_cast<int>(a.trap().kind) << " vs "
+        << static_cast<int>(b.trap().kind) << " pc 0x" << std::hex
+        << a.trap().pc << " vs 0x" << b.trap().pc;
+    EXPECT_EQ(a.readBytes(Machine::sramBase, 0x1000),
+              b.readBytes(Machine::sramBase, 0x1000)) << "sram";
+    ADD_FAILURE() << "state mismatch between " << a_name << " and "
+                  << b_name;
+}
+
+/** Identical deterministic seeding for every machine under test. */
+void
+seed(Machine &m, uint32_t salt)
+{
+    for (unsigned i = 0; i < 32; i++)
+        m.setReg(i, static_cast<uint8_t>(i * 29 + salt));
+    m.setSreg(static_cast<uint8_t>(salt >> 8));
+    m.setSp(0x10e0);
+    m.setX(0x0200);
+    m.setY(0x0240);
+    m.setZ(0x0280);
+}
+
+/**
+ * Run @p prog on all three backends from identical state and verify
+ * bit- and cycle-identical outcomes (reference is truth).
+ */
+void
+expectThreeWayEquivalence(const Program &prog, CpuMode mode,
+                          uint64_t budget = Machine::defaultCycleBudget,
+                          uint32_t salt = 0x1a2b)
+{
+    Machine ref(mode), fast(mode), sb(mode);
+    ref.forceReference = true;
+    fast.forceReference = false;
+    fast.setBackend(IssBackend::Fast);
+    sb.forceReference = false;
+    sb.setBackend(IssBackend::Superblock);
+    for (Machine *m : {&ref, &fast, &sb}) {
+        m->loadProgram(prog.words, 0);
+        seed(*m, salt);
+        for (uint16_t a = 0x200; a < 0x2c0; a++)
+            m->writeData(a, static_cast<uint8_t>(a * 7 + salt));
+        m->call(0, budget);
+    }
+    if (!sameState(ref, sb))
+        explainState(ref, sb, "reference", "superblock");
+    if (!sameState(ref, fast))
+        explainState(ref, fast, "reference", "fast");
+}
+
+} // anonymous namespace
+
+/*
+ * Exhaustive replay: every one of the 65536 primary opcode words,
+ * executed as the entry of a translated trace, must leave all three
+ * backends in bit- and cycle-identical state — registers, SREG, SP,
+ * PC, SRAM, per-op statistics and the stopping trap. Because the
+ * synonym encodings (LSL/ROL/TST/CLR = ADD/ADC/AND/EOR with rd==rr)
+ * are among these words, this is also the behavioral proof that
+ * decode canonicalization changed nothing.
+ *
+ * The word under test sits at 0 followed by a varying operand word
+ * and erased flash, so two-word forms get a live operand and straight
+ * lines fall off into a FlashOutOfBounds stop; a small cycle budget
+ * bounds runaway loops (rjmp .-2 and friends). Architectural state
+ * carries over from word to word — it stays identical across the
+ * machines by induction, and serves as varied seeding.
+ */
+TEST(Superblock, AllOpcodeWordsMatchReferenceAllModes)
+{
+    for (CpuMode mode : {CpuMode::CA, CpuMode::FAST, CpuMode::ISE}) {
+        Machine ref(mode), fast(mode), sb(mode);
+        ref.forceReference = true;
+        fast.setBackend(IssBackend::Fast);
+        sb.setBackend(IssBackend::Superblock);
+        for (uint32_t w = 0; w <= 0xffff; w++) {
+            const uint16_t operand =
+                static_cast<uint16_t>(w * 0x9e37u + 0x1234u);
+            const std::vector<uint16_t> words = {
+                static_cast<uint16_t>(w), operand, 0xffff, 0xffff};
+            for (Machine *m : {&ref, &fast, &sb}) {
+                m->loadProgram(words, 0);
+                seed(*m, w);
+                m->setPc(0);
+                m->run(64);
+            }
+            if (!sameState(ref, sb)) {
+                explainState(ref, sb, "reference", "superblock");
+                FAIL() << "word 0x" << std::hex << w << " mode "
+                       << cpuModeName(mode);
+            }
+            if (!sameState(ref, fast)) {
+                explainState(ref, fast, "reference", "fast");
+                FAIL() << "word 0x" << std::hex << w << " mode "
+                       << cpuModeName(mode);
+            }
+        }
+    }
+}
+
+/*
+ * Randomized straight-line/branch/memory soup with in-trace loops:
+ * long enough that translation hits revisited PCs, taken branches,
+ * skips over one- and two-word targets, and block-cache reuse.
+ */
+TEST(Superblock, RandomProgramThreeBackendEquivalence)
+{
+    static const char *const kAlu[] = {
+        "add r%u, r%u", "adc r%u, r%u", "sub r%u, r%u",
+        "sbc r%u, r%u", "and r%u, r%u", "or r%u, r%u",
+        "eor r%u, r%u", "mov r%u, r%u", "cp r%u, r%u",
+        "cpc r%u, r%u", "mul r%u, r%u",
+    };
+    static const char *const kSingle[] = {
+        "com r%u", "neg r%u", "swap r%u", "inc r%u", "dec r%u",
+        "asr r%u", "lsr r%u", "ror r%u",  "lsl r%u", "rol r%u",
+        "tst r%u", "push r%u", "pop r%u",
+    };
+
+    for (CpuMode mode : {CpuMode::CA, CpuMode::FAST, CpuMode::ISE}) {
+        Rng rng(0x5b10c + static_cast<unsigned>(mode));
+        auto r = [&](unsigned bound) {
+            return static_cast<unsigned>(rng.below(bound));
+        };
+        std::string src;
+        src += "ldi r26, 0x00\nldi r27, 0x02\n";  // X = 0x0200
+        src += "ldi r28, 0x40\nldi r29, 0x02\n";  // Y = 0x0240
+        src += "ldi r30, 0x80\nldi r31, 0x02\n";  // Z = 0x0280
+        for (int blockn = 0; blockn < 60; blockn++) {
+            // A bounded counted loop per block: brne back-edges close
+            // superblocks and re-enter them repeatedly.
+            src += csprintf("ldi r25, %u\n", 2 + r(6));
+            src += csprintf("blk%d:\n", blockn);
+            for (int i = 0; i < 24; i++) {
+                switch (rng.below(6)) {
+                  case 0: case 1:
+                    src += csprintf(kAlu[rng.below(std::size(kAlu))],
+                                    r(24), r(24));
+                    break;
+                  case 2:
+                    src += csprintf(
+                        kSingle[rng.below(std::size(kSingle))], r(24));
+                    break;
+                  case 3:
+                    src += csprintf("std Y+%u, r%u", r(32), r(24));
+                    break;
+                  case 4:
+                    src += csprintf("ldd r%u, Z+%u", r(24), r(32));
+                    break;
+                  case 5:
+                    // Skip over a one- or two-word instruction.
+                    if (r(2)) {
+                        src += csprintf("sbrc r%u, %u\n", r(24), r(8));
+                        src += csprintf("sts 0x0%x, r%u", 0x220 + r(64),
+                                        r(24));
+                    } else {
+                        src += csprintf("sbrs r%u, %u\n", r(24), r(8));
+                        src += csprintf(
+                            kSingle[rng.below(std::size(kSingle))],
+                            r(24));
+                    }
+                    break;
+                }
+                src += "\n";
+            }
+            src += "dec r25\n";
+            src += csprintf("brne blk%d\n", blockn);
+        }
+        src += "ret\n";
+        expectThreeWayEquivalence(assemble(src, "soup"), mode);
+    }
+}
+
+/*
+ * Side exit: a trap in the middle of a translated trace must not
+ * retire the trapping instruction, must charge exactly the retired
+ * prefix, and must leave PC at the trapping instruction — bit- and
+ * cycle-identical to the reference on every trap kind reachable from
+ * straight-line code.
+ */
+TEST(Superblock, TrapMidTraceSramOutOfBounds)
+{
+    // The sts at trace position 4 targets unimplemented data space.
+    Program p = assemble("add r0, r1\n"
+                         "adc r2, r3\n"
+                         "ldi r16, 0x5a\n"
+                         "eor r4, r4\n"
+                         "sts 0x2000, r16\n"
+                         "ldi r17, 0x99\n"  // must NOT execute
+                         "ret\n",
+                         "oob");
+    for (CpuMode mode : {CpuMode::CA, CpuMode::FAST, CpuMode::ISE}) {
+        expectThreeWayEquivalence(p, mode);
+        Machine sb(mode);
+        sb.loadProgram(p.words, 0);
+        seed(sb, 1);
+        RunResult r = sb.call(0);
+        EXPECT_EQ(r.trap.kind, TrapKind::SramOutOfBounds);
+        EXPECT_EQ(r.trap.addr, 0x2000u);
+        EXPECT_EQ(sb.reg(17), static_cast<uint8_t>(29 * 17 + 1))
+            << "instruction after the trap must not have executed";
+    }
+}
+
+TEST(Superblock, TrapMidTraceStackOverflow)
+{
+    std::string src;
+    for (int i = 0; i < 8; i++)
+        src += csprintf("push r%d\n", i);
+    src += "ret\n";
+    Program p = assemble(src, "stackov");
+    for (CpuMode mode : {CpuMode::CA, CpuMode::FAST, CpuMode::ISE}) {
+        Machine ref(mode), sb(mode);
+        ref.forceReference = true;
+        sb.setBackend(IssBackend::Superblock);
+        for (Machine *m : {&ref, &sb}) {
+            m->loadProgram(p.words, 0);
+            seed(*m, 2);
+            // Room for the call's return address plus three pushes.
+            m->setSp(Machine::sramBase + 4);
+            m->call(0);
+        }
+        if (!sameState(ref, sb))
+            explainState(ref, sb, "reference", "superblock");
+        EXPECT_EQ(sb.trap().kind, TrapKind::StackOverflow);
+    }
+}
+
+TEST(Superblock, TrapMidTraceIllegalAndFlashOob)
+{
+    // Find a reserved (non-erased) encoding for the illegal case.
+    uint16_t illegal = 0;
+    for (uint32_t w = 1; w <= 0xfffe; w++) {
+        if (decode(static_cast<uint16_t>(w), 0).op == Op::INVALID) {
+            illegal = static_cast<uint16_t>(w);
+            break;
+        }
+    }
+    ASSERT_NE(illegal, 0) << "no reserved encoding found";
+
+    Program head = assemble("add r0, r1\nadc r2, r3\n", "head");
+    for (CpuMode mode : {CpuMode::CA, CpuMode::FAST, CpuMode::ISE}) {
+        // Illegal opcode mid-trace (EXIT_TRAP discriminates at run
+        // time on the flash word).
+        Program ill = head;
+        ill.words.push_back(illegal);
+        expectThreeWayEquivalence(ill, mode);
+        Machine m1(mode);
+        m1.loadProgram(ill.words, 0);
+        seed(m1, 3);
+        EXPECT_EQ(m1.call(0).trap.kind, TrapKind::IllegalOpcode);
+        EXPECT_EQ(m1.trap().pc, 2u);
+
+        // Straight line off the end of the program into erased flash.
+        expectThreeWayEquivalence(head, mode);
+        Machine m2(mode);
+        m2.loadProgram(head.words, 0);
+        seed(m2, 4);
+        EXPECT_EQ(m2.call(0).trap.kind, TrapKind::FlashOutOfBounds);
+        EXPECT_EQ(m2.trap().pc, 2u);
+    }
+}
+
+/*
+ * Budget side exit: superblock delegates budget-critical passes to
+ * the fast path, which must land the CycleBudget trap on exactly the
+ * same instruction boundary as the reference (>= semantics), even
+ * when the budget expires mid-trace.
+ */
+TEST(Superblock, CycleBudgetMidTraceMatchesReference)
+{
+    std::string src = "start:\n";
+    for (int i = 0; i < 23; i++)
+        src += csprintf("add r%d, r%d\n", i % 20, (i + 1) % 20);
+    src += "rjmp start\n";
+    Program p = assemble(src, "spin");
+    for (CpuMode mode : {CpuMode::CA, CpuMode::FAST, CpuMode::ISE}) {
+        // Budgets around one, several, and mid-pass multiples of the
+        // trace length (23 adds + rjmp = 25 cycles per iteration).
+        for (uint64_t budget : {1ull, 7ull, 24ull, 25ull, 26ull,
+                                250ull, 261ull, 1000ull}) {
+            Machine ref(mode), sb(mode);
+            ref.forceReference = true;
+            sb.setBackend(IssBackend::Superblock);
+            for (Machine *m : {&ref, &sb}) {
+                m->loadProgram(p.words, 0);
+                seed(*m, static_cast<uint32_t>(budget));
+                m->setPc(0);
+                RunResult r = m->run(budget);
+                EXPECT_EQ(r.trap.kind, TrapKind::CycleBudget);
+                // A multi-cycle instruction may straddle the budget
+                // (>= stop semantics); both paths must overshoot by
+                // the same amount, which sameState() pins below.
+                EXPECT_GE(r.cycles, budget);
+            }
+            if (!sameState(ref, sb))
+                explainState(ref, sb, "reference", "superblock");
+        }
+    }
+}
+
+/*
+ * MACCR side exit: an OUT/ST that enables the MAC unit mid-trace
+ * retires in the superblock, then the rest of the run executes on
+ * the fast path with the full hazard machinery — Algorithm 2 load-mac
+ * triggers, shadow micro-ops and stall accounting must be identical
+ * to the reference. In non-ISE modes the same store is inert and the
+ * trace keeps running.
+ */
+TEST(Superblock, MaccrStoreSideExitsMidTrace)
+{
+    std::string src;
+    src += "ldi r26, 0x00\nldi r27, 0x02\n";  // X = 0x0200
+    src += "ldi r16, 0x42\nst X, r16\n";
+    src += csprintf("ldi r17, %u\n",
+                    static_cast<unsigned>(MacUnit::ctrlLoadMode));
+    src += "out 0x3c, r17\n";   // enable MAC load mode (MACCR)
+    src += "ld r24, X+\n";      // Algorithm 2 trigger (r24 load)
+    src += "nop\nnop\nnop\n";   // shadow drain window
+    src += "add r0, r1\n";
+    src += "ldi r18, 0\nout 0x3c, r18\n";  // disable again
+    src += "eor r2, r3\n";
+    src += "ret\n";
+    Program p = assemble(src, "maccr");
+    for (CpuMode mode : {CpuMode::CA, CpuMode::FAST, CpuMode::ISE})
+        expectThreeWayEquivalence(p, mode);
+}
+
+/** The full MAC-ISE multiplication kernel, superblock vs reference. */
+TEST(Superblock, Secp160MulIseMatchesReference)
+{
+    Rng rng(0x5ec9);
+    std::vector<uint32_t> a(5), b(5);
+    for (auto *v : {&a, &b}) {
+        for (auto &word : *v)
+            word = rng.next32();
+        (*v)[4] &= 0x7fffffff;
+    }
+    Secp160AvrLibrary lib(CpuMode::ISE);
+    lib.machine().setBackend(IssBackend::Superblock);
+    lib.machine().forceReference = false;
+    OpfRun s = lib.mulIse(a, b);
+    lib.machine().forceReference = true;
+    OpfRun r = lib.mulIse(a, b);
+    EXPECT_EQ(s.result, r.result);
+    EXPECT_EQ(s.cycles, r.cycles);
+    EXPECT_EQ(s.instructions, r.instructions);
+}
+
+/*
+ * Self-modifying flash through the GDB `M`/`X` packet path
+ * (DebugTarget::writeMemory -> corruptFlashWord): a cached trace of
+ * the pre-patch program must be dropped, and the patched instruction
+ * must execute as patched on the very next run.
+ */
+TEST(Superblock, GdbFlashPatchInvalidatesTraces)
+{
+    Program p1 = assemble("ldi r24, 1\nldi r25, 3\nret", "p1");
+    Program p2 = assemble("ldi r24, 2\nldi r25, 3\nret", "p2");
+    ASSERT_EQ(p1.words.size(), p2.words.size());
+
+    Machine m(CpuMode::CA);
+    m.setBackend(IssBackend::Superblock);
+    m.loadProgram(p1.words, 0);
+    ASSERT_TRUE(m.call(0).ok());
+    EXPECT_EQ(m.reg(24), 1);
+
+    // Patch word 0 through the gdb flash address space (byte 0..1,
+    // little endian). The target is attached but passive, so runs
+    // keep using the superblock backend.
+    DebugTarget target(m);
+    EXPECT_FALSE(target.wantsStops());
+    ASSERT_TRUE(target.writeMemory(
+        0, {static_cast<uint8_t>(p2.words[0] & 0xff),
+            static_cast<uint8_t>(p2.words[0] >> 8)}));
+
+    ASSERT_TRUE(m.call(0).ok());
+    EXPECT_EQ(m.reg(24), 2)
+        << "stale superblock trace executed after a flash patch";
+    EXPECT_EQ(m.reg(25), 3);
+}
+
+/** loadProgram() equally drops stale traces (non-debug path). */
+TEST(Superblock, LoadProgramInvalidatesTraces)
+{
+    Program p1 = assemble("ldi r20, 7\nret", "p1");
+    Program p2 = assemble("ldi r20, 9\nret", "p2");
+    Machine m(CpuMode::FAST);
+    m.setBackend(IssBackend::Superblock);
+    m.loadProgram(p1.words, 0);
+    ASSERT_TRUE(m.call(0).ok());
+    EXPECT_EQ(m.reg(20), 7);
+    m.loadProgram(p2.words, 0);
+    ASSERT_TRUE(m.call(0).ok());
+    EXPECT_EQ(m.reg(20), 9);
+}
+
+/** JAAVR_ISS_BACKEND selects the construction-time backend. */
+TEST(Superblock, BackendEnvironmentSelection)
+{
+    unsetenv("JAAVR_ISS_REFERENCE");
+    setenv("JAAVR_ISS_BACKEND", "reference", 1);
+    EXPECT_EQ(Machine(CpuMode::CA).backend(), IssBackend::Reference);
+    setenv("JAAVR_ISS_BACKEND", "fast", 1);
+    EXPECT_EQ(Machine(CpuMode::CA).backend(), IssBackend::Fast);
+    setenv("JAAVR_ISS_BACKEND", "superblock", 1);
+    EXPECT_EQ(Machine(CpuMode::CA).backend(), IssBackend::Superblock);
+    // Unknown values warn and keep the default.
+    setenv("JAAVR_ISS_BACKEND", "warp-drive", 1);
+    EXPECT_EQ(Machine(CpuMode::CA).backend(), IssBackend::Superblock);
+    unsetenv("JAAVR_ISS_BACKEND");
+    EXPECT_EQ(Machine(CpuMode::CA).backend(), IssBackend::Superblock);
+
+    // Name round-trip used by benches and tools.
+    EXPECT_STREQ(issBackendName(IssBackend::Reference), "reference");
+    EXPECT_STREQ(issBackendName(IssBackend::Fast), "fast");
+    EXPECT_STREQ(issBackendName(IssBackend::Superblock), "superblock");
+}
+
+/*
+ * Decode canonicalization satellite: over the whole 16-bit word
+ * space, synonymOf() classifies exactly the rd==rr forms of
+ * ADD/ADC/AND/EOR as LSL/ROL/TST/CLR (and nothing else), the
+ * assembler folds the alias mnemonics onto the same encodings, and
+ * the disassembler prints the idiomatic alias. Behavioral
+ * equivalence of the specialized superblock handlers is covered by
+ * AllOpcodeWordsMatchReferenceAllModes above.
+ */
+TEST(Superblock, SynonymClassificationExhaustive)
+{
+    unsigned counts[5] = {};
+    for (uint32_t w = 0; w <= 0xffff; w++) {
+        Inst i = decode(static_cast<uint16_t>(w), 0x1234);
+        Synonym s = synonymOf(i);
+        Synonym expect = Synonym::None;
+        if (i.rd == i.rr) {
+            switch (i.op) {
+              case Op::ADD: expect = Synonym::LSL; break;
+              case Op::ADC: expect = Synonym::ROL; break;
+              case Op::AND: expect = Synonym::TST; break;
+              case Op::EOR: expect = Synonym::CLR; break;
+              default: break;
+            }
+        }
+        ASSERT_EQ(s, expect) << "word 0x" << std::hex << w;
+        counts[static_cast<size_t>(s)]++;
+    }
+    // 32 registers per synonym class, each a unique encoding.
+    for (Synonym s : {Synonym::LSL, Synonym::ROL, Synonym::TST,
+                      Synonym::CLR})
+        EXPECT_EQ(counts[static_cast<size_t>(s)], 32u);
+
+    for (unsigned rd : {0u, 7u, 16u, 31u}) {
+        EXPECT_EQ(assemble(csprintf("lsl r%u", rd), "a").words,
+                  assemble(csprintf("add r%u, r%u", rd, rd), "b").words);
+        EXPECT_EQ(assemble(csprintf("rol r%u", rd), "a").words,
+                  assemble(csprintf("adc r%u, r%u", rd, rd), "b").words);
+        EXPECT_EQ(assemble(csprintf("tst r%u", rd), "a").words,
+                  assemble(csprintf("and r%u, r%u", rd, rd), "b").words);
+        EXPECT_EQ(assemble(csprintf("clr r%u", rd), "a").words,
+                  assemble(csprintf("eor r%u, r%u", rd, rd), "b").words);
+
+        uint16_t add_w = assemble(csprintf("add r%u, r%u", rd, rd),
+                                  "w").words[0];
+        EXPECT_EQ(disassemble(decode(add_w, 0)),
+                  csprintf("lsl r%u", rd));
+    }
+
+    // The decode cache carries the classification for the backend.
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble("lsl r9\nadd r9, r8\n", "dc").words, 0);
+    EXPECT_EQ(m.decoded(0).synonym, Synonym::LSL);
+    EXPECT_EQ(m.decoded(1).synonym, Synonym::None);
+}
+
+/*
+ * Call/return stitching: RCALL/CALL continue translation into the
+ * callee and RET side-exits through the pushed return address;
+ * nested calls and an ICALL through Z must behave identically on all
+ * backends, cycles included.
+ */
+TEST(Superblock, CallStitchingAndIndirectControlFlow)
+{
+    std::string src;
+    src += "rcall f1\n";
+    src += "call f2\n";
+    src += "ldi r30, lo8(f1)\nldi r31, hi8(f1)\n";
+    src += "icall\n";
+    src += "ijmp_done:\nret\n";
+    src += "f1:\ninc r20\nrcall f2\nret\n";
+    src += "f2:\ninc r21\nret\n";
+    Program p = assemble(src, "calls");
+    for (CpuMode mode : {CpuMode::CA, CpuMode::FAST, CpuMode::ISE})
+        expectThreeWayEquivalence(p, mode);
+}

@@ -42,6 +42,11 @@ usage(const char *argv0)
                  "(default 3333, 0 = ephemeral)\n"
                  "  --mode ca|fast|ise  CPU timing/ISE mode "
                  "(default ise)\n"
+                 "  --backend reference|fast|superblock\n"
+                 "                    ISS execution backend for free "
+                 "running\n"
+                 "                    (default: JAAVR_ISS_BACKEND or "
+                 "superblock)\n"
                  "  --image opf160|opf192|opf256\n"
                  "                    built-in OPF routine image "
                  "(default opf160)\n"
@@ -57,6 +62,20 @@ usage(const char *argv0)
                  "  --slice N         ISS cycles per continue slice "
                  "(default 200000)\n",
                  argv0);
+}
+
+bool
+parseBackend(const std::string &s, IssBackend &out)
+{
+    if (s == "reference")
+        out = IssBackend::Reference;
+    else if (s == "fast")
+        out = IssBackend::Fast;
+    else if (s == "superblock")
+        out = IssBackend::Superblock;
+    else
+        return false;
+    return true;
 }
 
 bool
@@ -102,6 +121,8 @@ main(int argc, char **argv)
 {
     uint16_t port = 3333;
     CpuMode mode = CpuMode::ISE;
+    bool backendSet = false;
+    IssBackend backend = IssBackend::Superblock;
     std::string image = "opf160";
     std::string loadFile, exportFile, logPath, vcdPath;
     long entry = -1;
@@ -124,6 +145,13 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "unknown mode (ca|fast|ise)\n");
                 return 2;
             }
+        } else if (arg == "--backend") {
+            if (!parseBackend(next(), backend)) {
+                std::fprintf(stderr, "unknown backend "
+                             "(reference|fast|superblock)\n");
+                return 2;
+            }
+            backendSet = true;
         } else if (arg == "--image") {
             image = next();
         } else if (arg == "--load") {
@@ -204,6 +232,14 @@ main(int argc, char **argv)
                     image.c_str(), 32 * (prime.k / 32 + 1),
                     cpuModeName(mode), lib->romBytes());
     }
+
+    // The flag overrides the environment's JAAVR_ISS_BACKEND pick
+    // (already applied at machine construction). With stops armed the
+    // server falls back to the debug-hooked loops regardless; the
+    // backend governs free-running continues.
+    if (backendSet)
+        m->setBackend(backend);
+    std::printf("ISS backend: %s\n", issBackendName(m->backend()));
 
     if (!exportFile.empty()) {
         std::ofstream out(exportFile, std::ios::binary);

@@ -8,8 +8,12 @@
  *    per tracked workload. Every *string* field except "metric" is a
  *    match field; a bench line matches when all of them are equal.
  *    Reserved numeric fields: "baseline" (the checked-in cycle
- *    count), optional "paper" (the paper-pinned target) and
- *    "paper_pinned" (nonzero: the workload gates the build).
+ *    count), optional "paper" (the paper-pinned target),
+ *    "paper_pinned" (nonzero: the workload gates the build),
+ *    "higher_is_better" (nonzero: the metric is a throughput-style
+ *    value — e.g. speedup_vs_reference — so a DROP is the
+ *    regression) and "threshold_pct" (per-entry override of the
+ *    global --threshold).
  *  - one or more bench JSON-lines files; every line must parse as a
  *    flat JSON object (the same validation CI applies with
  *    `python3 -m json.tool --json-lines`). The *last* matching line
@@ -243,6 +247,9 @@ main(int argc, char **argv)
         }
         double paper = numField(base, "paper", -1);
         bool pinned = numField(base, "paper_pinned", 0) != 0;
+        bool higher = numField(base, "higher_is_better", 0) != 0;
+        double threshold =
+            numField(base, "threshold_pct", opt.thresholdPct);
 
         // Last matching line that carries the metric wins.
         const JsonObject *hit = nullptr;
@@ -274,6 +281,8 @@ main(int argc, char **argv)
         if (paper >= 0)
             out.num("paper", paper);
         out.num("paper_pinned", uint64_t(pinned ? 1 : 0));
+        if (higher)
+            out.num("higher_is_better", uint64_t(1));
 
         std::string status;
         double measured = -1, delta_pct = 0;
@@ -285,10 +294,14 @@ main(int argc, char **argv)
             delta_pct = baseline > 0
                             ? (measured - baseline) / baseline * 100.0
                             : 0.0;
-            if (delta_pct > opt.thresholdPct) {
+            // For cycle-style metrics growth is the regression; for
+            // throughput-style metrics (higher_is_better) shrinkage is.
+            double adverse_pct = higher ? -delta_pct : delta_pct;
+            if (adverse_pct > threshold) {
                 status = "regression";
                 regressions++;
-            } else if (measured < baseline) {
+            } else if (higher ? measured > baseline
+                              : measured < baseline) {
                 status = "improved";
                 improved++;
             } else {
@@ -314,7 +327,7 @@ main(int argc, char **argv)
                          benchName.c_str(), workload.c_str(),
                          status.c_str(), fmtNum(baseline).c_str(),
                          hit ? fmtNum(measured).c_str() : "n/a",
-                         opt.thresholdPct);
+                         threshold);
         }
     }
 
