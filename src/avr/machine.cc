@@ -1027,13 +1027,21 @@ Machine::runReference(uint64_t max_cycles)
     uint64_t start = execStats.cycles;
     // Sampled once at entry, mirroring DebugHook::wantsStops() in
     // run(): a sink that activates mid-run records from the next run.
+    // Both observer slots (waveform and leakage) fire identically.
     WaveSink *const wave =
         (waveSnk && waveSnk->active()) ? waveSnk : nullptr;
+    WaveSink *const leak =
+        (leakSnk && leakSnk->active()) ? leakSnk : nullptr;
+    auto fire_trap = [&]() {
+        if (wave)
+            wave->onTrap(*this, pendingTrap);
+        if (leak)
+            leak->onTrap(*this, pendingTrap);
+    };
     while (pcWord != exitAddress) {
         if (dbgHook && dbgHook->onBoundary(pcWord, execStats.cycles)) {
             pendingTrap = Trap{TrapKind::DebugBreak, pcWord, 0};
-            if (wave)
-                wave->onTrap(*this, pendingTrap);
+            fire_trap();
             return;
         }
         if (faultInj && faultInj->checkFire(pcWord, execStats.cycles)) {
@@ -1043,17 +1051,18 @@ Machine::runReference(uint64_t max_cycles)
         uint32_t pc0 = pcWord;
         unsigned cycles = step();
         if (pendingTrap) {
-            if (wave)
-                wave->onTrap(*this, pendingTrap);
+            fire_trap();
             return;
         }
         if (wave)
             wave->onStep(*this, pc0,
                          decodeCache[pc0 & (flashWords - 1)].inst, cycles);
+        if (leak)
+            leak->onStep(*this, pc0,
+                         decodeCache[pc0 & (flashWords - 1)].inst, cycles);
         if (execStats.cycles - start >= max_cycles) {
             pendingTrap = Trap{TrapKind::CycleBudget, pcWord, 0};
-            if (wave)
-                wave->onTrap(*this, pendingTrap);
+            fire_trap();
             return;
         }
     }
@@ -1808,10 +1817,12 @@ Machine::run(uint64_t max_cycles)
 {
     pendingTrap = Trap();
     uint64_t start = execStats.cycles;
-    // An active wave sink needs the machine's architectural state
-    // current after every retirement, which only the reference loop
-    // provides; idle sinks leave the fast path untouched (WaveSink).
-    if (trace || forceReference || (waveSnk && waveSnk->active())) {
+    // An active wave or leakage sink needs the machine's
+    // architectural state current after every retirement, which only
+    // the reference loop provides; idle sinks leave the fast path
+    // untouched (WaveSink).
+    if (trace || forceReference || (waveSnk && waveSnk->active()) ||
+        (leakSnk && leakSnk->active())) {
         runReference(max_cycles);
     } else {
         const bool prof = profSink != nullptr;
@@ -1882,13 +1893,25 @@ Machine::publishMetrics(MetricsRegistry &reg) const
     reg.counter("mac_triggers", {{"alg", "1"}}).inc(macUnit.alg1Macs());
     reg.counter("mac_triggers", {{"alg", "2"}}).inc(macUnit.alg2Macs());
     reg.counter("mac_ops_total").inc(macUnit.totalMacs());
+    // Per-op cycle distribution: each mnemonic contributes its mean
+    // cycles-per-retirement at its retirement weight (the retired
+    // statistics are aggregates, so the per-op mean is the available
+    // resolution). The p50/p99 gauges answer "what does a typical /
+    // tail retirement cost" without re-running under a profiler.
+    Histogram &cyc = reg.histogram("iss_cycles_per_inst",
+                                   {1, 2, 3, 4, 5, 8, 16, 32, 64});
     for (size_t i = 0; i < kNumOps; i++) {
         if (!execStats.opCount[i])
             continue;
         MetricLabels op_label{{"op", opName(static_cast<Op>(i))}};
         reg.counter("iss_op_retired", op_label).inc(execStats.opCount[i]);
         reg.counter("iss_op_cycles", op_label).inc(execStats.opCycles[i]);
+        cyc.observe(double(execStats.opCycles[i]) /
+                        double(execStats.opCount[i]),
+                    execStats.opCount[i]);
     }
+    reg.gauge("iss_cycles_per_inst_p50").set(cyc.percentile(50));
+    reg.gauge("iss_cycles_per_inst_p99").set(cyc.percentile(99));
     reg.gauge("iss_pc").set(pcWord);
     reg.gauge("iss_sp").set(sp());
 }

@@ -410,6 +410,19 @@ class Machine
     WaveSink *waveSink() const { return waveSnk; }
 
     /**
+     * Attach a leakage sink (nullptr detaches): a second,
+     * independent WaveSink slot used by the side-channel subsystem
+     * (src/avr/leakage.hh), so a power tracer and a VCD writer can
+     * observe the same run. Identical contract to setWaveSink():
+     * active() is sampled at run() entry, an active sink routes
+     * through the reference loop, an idle one costs exactly zero
+     * cycles on every fast-path/superblock instantiation (pinned by
+     * tests/test_leakage.cc).
+     */
+    void setLeakSink(WaveSink *sink) { leakSnk = sink; }
+    WaveSink *leakSink() const { return leakSnk; }
+
+    /**
      * Publish execution telemetry into @p reg: instruction/cycle/
      * stall counters, per-TrapKind trap counters, MAC trigger counts
      * by algorithm, per-mnemonic retirement counters (nonzero only)
@@ -543,6 +556,7 @@ class Machine
     FaultInjector *faultInj = nullptr;
     DebugHook *dbgHook = nullptr;
     WaveSink *waveSnk = nullptr;
+    WaveSink *leakSnk = nullptr;
     Trap pendingTrap;
     uint16_t dataLimitV = 0x10ff; ///< top of ATmega128 internal SRAM
     uint16_t stackGuardV = sramBase;

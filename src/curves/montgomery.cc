@@ -90,13 +90,20 @@ MontgomeryCurve::xzDiffAdd(const XzPoint &p, const XzPoint &q,
 }
 
 std::optional<BigUInt>
-MontgomeryCurve::ladder(const BigUInt &k, const BigUInt &x) const
+MontgomeryCurve::ladder(const BigUInt &k, const BigUInt &x,
+                        const BigUInt *blind) const
 {
     if (k.isZero())
         return std::nullopt;  // infinity
 
-    // R0 = P (affine), R1 = 2P; invariant R1 - R0 = P.
+    // R0 = P (affine), R1 = 2P; invariant R1 - R0 = P. With a blind,
+    // R0 starts as the equivalent randomized projective point
+    // (x * lambda : lambda); xzDbl/xzDiffAdd preserve the class.
     XzPoint r0{x, BigUInt(1)};
+    if (blind && !blind->isZero()) {
+        r0.x = f->mul(x, *blind);
+        r0.z = *blind;
+    }
     XzPoint r1 = xzDbl(r0);
 
     for (size_t i = k.bitLength() - 1; i-- > 0;) {

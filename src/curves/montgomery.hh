@@ -56,8 +56,18 @@ class MontgomeryCurve
      * x-only Montgomery ladder: returns the x-coordinate of k*P given
      * the x-coordinate of P. Returns nullopt when k*P is the point at
      * infinity (Z ends at 0).
+     *
+     * When @p blind is given (nonzero), the working point starts in
+     * randomized projective coordinates (X, Z) = (x * blind, blind)
+     * instead of (x, 1) — Coron's third countermeasure. The ladder
+     * step is projectively invariant, so the final X/Z division
+     * cancels the factor and the result is unchanged, but every
+     * intermediate value is multiplied by a fresh random mask, which
+     * is what defeats first-order CPA on the intermediates
+     * (bench_sidechannel measures exactly this).
      */
-    std::optional<BigUInt> ladder(const BigUInt &k, const BigUInt &x) const;
+    std::optional<BigUInt> ladder(const BigUInt &k, const BigUInt &x,
+                                  const BigUInt *blind = nullptr) const;
 
     /** XZ doubling: 2M + 2S + 1 mulSmall. */
     XzPoint xzDbl(const XzPoint &p) const;

@@ -134,7 +134,7 @@ hardenedMulEdwards(const EdwardsCurve &c, const BigUInt &k,
 
 HardenedMul
 hardenedMulMontgomery(const MontgomeryCurve &c, const BigUInt &k,
-                      const BigUInt &x, const BigUInt &n)
+                      const BigUInt &x, const BigUInt &n, Rng *rng)
 {
     if (!validScalar(k, n))
         return fail("invalid scalar");
@@ -142,10 +142,22 @@ hardenedMulMontgomery(const MontgomeryCurve &c, const BigUInt &k,
         return fail("invalid input point");
     // Duplicate-image redundancy: the second pass starts from its own
     // copies of k and x, so a fault in one image diverges the passes.
+    // With an rng, each pass also gets an independent projective
+    // blind, so even the shared intermediates differ between passes.
     BigUInt k2 = k;
     BigUInt x2 = x;
-    std::optional<BigUInt> primary = c.ladder(k, x);
-    std::optional<BigUInt> redo = c.ladder(k2, x2);
+    const PrimeField &f = c.field();
+    BigUInt b1, b2;
+    if (rng) {
+        do
+            b1 = f.random(*rng);
+        while (b1.isZero());
+        do
+            b2 = f.random(*rng);
+        while (b2.isZero());
+    }
+    std::optional<BigUInt> primary = c.ladder(k, x, rng ? &b1 : nullptr);
+    std::optional<BigUInt> redo = c.ladder(k2, x2, rng ? &b2 : nullptr);
     if (primary.has_value() != redo.has_value() ||
         (primary && *primary != *redo))
         return fail("recomputation mismatch");

@@ -97,10 +97,17 @@ HardenedMul hardenedMulEdwards(const EdwardsCurve &c, const BigUInt &k,
  * from an independent copy of the inputs (duplicate-image
  * redundancy, matching the campaign's fault model of one corrupted
  * image).
+ *
+ * When @p rng is given, each ladder pass additionally runs in
+ * randomized projective coordinates with its own fresh nonzero blind
+ * (Coron's countermeasure; see MontgomeryCurve::ladder). The result
+ * is unchanged — the blinds cancel in the final X/Z division — but
+ * first-order DPA/CPA on the intermediates no longer correlates
+ * with any fixed-key hypothesis, which bench_sidechannel verifies.
  */
 HardenedMul hardenedMulMontgomery(const MontgomeryCurve &c,
                                   const BigUInt &k, const BigUInt &x,
-                                  const BigUInt &n);
+                                  const BigUInt &n, Rng *rng = nullptr);
 
 } // namespace jaavr
 

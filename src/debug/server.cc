@@ -4,6 +4,7 @@
 
 #include <unistd.h>
 
+#include "avr/leakage.hh"
 #include "support/hex.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
@@ -258,9 +259,27 @@ GdbServer::handleMonitor(const std::string &cmd)
                "  profile  per-routine cycle attribution\n"
                "  stats    ISS execution statistics\n"
                "  metrics  telemetry snapshot (counters/gauges)\n"
+               "  leakage  leakage-trace recorder status\n"
                "  reset    clear statistics and profile\n"
                "  trap     describe the last machine trap\n"
                "  symbols  list known symbols\n";
+    }
+    if (cmd == "leakage") {
+        if (!leakTracer)
+            return "no leakage tracer attached (run jaavr-gdb with "
+                   "--leak-trace FILE)\n";
+        std::string out = csprintf(
+            "leakage tracer: %s, model %s\n"
+            "  %zu samples over %llu cycles, %zu markers\n",
+            leakTracer->active() ? "recording" : "idle",
+            leakTracer->model().describe().c_str(),
+            leakTracer->samples().size(),
+            static_cast<unsigned long long>(leakTracer->time()),
+            leakTracer->markers().size());
+        for (const auto &[label, idx] : leakTracer->markers())
+            out += csprintf("  marker %-24s @ sample %zu\n",
+                            label.c_str(), idx);
+        return out;
     }
     if (cmd == "profile") {
         if (!profiler)

@@ -33,6 +33,8 @@
 namespace jaavr
 {
 
+class LeakTracer;
+
 class GdbServer
 {
   public:
@@ -40,6 +42,9 @@ class GdbServer
 
     /** Attach the profiler behind `monitor profile` (not owned). */
     void setProfiler(CallGraphProfiler *p) { profiler = p; }
+
+    /** Attach a leakage tracer behind `monitor leakage` (not owned). */
+    void setLeakTracer(LeakTracer *t) { leakTracer = t; }
 
     /** Symbols for `monitor symbols` and trap locations. */
     void setSymbols(SymbolTable syms) { symbols = std::move(syms); }
@@ -89,6 +94,7 @@ class GdbServer
     DebugTransport &transport;
     RspDecoder decoder;
     CallGraphProfiler *profiler = nullptr;
+    LeakTracer *leakTracer = nullptr;
     SymbolTable symbols;
     std::FILE *logFile = nullptr;
     uint64_t sliceCycles = 200000;

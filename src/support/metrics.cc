@@ -27,6 +27,33 @@ Histogram::observe(double v, uint64_t weight)
     sumV += v * double(weight);
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (total == 0 || ub.empty())
+        return 0;
+    if (p < 0)
+        p = 0;
+    if (p > 100)
+        p = 100;
+    double rank = p / 100.0 * double(total);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < ub.size(); i++) {
+        uint64_t n = counts[i];
+        if (n && double(seen + n) >= rank) {
+            double lo = i ? ub[i - 1] : 0.0;
+            double frac = n ? (rank - double(seen)) / double(n) : 1.0;
+            if (frac < 0)
+                frac = 0;
+            return lo + frac * (ub[i] - lo);
+        }
+        seen += n;
+    }
+    // Rank fell into the +inf overflow bucket: clamp to the largest
+    // finite bound (the histogram cannot resolve beyond it).
+    return ub.back();
+}
+
 std::string
 MetricsRegistry::labelKey(const MetricLabels &labels)
 {

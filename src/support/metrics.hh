@@ -82,6 +82,16 @@ class Histogram
     /** Observations in bucket @p i (ub.size() == overflow bucket). */
     uint64_t bucketCount(size_t i) const { return counts[i]; }
 
+    /**
+     * Bucket-interpolated percentile estimate for @p p in [0, 100]:
+     * the value below which p percent of the observations fall,
+     * linearly interpolated inside the bucket that crosses the rank
+     * (Prometheus histogram_quantile semantics). Observations in the
+     * overflow bucket clamp to the largest finite bound; an empty
+     * histogram returns 0.
+     */
+    double percentile(double p) const;
+
   private:
     std::vector<double> ub;       ///< ascending upper bounds
     std::vector<uint64_t> counts; ///< ub.size() + 1 (overflow last)

@@ -72,6 +72,29 @@ TEST(Metrics, HistogramBucketBoundaries)
     EXPECT_DOUBLE_EQ(again.bounds()[1], 10);
 }
 
+TEST(Metrics, HistogramPercentileInterpolatesInsideBuckets)
+{
+    Histogram h({10, 20});
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0); // empty histogram
+
+    h.observe(5, 10);  // 10 observations <= 10
+    h.observe(15, 10); // 10 observations in (10, 20]
+    // Ranks interpolate linearly inside the crossing bucket
+    // (histogram_quantile semantics: bucket [0,10] spans ranks 0..10).
+    EXPECT_DOUBLE_EQ(h.percentile(25), 5);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 10);
+    EXPECT_DOUBLE_EQ(h.percentile(75), 15);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 20);
+    // Out-of-range p clamps.
+    EXPECT_DOUBLE_EQ(h.percentile(-5), h.percentile(0));
+    EXPECT_DOUBLE_EQ(h.percentile(250), 20);
+
+    // Overflow observations clamp to the largest finite bound: the
+    // histogram cannot resolve beyond its buckets.
+    h.observe(9999, 80);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 20);
+}
+
 TEST(Metrics, TextSnapshotIsDeterministicallyOrdered)
 {
     MetricsRegistry reg;

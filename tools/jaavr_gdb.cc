@@ -21,6 +21,7 @@
 #include <string>
 
 #include "avr/profiler.hh"
+#include "avr/leakage.hh"
 #include "avr/vcd.hh"
 #include "avrgen/opf_harness.hh"
 #include "debug/server.hh"
@@ -59,6 +60,12 @@ usage(const char *argv0)
                  "  --log FILE        mirror the RSP session to FILE\n"
                  "  --vcd FILE        dump a cycle-accurate VCD "
                  "waveform of the session\n"
+                 "  --leak-trace FILE record a synthesized power "
+                 "trace of the session\n"
+                 "                    (.npy suffix: NumPy vector, "
+                 "else CSV; marker metadata\n"
+                 "                    goes to FILE.meta.json; "
+                 "`monitor leakage` shows status)\n"
                  "  --slice N         ISS cycles per continue slice "
                  "(default 200000)\n",
                  argv0);
@@ -124,7 +131,7 @@ main(int argc, char **argv)
     bool backendSet = false;
     IssBackend backend = IssBackend::Superblock;
     std::string image = "opf160";
-    std::string loadFile, exportFile, logPath, vcdPath;
+    std::string loadFile, exportFile, logPath, vcdPath, leakPath;
     long entry = -1;
     uint64_t slice = 200000;
 
@@ -164,6 +171,8 @@ main(int argc, char **argv)
             logPath = next();
         } else if (arg == "--vcd") {
             vcdPath = next();
+        } else if (arg == "--leak-trace") {
+            leakPath = next();
         } else if (arg == "--slice") {
             slice = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--help" || arg == "-h") {
@@ -277,10 +286,20 @@ main(int argc, char **argv)
         std::printf("dumping VCD waveform to %s\n", vcdPath.c_str());
     }
 
+    LeakTracer leak;
+    if (!leakPath.empty()) {
+        m->setLeakSink(&leak);
+        leak.begin(*m);
+        std::printf("recording leakage trace for %s (model %s)\n",
+                    leakPath.c_str(), leak.model().describe().c_str());
+    }
+
     CallGraphProfiler profiler(*m, symbols);
     GdbServer server(target, tcp);
     server.setSymbols(symbols);
     server.setProfiler(&profiler);
+    if (!leakPath.empty())
+        server.setLeakTracer(&leak);
     server.setSliceCycles(slice);
     std::FILE *log = nullptr;
     if (!logPath.empty()) {
@@ -292,6 +311,23 @@ main(int argc, char **argv)
         server.setLog(log);
     }
     server.serve();
+    if (!leakPath.empty()) {
+        leak.end();
+        bool npy = leakPath.size() > 4 &&
+                   leakPath.compare(leakPath.size() - 4, 4, ".npy") ==
+                       0;
+        bool ok = npy ? leak.writeNpy(leakPath)
+                      : leak.writeCsv(leakPath);
+        JsonLine stamp;
+        stamp.str("tool", "jaavr-gdb").str("trace", leakPath);
+        ok = leak.writeMeta(leakPath + ".meta.json", stamp) && ok;
+        if (!ok)
+            std::fprintf(stderr, "cannot write %s\n", leakPath.c_str());
+        std::printf("leakage: %zu samples over %llu cycles -> %s\n",
+                    leak.samples().size(),
+                    static_cast<unsigned long long>(leak.time()),
+                    leakPath.c_str());
+    }
     if (vcd.active()) {
         std::printf("VCD: %llu instructions over %llu cycles -> %s\n",
                     static_cast<unsigned long long>(vcd.samples()),
