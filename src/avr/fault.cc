@@ -2,6 +2,7 @@
 
 #include "avr/machine.hh"
 #include "support/logging.hh"
+#include "support/random.hh"
 
 namespace jaavr
 {
@@ -58,26 +59,51 @@ FaultPlan::describe() const
 void
 FaultInjector::arm(const FaultPlan &plan, uint64_t now_cycles)
 {
-    planV = plan;
     firedCycle = 0;
     firedPc = 0;
-    if (plan.atEntry) {
-        state = State::WaitEntry;
-        fireAt = 0;
-    } else {
-        state = State::Armed;
-        fireAt = now_cycles + plan.triggerCycle;
+    firedN = 0;
+    queue.clear();
+    nextIdx = 0;
+    corruptions.clear();
+    armPlan(plan, now_cycles);
+}
+
+void
+FaultInjector::armSchedule(const std::vector<FaultPlan> &plans,
+                           uint64_t now_cycles)
+{
+    if (plans.empty()) {
+        disarm();
+        return;
     }
+    arm(plans.front(), now_cycles);
+    queue = plans;
+    nextIdx = 1;
 }
 
 void
 FaultInjector::revertFlash(Machine &m) const
 {
-    if (state != State::Fired || planV.target != FaultTarget::OpcodeCorrupt)
-        return;
-    uint32_t addr =
-        planV.flashAddr == FaultPlan::kCurrentPc ? firedPc : planV.flashAddr;
-    m.corruptFlashWord(addr, planV.mask);
+    for (const auto &[addr, mask] : corruptions)
+        m.corruptFlashWord(addr, mask);
+}
+
+std::vector<FaultPlan>
+burstPlans(const FaultPlan &base, size_t count, uint64_t gap_cycles,
+           uint64_t jitter, Rng &rng)
+{
+    std::vector<FaultPlan> plans;
+    plans.reserve(count);
+    for (size_t i = 0; i < count; i++) {
+        FaultPlan p = base;
+        if (i > 0) {
+            p.atEntry = false;
+            p.triggerCycle =
+                gap_cycles + (jitter ? rng.below(jitter + 1) : 0);
+        }
+        plans.push_back(p);
+    }
+    return plans;
 }
 
 } // namespace jaavr

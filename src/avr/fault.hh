@@ -16,6 +16,15 @@
  * transient faults. Opcode corruption persists in flash like a real
  * program-memory fault; revertFlash() undoes it between campaign
  * trials.
+ *
+ * Beyond the classic single transient, armSchedule() queues a whole
+ * deterministic sequence of plans — each subsequent plan's trigger
+ * delay counts from the boundary at which the previous one fired —
+ * so campaigns can model burst upsets (N flips at seeded intervals)
+ * and the network chaos harness can corrupt several frames in one
+ * run. burstPlans() builds such a schedule from a base plan, a count
+ * and a seeded jittered gap. The single-shot arm() API and its
+ * fires-exactly-once semantics are unchanged.
  */
 
 #ifndef JAAVR_AVR_FAULT_HH
@@ -23,11 +32,14 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace jaavr
 {
 
 class Machine;
+class Rng;
 
 /** Architectural location a FaultPlan perturbs. */
 enum class FaultTarget : uint8_t
@@ -90,18 +102,42 @@ class FaultInjector
      */
     void arm(const FaultPlan &plan, uint64_t now_cycles = 0);
 
-    /** Cancel any armed plan without firing it. */
-    void disarm() { state = State::Idle; }
+    /**
+     * Arm a multi-shot schedule: plans fire in order, and each
+     * subsequent plan's trigger delay (or entry wait) starts at the
+     * boundary where its predecessor fired. An empty schedule is a
+     * disarm.
+     */
+    void armSchedule(const std::vector<FaultPlan> &plans,
+                     uint64_t now_cycles = 0);
 
-    /** True when a plan is armed and has not fired yet. */
-    bool pending() const
+    /** Cancel any armed plan and pending schedule without firing. */
+    void
+    disarm()
     {
-        return state == State::WaitEntry || state == State::Armed;
+        state = State::Idle;
+        queue.clear();
+        nextIdx = 0;
     }
 
-    /** True once the armed plan has fired. */
+    /** True while any plan (armed or still queued) has yet to fire. */
+    bool pending() const
+    {
+        return state == State::WaitEntry || state == State::Armed ||
+               (state == State::Fired && nextIdx < queue.size());
+    }
+
+    /** True once at least one plan has fired. */
     bool fired() const { return state == State::Fired; }
 
+    /** Number of plans that have fired since the last arm. */
+    uint64_t firedCount() const { return firedN; }
+
+    /**
+     * The plan most recently armed or fired. Immediately after
+     * checkFire() returns true this is the plan that just fired (the
+     * next queued plan, if any, is loaded at the following boundary).
+     */
     const FaultPlan &plan() const { return planV; }
 
     /** Boundary (cycle count / PC) at which the plan fired. */
@@ -116,6 +152,14 @@ class FaultInjector
     bool
     checkFire(uint32_t pc, uint64_t cycles)
     {
+        if (state == State::Fired) {
+            // Multi-shot: the previous plan fired at an earlier
+            // boundary; load the next queued plan now so plan()
+            // still named the firing plan when the caller applied it.
+            if (nextIdx >= queue.size())
+                return false;
+            armPlan(queue[nextIdx++], cycles);
+        }
         if (state == State::WaitEntry) {
             if (pc != planV.entryPc)
                 return false;
@@ -126,28 +170,65 @@ class FaultInjector
             state = State::Fired;
             firedCycle = cycles;
             firedPc = pc;
+            firedN++;
+            if (planV.target == FaultTarget::OpcodeCorrupt)
+                corruptions.emplace_back(
+                    planV.flashAddr == FaultPlan::kCurrentPc
+                        ? pc
+                        : planV.flashAddr,
+                    planV.mask);
             return true;
         }
         return false;
     }
 
     /**
-     * Undo a fired OpcodeCorrupt plan's flash mutation on @p m (XOR
-     * is involutive). No-op for other targets or unfired plans; call
-     * between campaign trials so a persistent flash fault from one
-     * trial cannot leak into the next.
+     * Undo every fired OpcodeCorrupt plan's flash mutation on @p m
+     * (XOR is involutive). No-op for other targets or unfired plans;
+     * call once between campaign trials so a persistent flash fault
+     * from one trial cannot leak into the next.
      */
     void revertFlash(Machine &m) const;
 
   private:
     enum class State : uint8_t { Idle, WaitEntry, Armed, Fired };
 
+    void
+    armPlan(const FaultPlan &plan, uint64_t now_cycles)
+    {
+        planV = plan;
+        if (plan.atEntry) {
+            state = State::WaitEntry;
+            fireAt = 0;
+        } else {
+            state = State::Armed;
+            fireAt = now_cycles + plan.triggerCycle;
+        }
+    }
+
     FaultPlan planV;
     State state = State::Idle;
     uint64_t fireAt = 0;
     uint64_t firedCycle = 0;
     uint32_t firedPc = 0;
+    uint64_t firedN = 0;
+    std::vector<FaultPlan> queue; ///< multi-shot schedule
+    size_t nextIdx = 0;           ///< next queue entry to arm
+    /** (word address, mask) of every fired flash corruption. */
+    std::vector<std::pair<uint32_t, uint16_t>> corruptions;
 };
+
+/**
+ * Build a deterministic burst schedule: @p count copies of @p base
+ * where the first fires after base.triggerCycle and each subsequent
+ * one fires @p gap_cycles (+ a seeded jitter in [0, @p jitter])
+ * after its predecessor. Entry-triggered bases keep their entry PC
+ * on the first shot only; later shots are plain delays, matching how
+ * real burst upsets cluster in time rather than on code location.
+ */
+std::vector<FaultPlan> burstPlans(const FaultPlan &base, size_t count,
+                                  uint64_t gap_cycles, uint64_t jitter,
+                                  Rng &rng);
 
 } // namespace jaavr
 

@@ -1,0 +1,146 @@
+#include "net/frame.hh"
+
+#include "support/crc32.hh"
+
+namespace jaavr::net
+{
+
+namespace
+{
+
+void
+put32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    return uint32_t(p[0]) | (uint32_t(p[1]) << 8) |
+           (uint32_t(p[2]) << 16) | (uint32_t(p[3]) << 24);
+}
+
+} // anonymous namespace
+
+const char *
+frameTypeName(FrameType t)
+{
+    switch (t) {
+      case FrameType::Hello: return "hello";
+      case FrameType::HelloAck: return "hello_ack";
+      case FrameType::Data: return "data";
+      case FrameType::Ack: return "ack";
+    }
+    return "?";
+}
+
+std::vector<uint8_t>
+encodeFrame(const Frame &f)
+{
+    size_t plen = f.payload.size();
+    if (plen > kFrameMaxPayload)
+        plen = kFrameMaxPayload;
+
+    std::vector<uint8_t> out;
+    out.reserve(kFrameHeaderSize + plen + kFrameCrcSize);
+    out.push_back(kFrameSync0);
+    out.push_back(kFrameSync1);
+    out.push_back(kFrameVersion);
+    out.push_back(static_cast<uint8_t>(f.type));
+    put32(out, f.session);
+    put32(out, f.seq);
+    put32(out, f.ack);
+    out.push_back(static_cast<uint8_t>(plen));
+    out.push_back(static_cast<uint8_t>(plen >> 8));
+    out.insert(out.end(), f.payload.begin(), f.payload.begin() + plen);
+    put32(out, crc32(out.data() + 2, out.size() - 2));
+    return out;
+}
+
+std::vector<FrameEvent>
+FrameDecoder::feed(const uint8_t *data, size_t len)
+{
+    buf.insert(buf.end(), data, data + len);
+    std::vector<FrameEvent> events;
+
+    size_t pos = 0;
+    for (;;) {
+        // Hunt for the sync word; everything skipped is garbage.
+        size_t sync = pos;
+        while (sync + 1 < buf.size() &&
+               !(buf[sync] == kFrameSync0 && buf[sync + 1] == kFrameSync1))
+            sync++;
+        st.garbageBytes += sync - pos;
+        pos = sync;
+        if (pos + 1 >= buf.size())
+            break; // no complete sync word buffered yet
+
+        if (buf.size() - pos < kFrameHeaderSize)
+            break; // header incomplete; wait for more bytes
+
+        const uint8_t *hdr = buf.data() + pos;
+        uint8_t version = hdr[2];
+        size_t plen = size_t(hdr[16]) | (size_t(hdr[17]) << 8);
+
+        // A bad version or length field means the header itself is
+        // suspect: resynchronise just past this sync word so a frame
+        // hiding inside the claimed extent is still found.
+        if (version != kFrameVersion) {
+            st.badVersion++;
+            events.push_back({FrameEvent::Kind::BadFrame, {},
+                              "bad version"});
+            pos += 2;
+            continue;
+        }
+        if (plen > kFrameMaxPayload) {
+            st.badLength++;
+            events.push_back({FrameEvent::Kind::BadFrame, {},
+                              "bad length"});
+            pos += 2;
+            continue;
+        }
+
+        size_t total = kFrameHeaderSize + plen + kFrameCrcSize;
+        if (buf.size() - pos < total)
+            break; // body incomplete (bounded: plen <= max)
+
+        uint32_t want = get32(hdr + kFrameHeaderSize + plen);
+        uint32_t got = crc32(hdr + 2, kFrameHeaderSize + plen - 2);
+        if (want != got) {
+            st.badCrc++;
+            events.push_back({FrameEvent::Kind::BadFrame, {},
+                              "bad crc"});
+            pos += 2;
+            continue;
+        }
+
+        FrameEvent ev;
+        ev.kind = FrameEvent::Kind::Frame;
+        ev.frame.type = static_cast<FrameType>(hdr[3]);
+        ev.frame.session = get32(hdr + 4);
+        ev.frame.seq = get32(hdr + 8);
+        ev.frame.ack = get32(hdr + 12);
+        ev.frame.payload.assign(hdr + kFrameHeaderSize,
+                                hdr + kFrameHeaderSize + plen);
+        events.push_back(std::move(ev));
+        st.frames++;
+        pos += total;
+    }
+
+    // Drop consumed bytes. The leftover is either a partial frame
+    // that starts with a sync pair (keep it whole) or — when the
+    // sync hunt ran off the end — at most one byte, kept only if it
+    // could be the first half of a split sync word.
+    if (buf.size() - pos == 1 && buf[pos] != kFrameSync0) {
+        st.garbageBytes++;
+        pos++;
+    }
+    buf.erase(buf.begin(), buf.begin() + pos);
+    return events;
+}
+
+} // namespace jaavr::net

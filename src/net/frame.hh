@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Wire codec for the simulated IoT network: a fixed sync-worded,
+ * CRC-32-framed datagram format carrying the session layer's type /
+ * session-epoch / seq / ack header and an opaque payload.
+ *
+ * The decoder follows the same contract as the RSP packet codec
+ * (debug/rsp.hh): it is an incremental state machine fed arbitrary
+ * byte clumps from an untrusted link, it never aborts, and malformed
+ * input of any kind — corrupted sync, bad CRC, truncated frames,
+ * oversized or lying length fields, plain garbage — is classified
+ * into BadFrame events while the scanner resynchronises on the next
+ * sync word. A bad length or CRC only advances the scan past the
+ * sync word that started the frame, so a valid frame contained
+ * inside a corrupted one's claimed extent is still recovered.
+ *
+ * Wire layout (little-endian):
+ *
+ *   off  size  field
+ *   0    2     sync 0xa5 0x5a
+ *   2    1     version (kFrameVersion)
+ *   3    1     type (FrameType)
+ *   4    4     session epoch
+ *   8    4     seq
+ *   12   4     ack
+ *   16   2     payload length (<= kFrameMaxPayload)
+ *   18   n     payload
+ *   18+n 4     CRC-32 over bytes [2, 18+n)
+ */
+
+#ifndef JAAVR_NET_FRAME_HH
+#define JAAVR_NET_FRAME_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jaavr::net
+{
+
+constexpr uint8_t kFrameSync0 = 0xa5;
+constexpr uint8_t kFrameSync1 = 0x5a;
+constexpr uint8_t kFrameVersion = 1;
+constexpr size_t kFrameHeaderSize = 18;
+constexpr size_t kFrameCrcSize = 4;
+constexpr size_t kFrameMaxPayload = 1024;
+
+/** Session-layer meaning of a frame. */
+enum class FrameType : uint8_t
+{
+    Hello = 1,    ///< handshake: ephemeral key + identity signature
+    HelloAck = 2, ///< handshake reply, same contents
+    Data = 3,     ///< signed + MAC'd telemetry
+    Ack = 4,      ///< cumulative acknowledgement (ack = next expected)
+};
+
+/** Short stable name for @p t ("hello", "data", ...). */
+const char *frameTypeName(FrameType t);
+
+/** One decoded (or to-be-encoded) frame. */
+struct Frame
+{
+    FrameType type = FrameType::Data;
+    uint32_t session = 0; ///< session epoch; bumped on every re-key
+    uint32_t seq = 0;
+    uint32_t ack = 0;
+    std::vector<uint8_t> payload;
+};
+
+/** Serialize @p f (payload clamped to kFrameMaxPayload). */
+std::vector<uint8_t> encodeFrame(const Frame &f);
+
+/** One decoder event: a good frame or a diagnosed bad one. */
+struct FrameEvent
+{
+    enum class Kind
+    {
+        Frame,    ///< CRC-verified frame in @c frame
+        BadFrame, ///< malformed; @c reason says why
+    };
+
+    Kind kind;
+    Frame frame;
+    std::string reason;
+};
+
+/** Running totals of everything the decoder has classified. */
+struct FrameDecoderStats
+{
+    uint64_t frames = 0;       ///< CRC-verified frames delivered
+    uint64_t badCrc = 0;       ///< sync found but CRC mismatched
+    uint64_t badLength = 0;    ///< length field over kFrameMaxPayload
+    uint64_t badVersion = 0;   ///< unknown version byte
+    uint64_t garbageBytes = 0; ///< bytes discarded hunting for sync
+};
+
+/**
+ * Incremental frame decoder. feed() accepts bytes in arbitrary
+ * clumps (single bytes, split headers, many frames at once) and
+ * returns the completed events in arrival order; partial frames stay
+ * buffered across calls. Buffered state is bounded by one maximal
+ * frame, so a hostile length field cannot grow memory.
+ */
+class FrameDecoder
+{
+  public:
+    std::vector<FrameEvent> feed(const uint8_t *data, size_t len);
+
+    std::vector<FrameEvent>
+    feed(const std::vector<uint8_t> &data)
+    {
+        return feed(data.data(), data.size());
+    }
+
+    /** True while bytes of an incomplete frame are buffered. */
+    bool midFrame() const { return !buf.empty(); }
+
+    const FrameDecoderStats &stats() const { return st; }
+
+  private:
+    std::vector<uint8_t> buf;
+    FrameDecoderStats st;
+};
+
+} // namespace jaavr::net
+
+#endif // JAAVR_NET_FRAME_HH

@@ -1,0 +1,72 @@
+#include "net/link.hh"
+
+namespace jaavr::net
+{
+
+void
+LossyLink::enqueue(std::vector<uint8_t> data, SimTime at)
+{
+    queue.emplace(std::make_pair(at, orderCounter++), std::move(data));
+}
+
+void
+LossyLink::transmit(std::vector<uint8_t> data, SimTime now)
+{
+    st.transmitted++;
+    uint64_t index = txIndex++;
+
+    if (tapV) {
+        size_t before = data.size();
+        std::vector<uint8_t> copy = data;
+        if (!tapV->onTransmit(data, now, index)) {
+            st.tapDropped++;
+            return;
+        }
+        if (data.size() != before || data != copy)
+            st.tapMutated++;
+    }
+
+    // One draw per impairment, always taken in the same order, so
+    // the random sequence (and thus the whole campaign) replays
+    // bit-for-bit at a fixed seed regardless of which branches hit.
+    bool drop = rng.below(1000) < cfg.dropPermil;
+    bool dup = rng.below(1000) < cfg.dupPermil;
+    bool reorder = rng.below(1000) < cfg.reorderPermil;
+    bool flip = rng.below(1000) < cfg.flipPermil;
+    SimTime jitter = cfg.jitterUs ? rng.below(cfg.jitterUs + 1) : 0;
+    uint64_t flipBit =
+        data.empty() ? 0 : rng.below(uint64_t(data.size()) * 8);
+
+    if (drop) {
+        st.dropped++;
+        return;
+    }
+    if (flip) {
+        data[flipBit / 8] ^= uint8_t(1) << (flipBit % 8);
+        st.bitFlipped++;
+    }
+    SimTime at = now + cfg.latencyUs + jitter;
+    if (reorder) {
+        at += cfg.reorderHoldUs;
+        st.reordered++;
+    }
+    if (dup) {
+        st.duplicated++;
+        enqueue(data, at + 1); // the twin lands just behind
+    }
+    enqueue(std::move(data), at);
+}
+
+std::vector<std::vector<uint8_t>>
+LossyLink::drain(SimTime now)
+{
+    std::vector<std::vector<uint8_t>> out;
+    while (!queue.empty() && queue.begin()->first.first <= now) {
+        out.push_back(std::move(queue.begin()->second));
+        queue.erase(queue.begin());
+        st.delivered++;
+    }
+    return out;
+}
+
+} // namespace jaavr::net

@@ -1,0 +1,239 @@
+#include "net/session.hh"
+
+#include <algorithm>
+
+namespace jaavr::net
+{
+
+ReliableSession::ReliableSession(const SessionConfig &config)
+    : cfg(config), rng(config.seed)
+{}
+
+void
+ReliableSession::reset(uint32_t new_epoch)
+{
+    epochV = new_epoch;
+    sendNext = 0;
+    recvNext = 0;
+    failedV = false;
+    outstanding.clear();
+    held.clear();
+}
+
+void
+ReliableSession::transmitFrame(Frame f, SimTime now)
+{
+    f.ack = recvNext; // piggybacked cumulative ack, always fresh
+    if (auth) {
+        FrameAuth::Tag tag = auth->seal(f);
+        f.payload.insert(f.payload.end(), tag.begin(), tag.end());
+    }
+    if (transmit)
+        transmit(encodeFrame(f), now);
+}
+
+void
+ReliableSession::sendAck(SimTime now)
+{
+    Frame f;
+    f.type = FrameType::Ack;
+    f.session = epochV;
+    f.seq = 0;
+    st.acksSent++;
+    transmitFrame(std::move(f), now);
+}
+
+void
+ReliableSession::scheduleRetransmit(Outstanding &o, SimTime now)
+{
+    SimTime jitterSpan = o.rto * cfg.jitterPermil / 1000;
+    SimTime jitter = jitterSpan ? rng.below(jitterSpan + 1) : 0;
+    o.nextAt = now + o.rto + jitter;
+}
+
+bool
+ReliableSession::send(FrameType type, std::vector<uint8_t> payload,
+                      SimTime now)
+{
+    if (failedV || outstanding.size() >= cfg.window) {
+        st.sendRefused++;
+        return false;
+    }
+    Outstanding o;
+    o.frame.type = type;
+    o.frame.session = epochV;
+    o.frame.seq = sendNext++;
+    o.frame.payload = std::move(payload);
+    o.rto = cfg.rtoUs;
+    scheduleRetransmit(o, now);
+    st.framesSent++;
+    // Registered before transmitting: the transmit callback may
+    // deliver synchronously (zero-latency links) and the returning
+    // ack must find the frame to clear it.
+    Frame wire = o.frame;
+    uint32_t seq = o.frame.seq;
+    outstanding.emplace(seq, std::move(o));
+    transmitFrame(std::move(wire), now);
+    return true;
+}
+
+void
+ReliableSession::processAck(uint32_t ack)
+{
+    while (!outstanding.empty() && outstanding.begin()->first < ack) {
+        if (acked)
+            acked(outstanding.begin()->second.frame);
+        outstanding.erase(outstanding.begin());
+    }
+}
+
+void
+ReliableSession::handleFrame(const Frame &f, SimTime now)
+{
+    // Handshake frames are unsequenced and epoch-agnostic here: the
+    // node owns their retransmission, verification and epoch logic.
+    if (f.type == FrameType::Hello || f.type == FrameType::HelloAck) {
+        if (handshake)
+            handshake(f, now);
+        return;
+    }
+    if (f.session != epochV) {
+        st.foreignEpoch++;
+        if (foreign)
+            foreign(f, now);
+        return;
+    }
+    processAck(f.ack);
+    if (f.type == FrameType::Ack)
+        return;
+
+    // Sequenced frame. Anything below recvNext was already
+    // delivered: drop it but re-ack (our ack may have been lost).
+    if (f.seq < recvNext) {
+        st.duplicatesDropped++;
+        sendAck(now);
+        return;
+    }
+    if (f.seq == recvNext) {
+        recvNext++;
+        st.delivered++;
+        if (deliver)
+            deliver(f, now);
+        // Release any directly following held frames in order.
+        while (!held.empty() && held.begin()->first == recvNext) {
+            Frame next = std::move(held.begin()->second);
+            held.erase(held.begin());
+            recvNext++;
+            st.delivered++;
+            if (deliver)
+                deliver(next, now);
+        }
+        sendAck(now);
+        return;
+    }
+    // A gap: hold the frame if the reorder buffer allows, and emit a
+    // duplicate ack so the sender learns what we are still missing.
+    if (f.seq - recvNext <= cfg.reorderBuffer &&
+        held.size() < cfg.reorderBuffer && !held.count(f.seq)) {
+        held.emplace(f.seq, f);
+        st.outOfOrderHeld++;
+    } else if (held.count(f.seq)) {
+        st.duplicatesDropped++;
+    }
+    sendAck(now);
+}
+
+void
+ReliableSession::onWire(const uint8_t *data, size_t len, SimTime now)
+{
+    for (FrameEvent &ev : decoder.feed(data, len)) {
+        if (ev.kind == FrameEvent::Kind::BadFrame) {
+            st.badFrames++;
+            continue;
+        }
+        Frame &f = ev.frame;
+        if (auth) {
+            // Split the trailing tag; an untagged or rejected frame
+            // is discarded before it can touch the sequence space.
+            if (f.payload.size() < FrameAuth::kTagSize) {
+                st.authRejected++;
+                continue;
+            }
+            FrameAuth::Tag tag;
+            std::copy(f.payload.end() - FrameAuth::kTagSize,
+                      f.payload.end(), tag.begin());
+            f.payload.resize(f.payload.size() - FrameAuth::kTagSize);
+            if (!auth->accept(f, tag)) {
+                st.authRejected++;
+                continue;
+            }
+        }
+        handleFrame(f, now);
+    }
+}
+
+void
+ReliableSession::poll(SimTime now)
+{
+    if (failedV)
+        return;
+    for (auto &[seq, o] : outstanding) {
+        if (o.nextAt > now)
+            continue;
+        if (o.retries >= cfg.maxRetries) {
+            failedV = true;
+            st.sessionFailures++;
+            return;
+        }
+        o.retries++;
+        st.retransmits++;
+        if (o.rto >= cfg.rtoMaxUs)
+            st.backoffCeilingHits++;
+        else
+            o.rto = std::min<SimTime>(o.rto * 2, cfg.rtoMaxUs);
+        scheduleRetransmit(o, now);
+        transmitFrame(o.frame, now);
+    }
+}
+
+SimTime
+ReliableSession::nextTimeoutAt() const
+{
+    SimTime at = ~SimTime(0);
+    for (const auto &[seq, o] : outstanding)
+        at = std::min(at, o.nextAt);
+    return at;
+}
+
+void
+ReliableSession::publishMetrics(MetricsRegistry &reg,
+                                const MetricLabels &labels) const
+{
+    auto c = [&](const char *name, uint64_t v) {
+        auto &counter = reg.counter(name, labels);
+        if (v > counter.value())
+            counter.inc(v - counter.value());
+    };
+    c("net_session_frames_sent", st.framesSent);
+    c("net_session_retransmits", st.retransmits);
+    c("net_session_acks_sent", st.acksSent);
+    c("net_session_delivered", st.delivered);
+    c("net_session_duplicates_dropped", st.duplicatesDropped);
+    c("net_session_out_of_order_held", st.outOfOrderHeld);
+    c("net_session_bad_frames", st.badFrames);
+    c("net_session_auth_rejected", st.authRejected);
+    c("net_session_foreign_epoch", st.foreignEpoch);
+    c("net_session_backoff_ceiling_hits", st.backoffCeilingHits);
+    c("net_session_send_refused", st.sendRefused);
+    c("net_session_failures", st.sessionFailures);
+    const FrameDecoderStats &d = decoder.stats();
+    c("net_codec_frames", d.frames);
+    c("net_codec_bad_crc", d.badCrc);
+    c("net_codec_bad_length", d.badLength);
+    c("net_codec_garbage_bytes", d.garbageBytes);
+    reg.gauge("net_session_inflight", labels)
+        .set(double(outstanding.size()));
+    reg.gauge("net_session_epoch", labels).set(double(epochV));
+}
+
+} // namespace jaavr::net

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * ReliableSession: exactly-once, in-order datagram delivery over a
+ * LossyLink, in explicit simulated time.
+ *
+ * Mechanics (DESIGN.md "Network robustness layer"):
+ *  - every Data frame consumes a sequence number; Ack frames are
+ *    unsequenced and carry only the cumulative ack (= next expected
+ *    seq), which is also piggybacked on every outgoing sequenced
+ *    frame;
+ *  - Hello/HelloAck frames are unsequenced too: they surface through
+ *    the handshake callback untouched (the node retransmits them
+ *    itself, under the same backoff policy). Keeping them out of the
+ *    sequence space means every sequence number is claimed by a
+ *    keyed-MAC frame, so a forged handshake frame — whose only gate
+ *    before the identity-signature check is an unkeyed integrity
+ *    tag — can never occupy a slot and shadow a later genuine Data
+ *    frame into a silent duplicate-drop;
+ *  - a bounded in-flight window backpressures the caller: send()
+ *    refuses (returns false) once `window` frames await acks;
+ *  - unacked frames retransmit on a per-frame timeout that backs off
+ *    exponentially to a ceiling, with deterministic seeded jitter so
+ *    two identically-seeded runs retransmit at identical times and
+ *    competing senders don't synchronise;
+ *  - retries are capped; exhausting them marks the session failed()
+ *    and the node layer escalates (re-key, then quarantine);
+ *  - out-of-order arrivals within the reorder buffer are held and
+ *    released in order; duplicates and stale frames are dropped and
+ *    re-acked.
+ *
+ * Sessions are bound to an epoch (the frame header's session field,
+ * bumped by every re-key). Data/Ack frames from another epoch are
+ * not processed here — they surface through the foreign-frame
+ * callback (in practice: stale stragglers from a superseded epoch,
+ * still in flight across a re-key).
+ *
+ * Authentication is delegated to a FrameAuth hook owned by the node:
+ * the session appends the hook's 16-byte tag to every outgoing frame
+ * and refuses (without acking — a forged frame must never advance
+ * the sequence space) any incoming frame the hook rejects.
+ */
+
+#ifndef JAAVR_NET_SESSION_HH
+#define JAAVR_NET_SESSION_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/frame.hh"
+#include "net/link.hh"
+#include "support/metrics.hh"
+#include "support/random.hh"
+
+namespace jaavr::net
+{
+
+/** Reliability knobs; defaults suit the simulated link scales. */
+struct SessionConfig
+{
+    uint32_t window = 8;        ///< max unacked frames in flight
+    uint32_t reorderBuffer = 32;///< out-of-order frames held
+    SimTime rtoUs = 5'000;      ///< initial retransmission timeout
+    SimTime rtoMaxUs = 160'000; ///< backoff ceiling
+    uint32_t jitterPermil = 250;///< extra wait in [0, rto*j/1000]
+    uint32_t maxRetries = 10;   ///< per frame; beyond -> failed()
+    uint64_t seed = 1;          ///< jitter Rng seed
+};
+
+/**
+ * Frame authentication hook (implemented by the node layer, which
+ * owns the keys). seal() computes the tag appended to an outgoing
+ * frame; accept() judges an incoming frame's detached tag.
+ */
+class FrameAuth
+{
+  public:
+    static constexpr size_t kTagSize = 16;
+    using Tag = std::array<uint8_t, kTagSize>;
+
+    virtual ~FrameAuth() = default;
+
+    virtual Tag seal(const Frame &f) = 0;
+    virtual bool accept(const Frame &f, const Tag &tag) = 0;
+};
+
+struct SessionStats
+{
+    uint64_t framesSent = 0;      ///< first transmissions
+    uint64_t retransmits = 0;
+    uint64_t acksSent = 0;
+    uint64_t delivered = 0;       ///< in-order deliveries upward
+    uint64_t duplicatesDropped = 0;
+    uint64_t outOfOrderHeld = 0;
+    uint64_t badFrames = 0;       ///< codec-level rejects
+    uint64_t authRejected = 0;    ///< FrameAuth rejects
+    uint64_t foreignEpoch = 0;    ///< frames routed to the node
+    uint64_t backoffCeilingHits = 0;
+    uint64_t sendRefused = 0;     ///< window-full backpressure events
+    uint64_t sessionFailures = 0; ///< retries exhausted
+};
+
+class ReliableSession
+{
+  public:
+    using TransmitFn =
+        std::function<void(std::vector<uint8_t>, SimTime)>;
+    /** In-order, exactly-once upward delivery. */
+    using DeliverFn = std::function<void(const Frame &, SimTime)>;
+    /** Epoch-mismatched (but auth-screened) frames, for the node. */
+    using ForeignFn = std::function<void(const Frame &, SimTime)>;
+    /** Hello/HelloAck frames of any epoch, for the node. */
+    using HandshakeFn = std::function<void(const Frame &, SimTime)>;
+    /** A previously sent frame was cumulatively acknowledged. */
+    using AckedFn = std::function<void(const Frame &)>;
+
+    explicit ReliableSession(const SessionConfig &config);
+
+    void setTransmit(TransmitFn fn) { transmit = std::move(fn); }
+    void setDeliver(DeliverFn fn) { deliver = std::move(fn); }
+    void setForeign(ForeignFn fn) { foreign = std::move(fn); }
+    void setHandshake(HandshakeFn fn) { handshake = std::move(fn); }
+    void setAcked(AckedFn fn) { acked = std::move(fn); }
+    /** nullptr disables tagging (tests only); must outlive us. */
+    void setAuth(FrameAuth *a) { auth = a; }
+
+    /**
+     * Abandon all reliability state and start epoch @p new_epoch with
+     * fresh sequence spaces. In-flight frames are discarded — the
+     * node re-queues whatever it still cares about.
+     */
+    void reset(uint32_t new_epoch);
+
+    uint32_t epoch() const { return epochV; }
+
+    /**
+     * Queue @p payload as a sequenced frame of @p type. Returns
+     * false — and takes no state — when the in-flight window is full
+     * or the session has failed; the caller retries after acks
+     * arrive (backpressure).
+     */
+    bool send(FrameType type, std::vector<uint8_t> payload,
+              SimTime now);
+
+    /**
+     * Emit an unsequenced cumulative Ack right now (sealed through
+     * the FrameAuth hook like any frame). The node uses this as the
+     * keyed handshake confirmation: the responder stops
+     * retransmitting its HelloAck once any keyed frame arrives.
+     */
+    void sendAck(SimTime now);
+
+    /** Sequence number the next send() will consume. */
+    uint32_t nextSendSeq() const { return sendNext; }
+
+    /** Feed raw link bytes (arbitrary clumps) at time @p now. */
+    void onWire(const uint8_t *data, size_t len, SimTime now);
+
+    void
+    onWire(const std::vector<uint8_t> &data, SimTime now)
+    {
+        onWire(data.data(), data.size(), now);
+    }
+
+    /** Drive retransmissions due at @p now. */
+    void poll(SimTime now);
+
+    /** Earliest pending retransmission; ~0 when nothing in flight. */
+    SimTime nextTimeoutAt() const;
+
+    /** True once any frame exhausted maxRetries this epoch. */
+    bool failed() const { return failedV; }
+
+    size_t inflight() const { return outstanding.size(); }
+
+    const SessionStats &stats() const { return st; }
+    const FrameDecoderStats &decoderStats() const
+    {
+        return decoder.stats();
+    }
+
+    /**
+     * Publish the session counters/gauges into @p reg under
+     * net_session_* names with @p labels attached (the node adds
+     * node=/peer= labels); also surfaces the codec counters.
+     */
+    void publishMetrics(MetricsRegistry &reg,
+                        const MetricLabels &labels = {}) const;
+
+  private:
+    struct Outstanding
+    {
+        Frame frame;           ///< unsealed; re-sealed per transmit
+        SimTime nextAt = 0;    ///< next retransmission due
+        SimTime rto = 0;       ///< current (unjittered) timeout
+        uint32_t retries = 0;
+    };
+
+    void transmitFrame(Frame f, SimTime now);
+    void processAck(uint32_t ack);
+    void scheduleRetransmit(Outstanding &o, SimTime now);
+    void handleFrame(const Frame &f, SimTime now);
+
+    SessionConfig cfg;
+    Rng rng;
+    FrameAuth *auth = nullptr;
+    TransmitFn transmit;
+    DeliverFn deliver;
+    ForeignFn foreign;
+    HandshakeFn handshake;
+    AckedFn acked;
+
+    FrameDecoder decoder;
+    SessionStats st;
+
+    uint32_t epochV = 0;
+    uint32_t sendNext = 0; ///< next sequence number to assign
+    uint32_t recvNext = 0; ///< next sequence number expected
+    bool failedV = false;
+    std::map<uint32_t, Outstanding> outstanding; ///< seq -> frame
+    std::map<uint32_t, Frame> held;              ///< out-of-order
+};
+
+} // namespace jaavr::net
+
+#endif // JAAVR_NET_SESSION_HH

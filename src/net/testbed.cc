@@ -1,0 +1,71 @@
+#include "net/testbed.hh"
+
+#include <stdexcept>
+
+namespace jaavr::net
+{
+
+Node &
+Testbed::addNode(const NodeConfig &config)
+{
+    auto [it, fresh] = nodes.emplace(
+        config.name, std::make_unique<Node>(config, curve, dsa));
+    if (!fresh)
+        throw std::invalid_argument("duplicate node " + config.name);
+    return *it->second;
+}
+
+DuplexLink &
+Testbed::connect(const std::string &a, const std::string &b,
+                 const LinkConfig &config)
+{
+    Node &na = node(a);
+    Node &nb = node(b);
+    edges.push_back(std::make_unique<Edge>(a, b, config));
+    Edge &e = *edges.back();
+    na.addPeer(b, nb.identity(),
+               [&e](std::vector<uint8_t> data, SimTime t) {
+                   e.link.forward.transmit(std::move(data), t);
+               });
+    nb.addPeer(a, na.identity(),
+               [&e](std::vector<uint8_t> data, SimTime t) {
+                   e.link.backward.transmit(std::move(data), t);
+               });
+    return e.link;
+}
+
+DuplexLink &
+Testbed::edge(const std::string &a, const std::string &b)
+{
+    for (auto &e : edges)
+        if ((e->a == a && e->b == b) || (e->a == b && e->b == a))
+            return e->link;
+    throw std::invalid_argument("no edge " + a + " <-> " + b);
+}
+
+void
+Testbed::run(SimTime until, SimTime step)
+{
+    while (clock < until) {
+        clock += step;
+        if (clock > until)
+            clock = until;
+        for (auto &e : edges) {
+            for (auto &data : e->link.forward.drain(clock))
+                node(e->b).onWire(e->a, data, clock);
+            for (auto &data : e->link.backward.drain(clock))
+                node(e->a).onWire(e->b, data, clock);
+        }
+        for (auto &[name, n] : nodes)
+            n->tick(clock);
+    }
+}
+
+void
+Testbed::publishMetrics(MetricsRegistry &reg) const
+{
+    for (const auto &[name, n] : nodes)
+        n->publishMetrics(reg);
+}
+
+} // namespace jaavr::net

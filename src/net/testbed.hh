@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Testbed: a multi-node network simulation harness shared by the
+ * node tests and the chaos campaign. It owns the nodes and the
+ * DuplexLinks between them and advances one explicit simulated
+ * clock: each step drains every link's due datagrams into the
+ * receiving node and then ticks every node's timers. Everything is
+ * seeded, so a testbed run is bit-identical for a fixed set of
+ * seeds.
+ *
+ * The links stay exposed (edge()): campaigns mutate impairment
+ * rates mid-run, attach FaultLinkTaps, or inject forged datagrams
+ * by transmitting straight into a direction's LossyLink.
+ */
+
+#ifndef JAAVR_NET_TESTBED_HH
+#define JAAVR_NET_TESTBED_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/link.hh"
+#include "net/node.hh"
+
+namespace jaavr::net
+{
+
+class Testbed
+{
+  public:
+    /** @p curve and @p dsa are shared by all nodes; must outlive us. */
+    Testbed(const WeierstrassCurve &curve, const Ecdsa &dsa)
+        : curve(curve), dsa(dsa)
+    {}
+
+    /** Create and register a node; config.name must be unique. */
+    Node &addNode(const NodeConfig &config);
+
+    /**
+     * Wire @p a and @p b together over a fresh DuplexLink (forward =
+     * a->b) and register each node as the other's peer. Returns the
+     * link for campaign-side manipulation.
+     */
+    DuplexLink &connect(const std::string &a, const std::string &b,
+                        const LinkConfig &config);
+
+    Node &node(const std::string &name) { return *nodes.at(name); }
+    const Node &node(const std::string &name) const
+    {
+        return *nodes.at(name);
+    }
+
+    /** The link wired between @p a and @p b (either order). */
+    DuplexLink &edge(const std::string &a, const std::string &b);
+
+    /**
+     * Advance simulated time to @p until in @p step increments,
+     * draining every link into its receiving node and ticking every
+     * node at each increment.
+     */
+    void run(SimTime until, SimTime step = 250);
+
+    SimTime now() const { return clock; }
+
+    /** publishMetrics() on every node into @p reg. */
+    void publishMetrics(MetricsRegistry &reg) const;
+
+  private:
+    struct Edge
+    {
+        std::string a, b;
+        DuplexLink link;
+
+        Edge(std::string a, std::string b, const LinkConfig &c)
+            : a(std::move(a)), b(std::move(b)), link(c)
+        {}
+    };
+
+    const WeierstrassCurve &curve;
+    const Ecdsa &dsa;
+    SimTime clock = 0;
+    std::map<std::string, std::unique_ptr<Node>> nodes;
+    std::vector<std::unique_ptr<Edge>> edges;
+};
+
+} // namespace jaavr::net
+
+#endif // JAAVR_NET_TESTBED_HH

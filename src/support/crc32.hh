@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xedb88320) for the
+ * network frame codec. A CRC catches every single-bit error and any
+ * burst up to 32 bits, which is exactly the damage model the lossy
+ * link simulates; anything that slips past it must be caught by the
+ * session-layer MAC. Header-only: a lazily built 256-entry table
+ * shared by all users.
+ */
+
+#ifndef JAAVR_SUPPORT_CRC32_HH
+#define JAAVR_SUPPORT_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace jaavr
+{
+
+namespace detail
+{
+
+inline const std::array<uint32_t, 256> &
+crc32Table()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; i++) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; k++)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/** Incrementally extend @p crc (start from 0) with @p len bytes. */
+inline uint32_t
+crc32Update(uint32_t crc, const uint8_t *data, size_t len)
+{
+    const auto &table = detail::crc32Table();
+    crc = ~crc;
+    for (size_t i = 0; i < len; i++)
+        crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+/** One-shot CRC-32 of @p len bytes at @p data. */
+inline uint32_t
+crc32(const uint8_t *data, size_t len)
+{
+    return crc32Update(0, data, len);
+}
+
+} // namespace jaavr
+
+#endif // JAAVR_SUPPORT_CRC32_HH

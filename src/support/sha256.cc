@@ -1,5 +1,7 @@
 #include "support/sha256.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 
 namespace jaavr
@@ -149,6 +151,35 @@ Sha256::digest(const std::vector<uint8_t> &message)
     Sha256 s;
     s.update(message);
     return s.finish();
+}
+
+std::array<uint8_t, Sha256::digestSize>
+hmacSha256(const std::vector<uint8_t> &key,
+           const std::vector<uint8_t> &message)
+{
+    constexpr size_t block = 64;
+    std::array<uint8_t, block> k{};
+    if (key.size() > block) {
+        auto kd = Sha256::digest(key);
+        std::copy(kd.begin(), kd.end(), k.begin());
+    } else {
+        std::copy(key.begin(), key.end(), k.begin());
+    }
+
+    std::array<uint8_t, block> pad;
+    for (size_t i = 0; i < block; i++)
+        pad[i] = k[i] ^ 0x36;
+    Sha256 inner;
+    inner.update(pad.data(), block);
+    inner.update(message);
+    auto innerDigest = inner.finish();
+
+    for (size_t i = 0; i < block; i++)
+        pad[i] = k[i] ^ 0x5c;
+    Sha256 outer;
+    outer.update(pad.data(), block);
+    outer.update(innerDigest.data(), innerDigest.size());
+    return outer.finish();
 }
 
 } // namespace jaavr

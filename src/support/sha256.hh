@@ -52,6 +52,16 @@ class Sha256
     bool finished;
 };
 
+/**
+ * HMAC-SHA-256 (RFC 2104) of @p message under @p key. Keys longer
+ * than the 64-byte block are hashed down first, per the RFC. Used by
+ * the network session layer to authenticate frames under the
+ * ECDH-derived session key.
+ */
+std::array<uint8_t, Sha256::digestSize>
+hmacSha256(const std::vector<uint8_t> &key,
+           const std::vector<uint8_t> &message);
+
 } // namespace jaavr
 
 #endif // JAAVR_SUPPORT_SHA256_HH

@@ -299,6 +299,138 @@ TEST(FaultInjector, MacAccFlipInIseOpfMul)
     lib.machine().setFaultInjector(nullptr);
 }
 
+TEST(FaultInjector, ScheduleFiresEveryPlanInOrder)
+{
+    // Three GPR flips on different registers, each delayed from the
+    // boundary where the previous one fired. Checked machine-free:
+    // checkFire is the whole contract.
+    std::vector<FaultPlan> plans(3);
+    for (size_t i = 0; i < plans.size(); i++) {
+        plans[i].target = FaultTarget::Gpr;
+        plans[i].reg = uint8_t(20 + i);
+        plans[i].triggerCycle = 10;
+    }
+    FaultInjector inj;
+    inj.armSchedule(plans, 100);
+    EXPECT_TRUE(inj.pending());
+
+    std::vector<std::pair<uint8_t, uint64_t>> fired;
+    for (uint64_t cycle = 100; cycle < 200; cycle++)
+        if (inj.checkFire(0, cycle))
+            fired.emplace_back(inj.plan().reg, cycle);
+    ASSERT_EQ(fired.size(), 3u);
+    EXPECT_EQ(inj.firedCount(), 3u);
+    EXPECT_FALSE(inj.pending());
+    EXPECT_EQ(fired[0], std::make_pair(uint8_t(20), uint64_t(110)));
+    // Each later plan re-arms at the boundary AFTER its predecessor
+    // fired (so plan() still names the firing plan at apply time),
+    // shifting its delay base by one boundary.
+    EXPECT_EQ(fired[1], std::make_pair(uint8_t(21), uint64_t(121)));
+    EXPECT_EQ(fired[2], std::make_pair(uint8_t(22), uint64_t(132)));
+}
+
+TEST(FaultInjector, ScheduleOnMachinePerturbsEachShot)
+{
+    // Three SRAM flips into bytes the workload never reads: the run
+    // stays architecturally clean (r20 = 136) while every shot lands
+    // and is visible in the perturbed bytes afterwards.
+    std::vector<FaultPlan> plans(3);
+    for (size_t i = 0; i < plans.size(); i++) {
+        plans[i].target = FaultTarget::Sram;
+        plans[i].sramAddr = uint16_t(0x02f0 + i);
+        plans[i].mask = 0x01 << i;
+        plans[i].triggerCycle = i ? 20 : 50;
+    }
+
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble(kWorkload, "w").words, 0);
+    FaultInjector inj;
+    m.setFaultInjector(&inj);
+    inj.armSchedule(plans, 0);
+    RunResult r = m.call(0);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(inj.firedCount(), 3u);
+    EXPECT_FALSE(inj.pending());
+    EXPECT_EQ(m.reg(20), 136); // untouched by the off-path flips
+    std::vector<uint8_t> bytes = m.readBytes(0x02f0, 3);
+    EXPECT_EQ(bytes[0], 0x01);
+    EXPECT_EQ(bytes[1], 0x02);
+    EXPECT_EQ(bytes[2], 0x04);
+}
+
+TEST(FaultInjector, DisarmClearsQueuedPlans)
+{
+    std::vector<FaultPlan> plans(4);
+    FaultInjector inj;
+    inj.armSchedule(plans, 0);
+    EXPECT_TRUE(inj.pending());
+    inj.disarm();
+    EXPECT_FALSE(inj.pending());
+    for (uint64_t cycle = 0; cycle < 50; cycle++)
+        EXPECT_FALSE(inj.checkFire(0, cycle));
+    EXPECT_EQ(inj.firedCount(), 0u);
+}
+
+TEST(FaultInjector, EmptyScheduleIsDisarm)
+{
+    FaultInjector inj;
+    FaultPlan plan;
+    inj.arm(plan, 0);
+    EXPECT_TRUE(inj.pending());
+    inj.armSchedule({}, 0);
+    EXPECT_FALSE(inj.pending());
+}
+
+TEST(FaultInjector, SingleShotSemanticsUnchangedByScheduleSupport)
+{
+    // arm() after a schedule behaves exactly like the classic
+    // single-shot API: one fire, then silence, firedCount reset.
+    FaultInjector inj;
+    inj.armSchedule(std::vector<FaultPlan>(3), 0);
+    FaultPlan plan;
+    plan.triggerCycle = 5;
+    inj.arm(plan, 0);
+    uint64_t fires = 0;
+    for (uint64_t cycle = 0; cycle < 100; cycle++)
+        if (inj.checkFire(0, cycle))
+            fires++;
+    EXPECT_EQ(fires, 1u);
+    EXPECT_EQ(inj.firedCount(), 1u);
+    EXPECT_TRUE(inj.fired());
+    EXPECT_FALSE(inj.pending());
+}
+
+TEST(FaultInjector, BurstPlansAreSeededAndDeterministic)
+{
+    FaultPlan base;
+    base.target = FaultTarget::Sram;
+    base.sramAddr = 0x0210;
+    base.triggerCycle = 25;
+    base.atEntry = true;
+    base.entryPc = 7;
+
+    Rng a(99), b(99), c(100);
+    std::vector<FaultPlan> s1 = burstPlans(base, 5, 40, 16, a);
+    std::vector<FaultPlan> s2 = burstPlans(base, 5, 40, 16, b);
+    std::vector<FaultPlan> s3 = burstPlans(base, 5, 40, 16, c);
+    ASSERT_EQ(s1.size(), 5u);
+
+    // First shot keeps the base trigger (including the entry wait);
+    // later shots are plain gap+jitter delays from the predecessor.
+    EXPECT_TRUE(s1[0].atEntry);
+    EXPECT_EQ(s1[0].triggerCycle, 25u);
+    bool jittered = false;
+    for (size_t i = 1; i < s1.size(); i++) {
+        EXPECT_FALSE(s1[i].atEntry);
+        EXPECT_GE(s1[i].triggerCycle, 40u);
+        EXPECT_LE(s1[i].triggerCycle, 56u);
+        EXPECT_EQ(s1[i].triggerCycle, s2[i].triggerCycle);
+        if (s1[i].triggerCycle != s3[i].triggerCycle)
+            jittered = true;
+    }
+    EXPECT_TRUE(jittered); // a different seed moves at least one shot
+}
+
 TEST(FaultInjector, PlanDescribeIsStable)
 {
     FaultPlan plan;

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * LossyLink and ReliableSession tests: seeded determinism of the
+ * impairment draws, exactly-once in-order delivery across a hostile
+ * link, window backpressure, exponential backoff to a ceiling,
+ * retry-cap failure, and the FaultInjector link tap (single-shot and
+ * burst schedules corrupting frames in flight).
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/link.hh"
+#include "net/session.hh"
+
+using namespace jaavr;
+using namespace jaavr::net;
+
+namespace
+{
+
+std::vector<uint8_t>
+payloadFor(uint32_t i)
+{
+    return {uint8_t(i), uint8_t(i >> 8), 0xab};
+}
+
+/** Pump a duplex link between two sessions until idle or deadline. */
+struct SessionPair
+{
+    explicit SessionPair(const LinkConfig &lc,
+                         const SessionConfig &sc = {})
+        : link(lc), a(sc), b(sc)
+    {
+        a.setTransmit([this](std::vector<uint8_t> d, SimTime t) {
+            link.forward.transmit(std::move(d), t);
+        });
+        b.setTransmit([this](std::vector<uint8_t> d, SimTime t) {
+            link.backward.transmit(std::move(d), t);
+        });
+        a.setDeliver([this](const Frame &f, SimTime) {
+            gotA.push_back(f.payload);
+        });
+        b.setDeliver([this](const Frame &f, SimTime) {
+            gotB.push_back(f.payload);
+        });
+    }
+
+    void
+    pump(SimTime until, SimTime step = 250)
+    {
+        while (now < until) {
+            now += step;
+            for (auto &d : link.forward.drain(now))
+                b.onWire(d, now);
+            for (auto &d : link.backward.drain(now))
+                a.onWire(d, now);
+            a.poll(now);
+            b.poll(now);
+        }
+    }
+
+    DuplexLink link;
+    ReliableSession a, b;
+    SimTime now = 0;
+    std::vector<std::vector<uint8_t>> gotA, gotB;
+};
+
+} // anonymous namespace
+
+TEST(LossyLink, PerfectLinkDeliversInOrder)
+{
+    LinkConfig lc;
+    lc.jitterUs = 0;
+    LossyLink link(lc);
+    for (uint32_t i = 0; i < 5; i++)
+        link.transmit(payloadFor(i), i * 10);
+    auto out = link.drain(5'000);
+    ASSERT_EQ(out.size(), 5u);
+    for (uint32_t i = 0; i < 5; i++)
+        EXPECT_EQ(out[i], payloadFor(i));
+    EXPECT_TRUE(link.idle());
+}
+
+TEST(LossyLink, SameSeedReplaysIdentically)
+{
+    LinkConfig lc;
+    lc.dropPermil = 300;
+    lc.dupPermil = 200;
+    lc.reorderPermil = 200;
+    lc.flipPermil = 300;
+    lc.seed = 42;
+    LossyLink x(lc), y(lc);
+    std::vector<std::vector<uint8_t>> outX, outY;
+    for (uint32_t i = 0; i < 200; i++) {
+        x.transmit(payloadFor(i), i * 100);
+        y.transmit(payloadFor(i), i * 100);
+    }
+    for (auto &d : x.drain(1'000'000))
+        outX.push_back(std::move(d));
+    for (auto &d : y.drain(1'000'000))
+        outY.push_back(std::move(d));
+    EXPECT_EQ(outX, outY); // byte-identical impairments
+    EXPECT_EQ(x.stats().dropped, y.stats().dropped);
+    EXPECT_EQ(x.stats().bitFlipped, y.stats().bitFlipped);
+    EXPECT_GT(x.stats().dropped, 0u);
+    EXPECT_GT(x.stats().duplicated, 0u);
+    EXPECT_GT(x.stats().bitFlipped, 0u);
+    EXPECT_GT(x.stats().reordered, 0u);
+
+    LinkConfig other = lc;
+    other.seed = 43;
+    LossyLink z(other);
+    for (uint32_t i = 0; i < 200; i++)
+        z.transmit(payloadFor(i), i * 100);
+    std::vector<std::vector<uint8_t>> outZ;
+    for (auto &d : z.drain(1'000'000))
+        outZ.push_back(std::move(d));
+    EXPECT_NE(outX, outZ); // a different seed impairs differently
+}
+
+TEST(LossyLink, ImpairmentRatesAreRoughlyHonored)
+{
+    LinkConfig lc;
+    lc.dropPermil = 500;
+    lc.seed = 7;
+    LossyLink link(lc);
+    for (uint32_t i = 0; i < 1000; i++)
+        link.transmit(payloadFor(i), i);
+    // 50% +- generous slack on 1000 trials.
+    EXPECT_GT(link.stats().dropped, 400u);
+    EXPECT_LT(link.stats().dropped, 600u);
+}
+
+TEST(ReliableSession, CleanLinkDeliversInOrderOnce)
+{
+    SessionPair p({});
+    for (uint32_t i = 0; i < 8; i++)
+        EXPECT_TRUE(p.a.send(FrameType::Data, payloadFor(i), p.now));
+    p.pump(50'000);
+    ASSERT_EQ(p.gotB.size(), 8u);
+    for (uint32_t i = 0; i < 8; i++)
+        EXPECT_EQ(p.gotB[i], payloadFor(i));
+    EXPECT_EQ(p.a.stats().retransmits, 0u);
+    EXPECT_EQ(p.a.inflight(), 0u);
+}
+
+TEST(ReliableSession, WindowBackpressuresSender)
+{
+    SessionConfig sc;
+    sc.window = 4;
+    SessionPair p({}, sc);
+    for (uint32_t i = 0; i < 4; i++)
+        EXPECT_TRUE(p.a.send(FrameType::Data, payloadFor(i), p.now));
+    EXPECT_FALSE(p.a.send(FrameType::Data, payloadFor(99), p.now));
+    EXPECT_EQ(p.a.stats().sendRefused, 1u);
+    p.pump(20'000);
+    // Acks opened the window again.
+    EXPECT_TRUE(p.a.send(FrameType::Data, payloadFor(4), p.now));
+}
+
+TEST(ReliableSession, HostileLinkStillDeliversExactlyOnceInOrder)
+{
+    LinkConfig lc;
+    lc.dropPermil = 250;
+    lc.dupPermil = 150;
+    lc.reorderPermil = 150;
+    lc.flipPermil = 150;
+    lc.seed = 1234;
+    SessionConfig sc;
+    sc.maxRetries = 30;
+    SessionPair p(lc, sc);
+
+    const uint32_t kCount = 60;
+    uint32_t sent = 0;
+    while (p.gotB.size() < kCount && p.now < 10'000'000) {
+        if (sent < kCount &&
+            p.a.send(FrameType::Data, payloadFor(sent), p.now))
+            sent++;
+        p.pump(p.now + 500);
+    }
+    ASSERT_EQ(p.gotB.size(), kCount);
+    for (uint32_t i = 0; i < kCount; i++)
+        EXPECT_EQ(p.gotB[i], payloadFor(i)); // in order, exactly once
+    EXPECT_FALSE(p.a.failed());
+    EXPECT_GT(p.a.stats().retransmits, 0u);
+    // The codec saw the flipped frames and rejected them.
+    EXPECT_GT(p.b.decoderStats().badCrc + p.a.decoderStats().badCrc,
+              0u);
+}
+
+TEST(ReliableSession, DeadLinkFailsAfterRetryCapWithBackoff)
+{
+    LinkConfig lc;
+    lc.dropPermil = 1000; // everything vanishes
+    SessionConfig sc;
+    sc.maxRetries = 6;
+    SessionPair p(lc, sc);
+    EXPECT_TRUE(p.a.send(FrameType::Data, payloadFor(0), p.now));
+    p.pump(10'000'000, 1'000);
+    EXPECT_TRUE(p.a.failed());
+    EXPECT_EQ(p.a.stats().sessionFailures, 1u);
+    EXPECT_EQ(p.a.stats().retransmits, 6u);
+    // Further sends are refused until the node resets the epoch.
+    EXPECT_FALSE(p.a.send(FrameType::Data, payloadFor(1), p.now));
+    p.a.reset(1);
+    EXPECT_FALSE(p.a.failed());
+    EXPECT_TRUE(p.a.send(FrameType::Data, payloadFor(1), p.now));
+}
+
+TEST(ReliableSession, BackoffDoublesToCeiling)
+{
+    LinkConfig lc;
+    lc.dropPermil = 1000;
+    SessionConfig sc;
+    sc.rtoUs = 1'000;
+    sc.rtoMaxUs = 8'000;
+    sc.jitterPermil = 0; // exact timings for this test
+    sc.maxRetries = 10;
+    SessionPair p(lc, sc);
+    EXPECT_TRUE(p.a.send(FrameType::Data, payloadFor(0), p.now));
+
+    std::vector<SimTime> timeouts;
+    SimTime now = 0;
+    for (int i = 0; i < 10; i++) {
+        SimTime at = p.a.nextTimeoutAt();
+        timeouts.push_back(at - now);
+        now = at;
+        p.a.poll(now);
+    }
+    // 1ms, then doubling to the 8ms ceiling and sticking there.
+    std::vector<SimTime> want{1'000, 2'000, 4'000, 8'000, 8'000,
+                              8'000, 8'000, 8'000, 8'000, 8'000};
+    EXPECT_EQ(timeouts, want);
+    EXPECT_GT(p.a.stats().backoffCeilingHits, 0u);
+}
+
+TEST(ReliableSession, ReorderedFramesAreHeldAndReleasedInOrder)
+{
+    LinkConfig lc;
+    lc.reorderPermil = 400;
+    lc.seed = 5;
+    SessionConfig sc;
+    sc.maxRetries = 30;
+    SessionPair p(lc, sc);
+    const uint32_t kCount = 40;
+    uint32_t sent = 0;
+    while (p.gotB.size() < kCount && p.now < 5'000'000) {
+        if (sent < kCount &&
+            p.a.send(FrameType::Data, payloadFor(sent), p.now))
+            sent++;
+        p.pump(p.now + 500);
+    }
+    ASSERT_EQ(p.gotB.size(), kCount);
+    for (uint32_t i = 0; i < kCount; i++)
+        EXPECT_EQ(p.gotB[i], payloadFor(i));
+    EXPECT_GT(p.b.stats().outOfOrderHeld, 0u);
+}
+
+TEST(FaultLinkTapTest, SingleShotDropsOneFrame)
+{
+    FaultInjector inj;
+    FaultPlan plan;
+    plan.target = FaultTarget::InstSkip; // in link terms: drop
+    plan.atEntry = true;
+    plan.entryPc = 3; // frame index 3
+    inj.arm(plan, 0);
+    FaultLinkTap tap(inj);
+
+    LinkConfig lc;
+    lc.jitterUs = 0;
+    LossyLink link(lc);
+    link.setTap(&tap);
+    for (uint32_t i = 0; i < 6; i++)
+        link.transmit(payloadFor(i), i * 10);
+    auto out = link.drain(100'000);
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_EQ(link.stats().tapDropped, 1u);
+    for (auto &d : out)
+        EXPECT_NE(d, payloadFor(3)); // exactly frame 3 vanished
+}
+
+TEST(FaultLinkTapTest, BurstScheduleCorruptsSeveralFrames)
+{
+    FaultInjector inj;
+    FaultPlan base;
+    base.target = FaultTarget::Sram; // in link terms: XOR a byte
+    base.sramAddr = 1;
+    base.mask = 0xff;
+    base.triggerCycle = 0;
+    Rng rng(9);
+    // Three corruptions, the first immediate, later ones ~20us apart.
+    inj.armSchedule(burstPlans(base, 3, 20, 0, rng), 0);
+    FaultLinkTap tap(inj);
+
+    LinkConfig lc;
+    lc.jitterUs = 0;
+    LossyLink link(lc);
+    link.setTap(&tap);
+    for (uint32_t i = 0; i < 10; i++)
+        link.transmit(payloadFor(i), i * 10);
+    auto out = link.drain(100'000);
+    ASSERT_EQ(out.size(), 10u);
+    EXPECT_EQ(inj.firedCount(), 3u);
+    EXPECT_EQ(link.stats().tapMutated, 3u);
+    size_t corrupted = 0;
+    for (uint32_t i = 0; i < 10; i++)
+        if (out[i] != payloadFor(i))
+            corrupted++;
+    EXPECT_EQ(corrupted, 3u);
+}
+
+TEST(FaultLinkTapTest, CorruptedFramesDieAtTheDecoder)
+{
+    // End to end: a burst tap XORs bytes inside encoded frames; the
+    // session's CRC rejects every corrupted frame, retransmission
+    // recovers, and delivery stays exactly-once in-order.
+    FaultInjector inj;
+    FaultPlan base;
+    base.target = FaultTarget::Sram;
+    base.sramAddr = 20; // inside header/payload for our frame sizes
+    base.mask = 0x55;
+    Rng rng(11);
+    inj.armSchedule(burstPlans(base, 4, 1'000, 500, rng), 0);
+    FaultLinkTap tap(inj);
+
+    SessionConfig sc;
+    sc.maxRetries = 20;
+    SessionPair p({}, sc);
+    p.link.forward.setTap(&tap);
+
+    const uint32_t kCount = 20;
+    uint32_t sent = 0;
+    while (p.gotB.size() < kCount && p.now < 5'000'000) {
+        if (sent < kCount &&
+            p.a.send(FrameType::Data, payloadFor(sent), p.now))
+            sent++;
+        p.pump(p.now + 500);
+    }
+    ASSERT_EQ(p.gotB.size(), kCount);
+    for (uint32_t i = 0; i < kCount; i++)
+        EXPECT_EQ(p.gotB[i], payloadFor(i));
+    EXPECT_EQ(inj.firedCount(), 4u);
+    EXPECT_EQ(p.link.forward.stats().tapMutated, 4u);
+    EXPECT_GT(p.b.decoderStats().badCrc, 0u);
+}

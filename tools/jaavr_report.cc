@@ -26,6 +26,12 @@
  *  - a markdown paper-vs-measured table on stdout (and --markdown
  *    FILE to also write it to a file).
  *
+ * Unmatched baselines are diagnosed per entry on stderr, with
+ * status "missing" when no bench row matched the entry's match
+ * fields (the workload never ran) and "missing_metric" when rows
+ * matched but none carried the named metric (a metric-name mismatch
+ * between baselines and bench).
+ *
  * Exit status: 0 on success; with --gate, 1 when any paper-pinned
  * workload regressed by more than the threshold (--threshold PCT,
  * default 2%) or is missing from the inputs; 2 on usage, I/O or
@@ -251,11 +257,16 @@ main(int argc, char **argv)
         double threshold =
             numField(base, "threshold_pct", opt.thresholdPct);
 
-        // Last matching line that carries the metric wins.
+        // Last matching line that carries the metric wins. Rows that
+        // match the string fields but lack the metric are counted so
+        // the "missing" diagnosis can distinguish a workload that
+        // never ran from a metric-name mismatch.
         const JsonObject *hit = nullptr;
+        size_t fieldMatches = 0;
         for (const JsonObject &line : lines) {
             if (!matches(line, fields))
                 continue;
+            fieldMatches++;
             auto it = line.find(metric);
             if (it != line.end() && it->second.isNum())
                 hit = &line;
@@ -287,8 +298,30 @@ main(int argc, char **argv)
         std::string status;
         double measured = -1, delta_pct = 0;
         if (!hit) {
-            status = "missing";
+            // Same gate outcome either way, but a precise diagnosis:
+            // "missing" means no bench row matched this entry's match
+            // fields (the workload never ran); "missing_metric" means
+            // rows matched but none carried the named metric (a
+            // metric-name mismatch between baselines and bench, or a
+            // bench emitting incomplete rows).
+            status = fieldMatches ? "missing_metric" : "missing";
             missing++;
+            if (fieldMatches)
+                std::fprintf(stderr,
+                             "report: %s %s: %zu row%s matched but "
+                             "none carry metric \"%s\" — check the "
+                             "\"metric\" field in %s against what the "
+                             "bench emits\n",
+                             benchName.c_str(), workload.c_str(),
+                             fieldMatches,
+                             fieldMatches == 1 ? "" : "s",
+                             metric.c_str(), opt.baselines.c_str());
+            else
+                std::fprintf(stderr,
+                             "report: %s %s: no bench row matched "
+                             "(workload did not run or its label "
+                             "fields changed)\n",
+                             benchName.c_str(), workload.c_str());
         } else {
             measured = numField(*hit, metric, -1);
             delta_pct = baseline > 0
