@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Load benchmark for the ECC service (DESIGN.md §14): a seeded load
+ * generator drives EccService through two sweeps and verifies every
+ * single result against the single-call host golden model (the bench
+ * exits nonzero on any mismatch, so its rows can be trusted).
+ *
+ *  1. Batch sweep: a fixed ECDSA-sign workload runs through the
+ *     unamortized configuration (amortize = off — the pre-existing
+ *     single-call library path, i.e. the batch-size-1 configuration)
+ *     and the amortized one at several micro-batch limits. Reports
+ *     ops/s per configuration plus the headline
+ *     batched_speedup_vs_batch1 ratio the regression gate pins
+ *     (acceptance: >= 2x).
+ *
+ *  2. Offered-load sweep: submitter threads pace mixed sign/derive
+ *     traffic at a fraction of the measured capacity into a running
+ *     multi-worker service; reports achieved ops/s and the p50/p99
+ *     submit-to-completion latency from the service histograms
+ *     (Histogram::percentile).
+ *
+ * Rows go to BENCH_service.json (pinned rows gate via jaavr-report
+ * against bench/baselines.json); the final sweep's labeled metrics
+ * snapshot — queue depths, batch occupancy, per-worker op counters —
+ * goes to METRICS_service.json.
+ *
+ * Flags: --smoke (CI-sized sweep), --seed <n>.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "curves/standard_curves.hh"
+#include "service/service.hh"
+#include "support/logging.hh"
+
+using namespace jaavr;
+using namespace jaavr::bench;
+
+namespace
+{
+
+constexpr const char *kJsonPath = "BENCH_service.json";
+constexpr const char *kMetricsPath = "METRICS_service.json";
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "MISMATCH: %s\n", what);
+        failures++;
+    }
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** The sign workload both sweeps replay: deterministic (d, k, msg)
+ *  tuples on secp160r1, with the golden signature precomputed. */
+struct SignCase
+{
+    std::string msg;
+    BigUInt d;
+    BigUInt k;
+    EcdsaSignature expect;
+};
+
+std::vector<SignCase>
+makeSignCases(size_t count, uint64_t seed)
+{
+    Ecdsa golden(secp160r1Curve(), secp160r1Generator().g,
+                 secp160r1Generator().order);
+    const BigUInt &n = golden.order();
+    Rng rng(seed);
+    std::vector<SignCase> cases;
+    cases.reserve(count);
+    for (size_t i = 0; i < count; i++) {
+        SignCase c;
+        c.msg = "load " + std::to_string(i);
+        c.d = BigUInt(1) + BigUInt::random(rng, n - BigUInt(1));
+        c.k = BigUInt(1) + BigUInt::random(rng, n - BigUInt(1));
+        auto sig = golden.signWithNonce(c.msg, c.d, c.k);
+        if (!sig)
+            fatal("degenerate nonce in the seeded workload");
+        c.expect = *sig;
+        cases.push_back(std::move(c));
+    }
+    return cases;
+}
+
+struct SweepResult
+{
+    double opsPerSec = 0;
+    double p50Us = 0;
+    double p99Us = 0;
+};
+
+/**
+ * Run @p cases through a 1-worker service (so batch occupancy is the
+ * drain limit, not scheduling luck), verifying every signature.
+ */
+SweepResult
+runBatchConfig(const std::vector<SignCase> &cases, bool amortize,
+               size_t batch_max, uint64_t seed)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = cases.size() * 2;
+    cfg.batchMax = batch_max;
+    cfg.amortize = amortize;
+    cfg.rngSeed = seed;
+    EccService svc(cfg);
+
+    std::vector<ServiceRequest> reqs(cases.size());
+    for (size_t i = 0; i < cases.size(); i++) {
+        reqs[i].op = ServiceOp::Sign;
+        reqs[i].curve = ServiceCurve::Secp160r1;
+        reqs[i].message = cases[i].msg;
+        reqs[i].privateKey = cases[i].d;
+        reqs[i].nonce = cases[i].k;
+        if (!svc.trySubmit(&reqs[i]))
+            fatal("queue rejected a pre-start submission");
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    svc.start();
+    for (auto &r : reqs)
+        EccService::wait(r);
+    double secs = secondsSince(t0);
+    svc.stop();
+
+    for (size_t i = 0; i < cases.size(); i++) {
+        check(reqs[i].status == ServiceStatus::Ok, "sign status");
+        check(reqs[i].sigOut.r == cases[i].expect.r &&
+                  reqs[i].sigOut.s == cases[i].expect.s,
+              "batched signature differs from the golden model");
+    }
+
+    SweepResult res;
+    res.opsPerSec = double(cases.size()) / secs;
+    res.p50Us = svc.latencyPercentileUs(50);
+    res.p99Us = svc.latencyPercentileUs(99);
+    return res;
+}
+
+/**
+ * Offered-load level: submitters pace requests at @p offered ops/s
+ * total into a running service; returns the achieved rate and the
+ * latency percentiles. Also verifies everything.
+ */
+SweepResult
+runLoadLevel(const std::vector<SignCase> &cases, unsigned workers,
+             double offered, uint64_t seed,
+             MetricsRegistry *final_metrics)
+{
+    ServiceConfig cfg;
+    cfg.workers = workers;
+    cfg.queueCapacity = 1024;
+    cfg.batchMax = 16;
+    cfg.amortize = true;
+    cfg.rngSeed = seed;
+    EccService svc(cfg);
+    svc.start();
+
+    const AffinePoint peer =
+        secp160r1Curve().mulNaf(BigUInt(20220408), secp160r1Generator().g);
+
+    constexpr unsigned kSubmitters = 2;
+    std::vector<ServiceRequest> reqs(cases.size());
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> submitters;
+    for (unsigned s = 0; s < kSubmitters; s++)
+        submitters.emplace_back([&, s] {
+            // Open-loop pacing: request i of this submitter is due at
+            // i * (kSubmitters / offered) seconds.
+            double interval = double(kSubmitters) / offered;
+            size_t local = 0;
+            for (size_t i = s; i < cases.size(); i += kSubmitters) {
+                double due = double(local++) * interval;
+                while (secondsSince(t0) < due)
+                    std::this_thread::yield();
+                ServiceRequest &r = reqs[i];
+                if (i % 4 == 3) {
+                    r.op = ServiceOp::Derive;
+                    r.curve = ServiceCurve::Secp160r1;
+                    r.privateKey = cases[i].d;
+                    r.peer = peer;
+                } else {
+                    r.op = ServiceOp::Sign;
+                    r.curve = ServiceCurve::Secp160r1;
+                    r.message = cases[i].msg;
+                    r.privateKey = cases[i].d;
+                    r.nonce = cases[i].k;
+                }
+                if (!svc.submit(&r))
+                    fatal("service stopped during the load run");
+            }
+        });
+    for (auto &t : submitters)
+        t.join();
+    for (auto &r : reqs)
+        EccService::wait(r);
+    double secs = secondsSince(t0);
+    svc.stop();
+
+    const WeierstrassCurve &c = secp160r1Curve();
+    for (size_t i = 0; i < cases.size(); i++) {
+        check(reqs[i].status == ServiceStatus::Ok, "load-run status");
+        if (reqs[i].op == ServiceOp::Sign) {
+            check(reqs[i].sigOut.r == cases[i].expect.r &&
+                      reqs[i].sigOut.s == cases[i].expect.s,
+                  "load-run signature differs from the golden model");
+        } else {
+            AffinePoint expect = c.mulNaf(cases[i].d, peer);
+            check(reqs[i].pointOut.x == expect.x &&
+                      reqs[i].pointOut.y == expect.y,
+                  "load-run derive differs from the golden model");
+        }
+    }
+
+    if (final_metrics)
+        svc.publishMetrics(*final_metrics);
+
+    SweepResult res;
+    res.opsPerSec = double(cases.size()) / secs;
+    res.p50Us = svc.latencyPercentileUs(50);
+    res.p99Us = svc.latencyPercentileUs(99);
+    return res;
+}
+
+void
+emitRow(const char *workload, const char *config, double batch_max,
+        const SweepResult &r, double offered = 0)
+{
+    JsonLine line = benchLine("service");
+    line.str("workload", workload).str("config", config);
+    if (batch_max > 0)
+        line.num("batch_max", batch_max);
+    if (offered > 0)
+        line.num("offered_ops_per_s", offered);
+    line.num("ops_per_s", r.opsPerSec)
+        .num("p50_us", r.p50Us)
+        .num("p99_us", r.p99Us);
+    appendJsonLine(kJsonPath, line);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    uint64_t seed = 1;
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+        else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+            seed = std::strtoull(argv[++i], nullptr, 0);
+    }
+
+    const size_t batch_ops = smoke ? 48 : 256;
+    const size_t load_ops = smoke ? 48 : 240;
+    const unsigned load_workers = 2;
+
+    heading("ECC service: batch amortization sweep (ECDSA sign, "
+            "secp160r1, 1 worker)");
+    std::vector<SignCase> cases = makeSignCases(batch_ops, seed);
+
+    SweepResult batch1 = runBatchConfig(cases, false, 16, seed);
+    rowMeasured("unamortized (single-call path)", batch1.opsPerSec,
+                "ops/s");
+    emitRow("sign_secp160r1", "unamortized", 0, batch1);
+
+    double best = 0;
+    for (size_t bm : smoke ? std::vector<size_t>{1, 16}
+                           : std::vector<size_t>{1, 4, 16, 64}) {
+        SweepResult r = runBatchConfig(cases, true, bm, seed);
+        rowMeasured("amortized, batchMax=" + std::to_string(bm),
+                    r.opsPerSec, "ops/s");
+        emitRow("sign_secp160r1", "amortized", double(bm), r);
+        if (double(bm) >= 16 && r.opsPerSec > best)
+            best = r.opsPerSec;
+    }
+
+    double speedup = best / batch1.opsPerSec;
+    separator();
+    rowMeasured("batched speedup vs batch-size-1", speedup, "x");
+    {
+        JsonLine line = benchLine("service");
+        line.str("workload", "sign_secp160r1")
+            .str("config", "speedup")
+            .num("batched_speedup_vs_batch1", speedup);
+        appendJsonLine(kJsonPath, line);
+    }
+    check(speedup >= 2.0,
+          "amortized throughput below the 2x acceptance bound");
+
+    heading("ECC service: offered-load sweep (" +
+            std::to_string(load_workers) + " workers, mixed sign/derive)");
+    // Capacity estimate from an effectively unpaced burst, then paced
+    // levels below/near it.
+    std::vector<SignCase> load_cases = makeSignCases(load_ops, seed + 17);
+    SweepResult burst =
+        runLoadLevel(load_cases, load_workers, 1e9, seed, nullptr);
+    rowMeasured("burst capacity", burst.opsPerSec, "ops/s");
+    rowMeasured("  p50 / p99 latency", burst.p50Us, "us (p50)");
+    rowMeasured("  ", burst.p99Us, "us (p99)");
+    emitRow("mixed_load", "burst", 0, burst);
+
+    const double fractions[] = {0.25, 0.5, 0.8};
+    MetricsRegistry reg;
+    for (size_t i = 0; i < std::size(fractions); i++) {
+        double offered = burst.opsPerSec * fractions[i];
+        bool last = i + 1 == std::size(fractions);
+        SweepResult r = runLoadLevel(load_cases, load_workers, offered,
+                                     seed + i, last ? &reg : nullptr);
+        char label[96];
+        std::snprintf(label, sizeof label,
+                      "offered %.0f ops/s (%.0f%% of burst)", offered,
+                      fractions[i] * 100);
+        rowMeasured(label, r.opsPerSec, "ops/s");
+        rowMeasured("  p50 / p99 latency", r.p50Us, "us (p50)");
+        rowMeasured("  ", r.p99Us, "us (p99)");
+        emitRow("mixed_load", "paced", 0, r, offered);
+    }
+
+    // The last level's labeled snapshot: queue depth, occupancy and
+    // latency histograms, per-worker op counters.
+    reg.writeJsonLines(kMetricsPath, benchLine("service"));
+    note(std::string("metrics snapshot -> ") + kMetricsPath);
+    note(std::string("bench rows -> ") + kJsonPath);
+
+    if (failures) {
+        std::fprintf(stderr, "\n%d verification failure(s)\n", failures);
+        return 1;
+    }
+    std::printf("\nall results verified against the host golden model\n");
+    return 0;
+}

@@ -44,35 +44,63 @@ Ecdsa::mul(const BigUInt &k, const AffinePoint &p) const
     return c.mulNaf(k, p);
 }
 
+void
+Ecdsa::attachFixedBase(const FixedBaseComb *table)
+{
+    if (table && !(table->generator().x == g.x &&
+                   table->generator().y == g.y && !table->generator().inf))
+        fatal("Ecdsa: fixed-base table built for a different generator");
+    comb = table;
+}
+
+AffinePoint
+Ecdsa::mulG(const BigUInt &k) const
+{
+    if (comb)
+        return comb->mul(c, k);
+    return mul(k, g);
+}
+
 EcdsaKeyPair
 Ecdsa::generateKey(Rng &rng) const
 {
     EcdsaKeyPair kp;
     kp.d = BigUInt(1) + BigUInt::random(rng, n - BigUInt(1));
-    kp.q = mul(kp.d, g);
+    kp.q = mulG(kp.d);
     if (!validatePoint(c, kp.q, &n))
         fatal("Ecdsa: generated public key failed validation");
     return kp;
 }
 
+std::optional<EcdsaSignature>
+Ecdsa::signWithNonce(const std::string &message, const BigUInt &d,
+                     const BigUInt &k) const
+{
+    if (!validScalar(d, n))
+        fatal("Ecdsa::signWithNonce: private scalar out of range");
+    if (!validScalar(k, n))
+        fatal("Ecdsa::signWithNonce: nonce out of range");
+    BigUInt e = hashToScalar(message);
+    AffinePoint rp = mulG(k);
+    if (rp.inf)
+        return std::nullopt;
+    BigUInt r = rp.x % n;
+    if (r.isZero())
+        return std::nullopt;
+    BigUInt s = k.invMod(n).mulMod(e.addMod(r.mulMod(d, n), n), n);
+    if (s.isZero())
+        return std::nullopt;
+    return EcdsaSignature{r, s};
+}
+
 EcdsaSignature
 Ecdsa::sign(const std::string &message, const BigUInt &d, Rng &rng) const
 {
-    if (!validScalar(d, n))
-        fatal("Ecdsa::sign: private scalar out of range");
-    BigUInt e = hashToScalar(message);
     for (;;) {
         BigUInt k = BigUInt(1) + BigUInt::random(rng, n - BigUInt(1));
-        AffinePoint rp = mul(k, g);
-        if (rp.inf)
-            continue;
-        BigUInt r = rp.x % n;
-        if (r.isZero())
-            continue;
-        BigUInt s = k.invMod(n).mulMod(e.addMod(r.mulMod(d, n), n), n);
-        if (s.isZero())
-            continue;
-        return EcdsaSignature{r, s};
+        auto sig = signWithNonce(message, d, k);
+        if (sig)
+            return *sig;
     }
 }
 
@@ -91,7 +119,7 @@ Ecdsa::verify(const std::string &message, const EcdsaSignature &sig,
     BigUInt u2 = sig.r.mulMod(w, n);
 
     // R = u1 * G + u2 * Q.
-    JacobianPoint acc = c.toJacobian(mul(u1, g));
+    JacobianPoint acc = c.toJacobian(mulG(u1));
     acc = c.addMixed(acc, mul(u2, q));
     AffinePoint rp = c.toAffine(acc);
     if (rp.inf)

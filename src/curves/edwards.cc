@@ -1,5 +1,6 @@
 #include "curves/edwards.hh"
 
+#include "field/batch_inverse.hh"
 #include "scalar/recode.hh"
 #include "support/logging.hh"
 
@@ -108,6 +109,24 @@ EdwardsCurve::precomputeTd2(const AffinePoint &p) const
     return f->mul(d2, f->mul(p.x, p.y));
 }
 
+std::vector<AffinePoint>
+EdwardsCurve::toAffineBatch(const std::vector<ExtendedPoint> &points) const
+{
+    // Z is never 0 on a complete curve, but invBatch's zero
+    // passthrough keeps a malformed input from perturbing neighbours.
+    std::vector<BigUInt> zs;
+    zs.reserve(points.size());
+    for (const ExtendedPoint &p : points)
+        zs.push_back(p.z);
+    invBatch(*f, zs);
+
+    std::vector<AffinePoint> out(points.size());
+    for (size_t i = 0; i < points.size(); i++)
+        out[i] = AffinePoint(f->mul(points[i].x, zs[i]),
+                             f->mul(points[i].y, zs[i]));
+    return out;
+}
+
 ExtendedPoint
 EdwardsCurve::add(const ExtendedPoint &p, const ExtendedPoint &q) const
 {
@@ -187,6 +206,12 @@ EdwardsCurve::mulBinary(const BigUInt &k, const AffinePoint &p) const
 AffinePoint
 EdwardsCurve::mulNaf(const BigUInt &k, const AffinePoint &p) const
 {
+    return toAffine(mulNafExtended(k, p));
+}
+
+ExtendedPoint
+EdwardsCurve::mulNafExtended(const BigUInt &k, const AffinePoint &p) const
+{
     auto digits = nafDigits(k);
     AffinePoint np = negate(p);
     BigUInt td2_p = precomputeTd2(p);
@@ -199,7 +224,7 @@ EdwardsCurve::mulNaf(const BigUInt &k, const AffinePoint &p) const
         else if (digits[i] == -1)
             r = addMixed(r, np, td2_n);
     }
-    return toAffine(r);
+    return r;
 }
 
 AffinePoint

@@ -18,6 +18,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "curves/point.hh"
 #include "field/prime_field.hh"
@@ -88,10 +89,25 @@ class EdwardsCurve
     /** 2d * x * y of an affine point (the addMixed precomputation). */
     BigUInt precomputeTd2(const AffinePoint &p) const;
 
+    /**
+     * Convert many extended points to affine with one field inversion
+     * (invBatch over the Z coordinates; same amortization as the
+     * Weierstrass toAffineBatch).
+     */
+    std::vector<AffinePoint>
+    toAffineBatch(const std::vector<ExtendedPoint> &points) const;
+
     // --- Point multiplication ---------------------------------------
 
     /** NAF double-and-add (high-speed method of Table II). */
     AffinePoint mulNaf(const BigUInt &k, const AffinePoint &p) const;
+
+    /**
+     * mulNaf without the final affine division: returns the extended
+     * result so batch consumers can share one toAffineBatch inversion.
+     */
+    ExtendedPoint mulNafExtended(const BigUInt &k,
+                                 const AffinePoint &p) const;
 
     /** Plain MSB-first double-and-add. */
     AffinePoint mulBinary(const BigUInt &k, const AffinePoint &p) const;

@@ -89,12 +89,12 @@ MontgomeryCurve::xzDiffAdd(const XzPoint &p, const XzPoint &q,
     return r;
 }
 
-std::optional<BigUInt>
-MontgomeryCurve::ladder(const BigUInt &k, const BigUInt &x,
-                        const BigUInt *blind) const
+XzPoint
+MontgomeryCurve::ladderXz(const BigUInt &k, const BigUInt &x,
+                          const BigUInt *blind) const
 {
     if (k.isZero())
-        return std::nullopt;  // infinity
+        return XzPoint{BigUInt(1), BigUInt(0)};  // infinity
 
     // R0 = P (affine), R1 = 2P; invariant R1 - R0 = P. With a blind,
     // R0 starts as the equivalent randomized projective point
@@ -117,6 +117,14 @@ MontgomeryCurve::ladder(const BigUInt &k, const BigUInt &x,
             r0 = xzDbl(r0);
         }
     }
+    return r0;
+}
+
+std::optional<BigUInt>
+MontgomeryCurve::ladder(const BigUInt &k, const BigUInt &x,
+                        const BigUInt *blind) const
+{
+    XzPoint r0 = ladderXz(k, x, blind);
     if (r0.z.isZero())
         return std::nullopt;
     return f->mul(r0.x, f->inv(r0.z));

@@ -69,6 +69,15 @@ class MontgomeryCurve
     std::optional<BigUInt> ladder(const BigUInt &k, const BigUInt &x,
                                   const BigUInt *blind = nullptr) const;
 
+    /**
+     * The ladder without the final X/Z division: returns the
+     * projective (X : Z) result (Z = 0 encodes infinity, including
+     * the k = 0 case). Batch consumers divide many results with one
+     * invBatch over the Z values; ladder() is this plus one inv.
+     */
+    XzPoint ladderXz(const BigUInt &k, const BigUInt &x,
+                     const BigUInt *blind = nullptr) const;
+
     /** XZ doubling: 2M + 2S + 1 mulSmall. */
     XzPoint xzDbl(const XzPoint &p) const;
 

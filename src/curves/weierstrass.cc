@@ -1,5 +1,6 @@
 #include "curves/weierstrass.hh"
 
+#include "field/batch_inverse.hh"
 #include "scalar/recode.hh"
 #include "support/logging.hh"
 
@@ -231,6 +232,12 @@ WeierstrassCurve::mulBinary(const BigUInt &k, const AffinePoint &p) const
 AffinePoint
 WeierstrassCurve::mulNaf(const BigUInt &k, const AffinePoint &p) const
 {
+    return toAffine(mulNafJacobian(k, p));
+}
+
+JacobianPoint
+WeierstrassCurve::mulNafJacobian(const BigUInt &k, const AffinePoint &p) const
+{
     auto digits = nafDigits(k);
     AffinePoint neg_p = negate(p);
     JacobianPoint r = JacobianPoint::infinity();
@@ -241,7 +248,7 @@ WeierstrassCurve::mulNaf(const BigUInt &k, const AffinePoint &p) const
         else if (digits[i] == -1)
             r = addMixed(r, neg_p);
     }
-    return toAffine(r);
+    return r;
 }
 
 AffinePoint
@@ -264,30 +271,24 @@ WeierstrassCurve::mulDaaa(const BigUInt &k, const AffinePoint &p) const
 std::vector<AffinePoint>
 WeierstrassCurve::toAffineBatch(const std::vector<JacobianPoint> &points) const
 {
-    // Montgomery's trick: prefix products of the Z coordinates, one
-    // inversion, then unwind to get each Z^-1.
+    // Montgomery's trick via the shared invBatch driver: infinity's
+    // Z = 0 encoding is exactly invBatch's skip value.
+    std::vector<BigUInt> zs;
+    zs.reserve(points.size());
+    for (const JacobianPoint &p : points)
+        zs.push_back(p.z);
+    invBatch(*f, zs);
+
     std::vector<AffinePoint> out(points.size());
-    std::vector<BigUInt> prefix;
-    prefix.reserve(points.size());
-    BigUInt acc(1);
-    for (const JacobianPoint &p : points) {
-        if (!p.isInfinity())
-            acc = f->mul(acc, p.z);
-        prefix.push_back(acc);
-    }
-    BigUInt inv_acc = f->inv(acc);
-    for (size_t i = points.size(); i-- > 0;) {
+    for (size_t i = 0; i < points.size(); i++) {
         const JacobianPoint &p = points[i];
         if (p.isInfinity()) {
             out[i] = AffinePoint::infinity();
             continue;
         }
-        BigUInt prev = i == 0 ? BigUInt(1) : prefix[i - 1];
-        BigUInt zi = f->mul(inv_acc, prev);
-        inv_acc = f->mul(inv_acc, p.z);
-        BigUInt zi2 = f->sqr(zi);
+        BigUInt zi2 = f->sqr(zs[i]);
         out[i] = AffinePoint(f->mul(p.x, zi2),
-                             f->mul(p.y, f->mul(zi2, zi)));
+                             f->mul(p.y, f->mul(zi2, zs[i])));
     }
     return out;
 }

@@ -77,6 +77,15 @@ class WeierstrassCurve
     /** NAF double-and-add (high-speed method of Table II). */
     AffinePoint mulNaf(const BigUInt &k, const AffinePoint &p) const;
 
+    /**
+     * mulNaf without the final affine conversion: returns the
+     * Jacobian result so callers processing many multiplications
+     * (the service layer's micro-batches) can convert them all with
+     * one toAffineBatch inversion.
+     */
+    JacobianPoint mulNafJacobian(const BigUInt &k,
+                                 const AffinePoint &p) const;
+
     /** Plain MSB-first double-and-add (baseline). */
     AffinePoint mulBinary(const BigUInt &k, const AffinePoint &p) const;
 

@@ -1,0 +1,50 @@
+#include "field/batch_inverse.hh"
+
+namespace jaavr
+{
+
+size_t
+invBatch(const PrimeField &f, std::vector<BigUInt> &elems)
+{
+    // Prefix products over the nonzero elements only: prefix[i] holds
+    // the product of every nonzero element up to and including i, so
+    // a zero at position i reuses prefix[i-1] and drops out of the
+    // unwind entirely.
+    std::vector<BigUInt> prefix;
+    prefix.reserve(elems.size());
+    BigUInt acc(1);
+    size_t nonzero = 0;
+    for (const BigUInt &e : elems) {
+        if (!e.isZero()) {
+            acc = f.mul(acc, e);
+            nonzero++;
+        }
+        prefix.push_back(acc);
+    }
+    if (nonzero == 0)
+        return 0;
+
+    // One inversion of the full product, then unwind: before step i,
+    // inv_acc = (product of nonzero elems[0..i])^-1, so multiplying
+    // by the previous prefix isolates elems[i]^-1.
+    BigUInt inv_acc = f.inv(acc);
+    for (size_t i = elems.size(); i-- > 0;) {
+        if (elems[i].isZero())
+            continue;
+        BigUInt prev = i == 0 ? BigUInt(1) : prefix[i - 1];
+        BigUInt inv_i = f.mul(inv_acc, prev);
+        inv_acc = f.mul(inv_acc, elems[i]);
+        elems[i] = inv_i;
+    }
+    return nonzero;
+}
+
+std::vector<BigUInt>
+invBatchCopy(const PrimeField &f, const std::vector<BigUInt> &elems)
+{
+    std::vector<BigUInt> out = elems;
+    invBatch(f, out);
+    return out;
+}
+
+} // namespace jaavr

@@ -73,6 +73,13 @@ class PrimeField
     /**
      * Attach an operation counter; all subsequent counted operations
      * increment it. Pass nullptr to detach.
+     *
+     * Thread-safety: the attachment is per-instance mutable state —
+     * a field shared across threads with a counter attached would
+     * race on the increments. The service layer therefore gives each
+     * worker context its own PrimeField instance (they are cheap
+     * value objects; see DESIGN.md §14) and never attaches a counter
+     * to a shared field.
      */
     void attachCounter(FieldOpCounts *c) const { counter = c; }
     FieldOpCounts *attachedCounter() const { return counter; }

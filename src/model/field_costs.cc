@@ -1,6 +1,7 @@
 #include "model/field_costs.hh"
 
 #include <map>
+#include <mutex>
 #include <tuple>
 
 #include "avrgen/opf_harness.hh"
@@ -11,15 +12,25 @@
 namespace jaavr
 {
 
+// The memo caches below are the only function-local mutable statics in
+// the library (global-state audit, DESIGN.md §14); the mutexes make
+// them safe for the service layer's concurrent worker contexts.
+// std::map never invalidates element references, so returning
+// `const FieldCycleCosts &` into the cache stays valid after unlock.
+
 const FieldCycleCosts &
 opfFieldCosts(const OpfPrime &prime, CpuMode mode)
 {
     using Key = std::tuple<uint32_t, unsigned, CpuMode>;
+    static std::mutex cache_mutex;
     static std::map<Key, FieldCycleCosts> cache;
     Key key{prime.u, prime.k, mode};
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
 
     OpfField field(prime);
     OpfAvrLibrary lib(prime, mode);
@@ -43,16 +54,21 @@ opfFieldCosts(const OpfPrime &prime, CpuMode mode)
         inv_total += lib.inv(field.fromBig(x)).cycles;
     }
     c.inv = inv_total / inv_samples;
+    std::lock_guard<std::mutex> lock(cache_mutex);
     return cache.emplace(key, c).first->second;
 }
 
 FieldCycleCosts
 secp160r1FieldCosts(CpuMode mode)
 {
+    static std::mutex cache_mutex;
     static std::map<CpuMode, FieldCycleCosts> cache;
-    auto it = cache.find(mode);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex);
+        auto it = cache.find(mode);
+        if (it != cache.end())
+            return it->second;
+    }
 
     Secp160AvrLibrary lib(mode);
     Rng rng(0x5ec0);
@@ -73,6 +89,7 @@ secp160r1FieldCosts(CpuMode mode)
         inv_total += lib.inv(x.toWords(5)).cycles;
     }
     c.inv = inv_total / inv_samples;
+    std::lock_guard<std::mutex> lock(cache_mutex);
     return cache.emplace(mode, c).first->second;
 }
 

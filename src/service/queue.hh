@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Bounded lock-free ring queue (Vyukov's bounded MPMC algorithm,
+ * used here as the per-worker MPSC request queue of the ECC service
+ * — DESIGN.md §14).
+ *
+ * Each cell carries a sequence number that encodes, relative to the
+ * ring lap, whether the cell is free for the next producer or holds a
+ * value for the next consumer. Producers claim cells with one CAS on
+ * the enqueue cursor; the single consumer per queue claims with a
+ * plain load/store pair on the dequeue cursor (the algorithm also
+ * supports multiple consumers, so the same type backs tests that pop
+ * from several threads). Push and pop are wait-free when uncontended
+ * and lock-free under contention; a full queue rejects the push
+ * instead of blocking, which is the backpressure signal
+ * EccService::trySubmit reports to callers.
+ */
+
+#ifndef JAAVR_SERVICE_QUEUE_HH
+#define JAAVR_SERVICE_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "support/logging.hh"
+
+namespace jaavr
+{
+
+template <typename T>
+class BoundedMpmcQueue
+{
+  public:
+    /** @param capacity slots; rounded up to a power of two >= 2. */
+    explicit BoundedMpmcQueue(size_t capacity)
+    {
+        size_t cap = 2;
+        while (cap < capacity) {
+            cap <<= 1;
+            if (cap == 0)
+                fatal("BoundedMpmcQueue: capacity overflow");
+        }
+        cells = std::make_unique<Cell[]>(cap);
+        maskv = cap - 1;
+        for (size_t i = 0; i < cap; i++)
+            cells[i].seq.store(i, std::memory_order_relaxed);
+        enqueuePos.store(0, std::memory_order_relaxed);
+        dequeuePos.store(0, std::memory_order_relaxed);
+    }
+
+    BoundedMpmcQueue(const BoundedMpmcQueue &) = delete;
+    BoundedMpmcQueue &operator=(const BoundedMpmcQueue &) = delete;
+
+    /** False iff the queue is full. Safe from any thread. */
+    bool
+    tryPush(const T &v)
+    {
+        size_t pos = enqueuePos.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells[pos & maskv];
+            size_t seq = cell.seq.load(std::memory_order_acquire);
+            intptr_t diff = intptr_t(seq) - intptr_t(pos);
+            if (diff == 0) {
+                if (enqueuePos.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    cell.value = v;
+                    cell.seq.store(pos + 1, std::memory_order_release);
+                    return true;
+                }
+                // CAS failure reloaded pos; retry that cell.
+            } else if (diff < 0) {
+                return false;  // cell still holds the previous lap
+            } else {
+                pos = enqueuePos.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** False iff the queue is empty. Safe from any thread. */
+    bool
+    tryPop(T &out)
+    {
+        size_t pos = dequeuePos.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells[pos & maskv];
+            size_t seq = cell.seq.load(std::memory_order_acquire);
+            intptr_t diff = intptr_t(seq) - intptr_t(pos + 1);
+            if (diff == 0) {
+                if (dequeuePos.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    out = cell.value;
+                    cell.seq.store(pos + maskv + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false;  // empty (producer not done yet)
+            } else {
+                pos = dequeuePos.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Momentary depth; approximate under concurrent traffic. */
+    size_t
+    sizeApprox() const
+    {
+        size_t e = enqueuePos.load(std::memory_order_relaxed);
+        size_t d = dequeuePos.load(std::memory_order_relaxed);
+        return e >= d ? e - d : 0;
+    }
+
+    size_t capacity() const { return maskv + 1; }
+
+  private:
+    struct Cell
+    {
+        std::atomic<size_t> seq{0};
+        T value{};
+    };
+
+    // The cursors live on separate cache lines so producers hammering
+    // enqueuePos do not false-share with the consumer's dequeuePos.
+    std::unique_ptr<Cell[]> cells;
+    size_t maskv;
+    alignas(64) std::atomic<size_t> enqueuePos;
+    alignas(64) std::atomic<size_t> dequeuePos;
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_SERVICE_QUEUE_HH

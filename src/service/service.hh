@@ -1,0 +1,149 @@
+/**
+ * @file
+ * EccService: the long-running batched ECC server (DESIGN.md §14).
+ *
+ * Architecture: a fixed pool of worker threads, each with a private
+ * WorkerContext (no shared mutable state — see context.hh) and its
+ * own bounded lock-free MPSC request queue. Submitters shard across
+ * the queues (round-robin by default, sticky via
+ * ServiceRequest::shardHint), so the hot path is one CAS per submit
+ * and workers never contend with each other.
+ *
+ * Amortization: a worker drains up to `batchMax` requests per wake
+ * and processes them as a micro-batch. With `amortize` on (the
+ * default), fixed-base multiplications go through comb tables built
+ * once at startup, a batch's Jacobian/extended results are converted
+ * to affine with one shared Montgomery batched inversion, the ECDSA
+ * nonce inverses of a batch share one mod-n inversion, and the
+ * x-only ladder results share one X/Z division. With `amortize` off
+ * every request takes the pre-existing single-call library path —
+ * that configuration is the "batch size 1" baseline bench_service
+ * compares against.
+ *
+ * Completion is by request: the worker writes the outputs, then
+ * release-stores ServiceRequest::done; EccService::wait spins on it
+ * with an acquire load. Latency (submit to completion) and batch
+ * occupancy land in per-worker histograms published through
+ * publishMetrics.
+ */
+
+#ifndef JAAVR_SERVICE_SERVICE_HH
+#define JAAVR_SERVICE_SERVICE_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/context.hh"
+#include "service/queue.hh"
+#include "service/request.hh"
+#include "support/metrics.hh"
+
+namespace jaavr
+{
+
+struct ServiceConfig
+{
+    unsigned workers = 2;        ///< worker threads (>= 1)
+    size_t queueCapacity = 1024; ///< per-worker queue slots (pow2-rounded)
+    size_t batchMax = 16;        ///< micro-batch drain limit (>= 1)
+    bool amortize = true;        ///< comb tables + shared inversions
+    uint64_t rngSeed = 1;        ///< base seed; worker i uses seed + i
+    CpuMode machineMode = CpuMode::ISE; ///< per-worker Machine mode
+};
+
+class EccService
+{
+  public:
+    explicit EccService(const ServiceConfig &cfg);
+    ~EccService();
+
+    EccService(const EccService &) = delete;
+    EccService &operator=(const EccService &) = delete;
+
+    void start();
+    /** Drains every queued request, then joins the workers. */
+    void stop();
+    bool started() const { return !threads.empty(); }
+
+    /**
+     * Enqueue a caller-owned request; false when the target shard's
+     * queue is full (backpressure) or the service has been stopped.
+     * Requests submitted before start() queue up and are processed
+     * when the workers launch (tests use this to pin full-batch
+     * occupancy deterministically). The request must outlive its
+     * completion (see request.hh).
+     */
+    bool trySubmit(ServiceRequest *req);
+
+    /** trySubmit that spins on backpressure; false once stopped. */
+    bool submit(ServiceRequest *req);
+
+    /** Block (spin + yield) until the request completes. */
+    static void wait(const ServiceRequest &req);
+
+    const ServiceConfig &config() const { return cfg; }
+    uint64_t opsProcessed() const;
+
+    /**
+     * Publish queue depths, per-worker op/batch counters, and the
+     * latency/occupancy histograms into @p reg. Counters are raised
+     * to the current totals (idempotent across calls); histograms are
+     * re-emitted bucket-faithfully (counts exact per bucket, sums
+     * approximated by bucket upper bounds).
+     */
+    void publishMetrics(MetricsRegistry &reg) const;
+
+    /** Per-worker latency percentile estimate in microseconds. */
+    double latencyPercentileUs(double p) const;
+
+  private:
+    struct WorkerStats
+    {
+        std::atomic<uint64_t> ops{0};
+        std::atomic<uint64_t> batches{0};
+        std::atomic<uint64_t> opsByKind[4] = {};
+        std::atomic<uint64_t> failed{0};
+        // The histograms are plain (metrics.hh is deliberately not
+        // concurrent): the owning worker records under this mutex and
+        // readers snapshot under it.
+        mutable std::mutex histMutex;
+        Histogram latencyUs;
+        Histogram occupancy;
+
+        WorkerStats(std::vector<double> latency_bounds,
+                    std::vector<double> occupancy_bounds)
+            : latencyUs(std::move(latency_bounds)),
+              occupancy(std::move(occupancy_bounds))
+        {}
+    };
+
+    void workerLoop(unsigned idx);
+    void processBatch(WorkerContext &ctx, WorkerStats &st,
+                      std::vector<ServiceRequest *> &batch);
+    void processSingle(WorkerContext &ctx, ServiceRequest &req);
+    void processSignBatch(WorkerContext &ctx,
+                          std::vector<ServiceRequest *> &reqs);
+    void processDeriveWeierstrassBatch(WorkerContext &ctx,
+                                       std::vector<ServiceRequest *> &reqs);
+    void processDeriveMontgomeryBatch(WorkerContext &ctx,
+                                      std::vector<ServiceRequest *> &reqs);
+    void processDeriveEdwardsBatch(WorkerContext &ctx,
+                                   std::vector<ServiceRequest *> &reqs);
+
+    ServiceConfig cfg;
+    ServiceTables tables;
+    std::vector<std::unique_ptr<WorkerContext>> contexts;
+    std::vector<std::unique_ptr<BoundedMpmcQueue<ServiceRequest *>>> queues;
+    std::vector<std::unique_ptr<WorkerStats>> stats;
+    std::vector<std::thread> threads;
+    std::atomic<bool> accepting{true};
+    std::atomic<bool> running{false};
+    std::atomic<uint64_t> roundRobin{0};
+};
+
+} // namespace jaavr
+
+#endif // JAAVR_SERVICE_SERVICE_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The shared Montgomery simultaneous-inversion driver: agreement
+ * with one-at-a-time PrimeField::inv across sizes (empty, single,
+ * odd, large), zero passthrough in every position, and the return
+ * count contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/batch_inverse.hh"
+#include "support/random.hh"
+
+using namespace jaavr;
+
+namespace
+{
+
+PrimeField
+testField()
+{
+    // secp160r1's prime: large enough to be representative, cheap to
+    // construct (no reduction specialization needed here).
+    return PrimeField(
+        BigUInt::fromHex("ffffffffffffffffffffffffffffffff7fffffff"));
+}
+
+std::vector<BigUInt>
+randomElems(const PrimeField &f, Rng &rng, size_t n)
+{
+    std::vector<BigUInt> v;
+    v.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+        BigUInt x = f.random(rng);
+        if (x.isZero())
+            x = BigUInt(1);
+        v.push_back(x);
+    }
+    return v;
+}
+
+} // namespace
+
+TEST(BatchInverse, EmptyAndSingle)
+{
+    PrimeField f = testField();
+    std::vector<BigUInt> none;
+    EXPECT_EQ(invBatch(f, none), 0u);
+    EXPECT_TRUE(none.empty());
+
+    std::vector<BigUInt> one{BigUInt(7)};
+    EXPECT_EQ(invBatch(f, one), 1u);
+    EXPECT_EQ(one[0], f.inv(BigUInt(7)));
+}
+
+TEST(BatchInverse, MatchesSingleInversions)
+{
+    PrimeField f = testField();
+    Rng rng(42);
+    for (size_t n : {2u, 3u, 7u, 64u, 257u}) {
+        std::vector<BigUInt> elems = randomElems(f, rng, n);
+        std::vector<BigUInt> expect;
+        expect.reserve(n);
+        for (const BigUInt &x : elems)
+            expect.push_back(f.inv(x));
+        EXPECT_EQ(invBatch(f, elems), n);
+        EXPECT_EQ(elems, expect);
+    }
+}
+
+TEST(BatchInverse, ZeroPassthrough)
+{
+    PrimeField f = testField();
+    Rng rng(43);
+    // A zero in every position of a small batch, plus all-zero.
+    for (size_t zero_at = 0; zero_at < 5; zero_at++) {
+        std::vector<BigUInt> elems = randomElems(f, rng, 5);
+        elems[zero_at] = BigUInt(0);
+        std::vector<BigUInt> expect;
+        for (const BigUInt &x : elems)
+            expect.push_back(x.isZero() ? BigUInt(0) : f.inv(x));
+        EXPECT_EQ(invBatch(f, elems), 4u);
+        EXPECT_EQ(elems, expect);
+    }
+
+    std::vector<BigUInt> zeros(3, BigUInt(0));
+    EXPECT_EQ(invBatch(f, zeros), 0u);
+    for (const BigUInt &x : zeros)
+        EXPECT_TRUE(x.isZero());
+}
+
+TEST(BatchInverse, ZeroHeavyLargeBatch)
+{
+    PrimeField f = testField();
+    Rng rng(44);
+    std::vector<BigUInt> elems = randomElems(f, rng, 100);
+    size_t zeros = 0;
+    for (size_t i = 0; i < elems.size(); i += 3) {
+        elems[i] = BigUInt(0);
+        zeros++;
+    }
+    std::vector<BigUInt> expect;
+    for (const BigUInt &x : elems)
+        expect.push_back(x.isZero() ? BigUInt(0) : f.inv(x));
+    EXPECT_EQ(invBatch(f, elems), elems.size() - zeros);
+    EXPECT_EQ(elems, expect);
+}
+
+TEST(BatchInverse, CopyWrapperLeavesInputAlone)
+{
+    PrimeField f = testField();
+    Rng rng(45);
+    std::vector<BigUInt> elems = randomElems(f, rng, 9);
+    std::vector<BigUInt> orig = elems;
+    std::vector<BigUInt> inv = invBatchCopy(f, elems);
+    EXPECT_EQ(elems, orig);
+    ASSERT_EQ(inv.size(), elems.size());
+    for (size_t i = 0; i < elems.size(); i++)
+        EXPECT_TRUE(f.mul(elems[i], inv[i]) == BigUInt(1));
+}
+
+TEST(BatchInverse, ProductIsOneInBothDirections)
+{
+    // x * invBatch(x) == 1 for mixed small/large values, including
+    // p - 1 (its own inverse) and 1.
+    PrimeField f = testField();
+    std::vector<BigUInt> elems{BigUInt(1), BigUInt(2),
+                               f.modulus() - BigUInt(1),
+                               f.modulus() - BigUInt(2), BigUInt(12345)};
+    std::vector<BigUInt> orig = elems;
+    EXPECT_EQ(invBatch(f, elems), elems.size());
+    for (size_t i = 0; i < elems.size(); i++)
+        EXPECT_TRUE(f.mul(orig[i], elems[i]) == BigUInt(1));
+}
