@@ -26,9 +26,21 @@
  * bench/baselines.json gate via jaavr-report) and a labeled metrics
  * snapshot to METRICS_network.json.
  *
+ * Observability (src/obs/): every level runs with a span tracer and
+ * flight recorder attached to all nodes. Telemetry trace IDs follow
+ * each payload through session send/retransmit/ack in simulated
+ * time; per-level span summaries (and the raw spans) land in
+ * TRACE_network.json, the last level's spans in
+ * TRACE_network_chrome.json. The adversary fires one volley of
+ * back-to-back forged Data frames per level so the gateway's
+ * forgery-rejection streak deterministically trips the re-key
+ * ladder and dumps FLIGHT_network.json (byte-identical per seed —
+ * all flight timestamps are simulated time).
+ *
  * Flags: --smoke (CI-sized sweep), --seed <n>.
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -38,6 +50,8 @@
 #include "bench/bench_util.hh"
 #include "curves/standard_curves.hh"
 #include "net/testbed.hh"
+#include "obs/flight.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 #include "support/sha256.hh"
 
@@ -50,6 +64,14 @@ namespace
 
 constexpr const char *kJsonPath = "BENCH_network.json";
 constexpr const char *kMetricsPath = "METRICS_network.json";
+constexpr const char *kTracePath = "TRACE_network.json";
+constexpr const char *kChromePath = "TRACE_network_chrome.json";
+constexpr const char *kFlightPath = "FLIGHT_network.json";
+
+/** Back-to-back forged Data frames per per-level volley: enough to
+ *  trip the consecutive-reject re-key ladder even when the lossiest
+ *  link eats half of them. */
+constexpr int kForgedVolley = 6;
 
 /** Worst-level goodput may not fall below clean/kMaxSlowdown. */
 constexpr double kMaxSlowdown = 25.0;
@@ -86,6 +108,15 @@ struct LevelResult
     uint64_t badFrames = 0;
     SimTime drainUs = 0;
     bool drained = false;
+
+    // Trace/flight summary (deterministic: simulated time only).
+    uint64_t telemetrySpans = 0;   ///< queue -> delivery-confirmed
+    uint64_t sendAckSpans = 0;
+    uint64_t retransmitSpans = 0;
+    uint64_t rekeyEvents = 0;      ///< traced "rekey" instants
+    uint64_t telemetryP99Us = 0;   ///< p99 telemetry span, sim µs
+    uint64_t flightTriggers = 0;
+    uint64_t flightEvents = 0;
 
     double
     goodputPerSec() const
@@ -138,6 +169,16 @@ runLevel(const LevelSpec &level, size_t sensors, uint32_t msgs,
          uint64_t seed, const WeierstrassCurve &curve,
          const Ecdsa &dsa)
 {
+    // Declared before the testbed so the nodes (which hold raw
+    // pointers into both) are destroyed first. One fresh tracer and
+    // recorder per level keeps the per-level summaries exact; the
+    // recorder dumps every level to the same path, so the file holds
+    // the last (harshest) level's postmortem.
+    obs::SpanTracer tracer;
+    tracer.setEnabled(true);
+    obs::FlightRecorder flight;
+    flight.setDumpPath(kFlightPath);
+
     Testbed tb(curve, dsa);
 
     NodeConfig gw;
@@ -160,6 +201,13 @@ runLevel(const LevelSpec &level, size_t sensors, uint32_t msgs,
         lc.reorderPermil = level.reorderPermil;
         lc.seed = seed * 100 + 7 * (s + 1);
         tb.connect(nc.name, "gw", lc);
+    }
+
+    tb.node("gw").setTracer(&tracer);
+    tb.node("gw").setFlightRecorder(&flight);
+    for (const std::string &n : names) {
+        tb.node(n).setTracer(&tracer);
+        tb.node(n).setFlightRecorder(&flight);
     }
 
     // Sender-side ledger: payload bytes -> times accepted at gw.
@@ -218,6 +266,24 @@ runLevel(const LevelSpec &level, size_t sensors, uint32_t msgs,
                 res.forgedInjected++;
             }
         }
+        // Mid-campaign volley: back-to-back forged Data frames on one
+        // uplink, so the gateway sees consecutive MAC rejects with no
+        // genuine frame in between — the forgery-rejection streak
+        // deterministically reaches the re-key threshold and fires
+        // the flight recorder's "net_forgery_streak" dump.
+        if (i == msgs / 2) {
+            for (int v = 0; v < kForgedVolley; v++) {
+                Frame forged;
+                forged.type = FrameType::Data;
+                forged.session = tb.node("gw").peerEpoch(names[0]);
+                forged.seq = 60'000 + uint32_t(v);
+                forged.payload.assign(24, 0xee);
+                tb.edge(names[0], "gw")
+                    .forward.transmit(forgeFrame(forged, false),
+                                      tb.now());
+                res.forgedInjected++;
+            }
+        }
         tb.run(tb.now() + kTick);
     }
     res.queued = ledger.size();
@@ -229,6 +295,20 @@ runLevel(const LevelSpec &level, size_t sensors, uint32_t msgs,
         tb.run(tb.now() + 10'000);
     res.drained = res.acceptedUnique == res.queued;
     res.drainUs = tb.now();
+
+    // Settle phase (after the goodput clock stops): the drain loop
+    // ends at gateway *acceptance*, but a telemetry span closes on
+    // the sender-side ack. Run on until every sensor's backlog has
+    // cleared so each payload's delivery-confirmed span exists.
+    const SimTime kSettleCap = tb.now() + 60'000'000;
+    auto backlog = [&] {
+        size_t b = 0;
+        for (const std::string &n : names)
+            b += tb.node(n).peerBacklog("gw");
+        return b;
+    };
+    while (backlog() && tb.now() < kSettleCap)
+        tb.run(tb.now() + 10'000);
 
     for (size_t s = 0; s < sensors; s++) {
         const NodeStats &ns = tb.node(names[s]).stats();
@@ -258,6 +338,37 @@ runLevel(const LevelSpec &level, size_t sensors, uint32_t msgs,
     JsonLine stamp = benchLine("network_chaos");
     stamp.str("profile", level.name);
     reg.writeJsonLines(kMetricsPath, stamp);
+
+    // Trace summary: spans by name across all node rings, plus the
+    // p99 telemetry latency in simulated µs — deterministic per
+    // seed, so the pinned ratio rows can use tight thresholds.
+    tracer.setEnabled(false);
+    std::vector<uint64_t> telemetryDurs;
+    for (const auto &[source, recs] : tracer.snapshotAll()) {
+        for (const obs::SpanRecord &sp : recs) {
+            if (!std::strcmp(sp.name, "telemetry")) {
+                res.telemetrySpans++;
+                telemetryDurs.push_back(sp.durUs());
+            } else if (!std::strcmp(sp.name, "send_ack")) {
+                res.sendAckSpans++;
+            } else if (!std::strcmp(sp.name, "retransmit")) {
+                res.retransmitSpans++;
+            } else if (!std::strcmp(sp.name, "rekey")) {
+                res.rekeyEvents++;
+            }
+        }
+    }
+    if (!telemetryDurs.empty()) {
+        std::sort(telemetryDurs.begin(), telemetryDurs.end());
+        size_t idx = static_cast<size_t>(
+            0.99 * double(telemetryDurs.size() - 1) + 0.5);
+        res.telemetryP99Us = telemetryDurs[idx];
+    }
+    res.flightTriggers = flight.triggers();
+    res.flightEvents = flight.totalRecorded();
+    if (!tracer.exportJsonLines(kTracePath, stamp) ||
+        !tracer.exportChromeTrace(kChromePath))
+        fatal("cannot write the trace exports");
     return res;
 }
 
@@ -293,6 +404,25 @@ emitLevel(const LevelSpec &level, const LevelResult &r, uint64_t seed)
         .num("drain_us", r.drainUs)
         .num("goodput_msgs_per_s", r.goodputPerSec());
     appendJsonLine(kJsonPath, line);
+
+    // Per-level trace summary: every queued payload must have at
+    // least one delivery-confirmed telemetry span (re-keys can add
+    // re-sends, so the ratio may exceed 1, never undercut it).
+    double tracedRatio =
+        r.queued ? double(r.telemetrySpans) / double(r.queued) : 0;
+    JsonLine trace = benchLine("network_chaos");
+    trace.str("profile", level.name)
+        .str("record", "trace_summary")
+        .num("seed", seed)
+        .num("telemetry_spans", r.telemetrySpans)
+        .num("traced_telemetry_ratio", tracedRatio)
+        .num("telemetry_p99_us", r.telemetryP99Us)
+        .num("send_ack_spans", r.sendAckSpans)
+        .num("retransmit_spans", r.retransmitSpans)
+        .num("rekey_events", r.rekeyEvents)
+        .num("flight_triggers", r.flightTriggers)
+        .num("flight_events", r.flightEvents);
+    appendJsonLine(kTracePath, trace);
 
     std::printf("  %-8s queued %4llu  accepted %4llu (+%llu dup)  "
                 "forged %llu/%llu rej  rekeys %llu  quar %llu  "
@@ -377,6 +507,22 @@ main(int argc, char **argv)
                          (unsigned long long)r.queued);
             failures++;
         }
+        if (r.flightTriggers == 0) {
+            std::fprintf(stderr,
+                         "FAIL %s: the forged volley never tripped "
+                         "the flight recorder\n",
+                         level.name);
+            failures++;
+        }
+        if (r.queued && r.telemetrySpans < r.queued) {
+            std::fprintf(stderr,
+                         "FAIL %s: only %llu telemetry spans for "
+                         "%llu queued payloads\n",
+                         level.name,
+                         (unsigned long long)r.telemetrySpans,
+                         (unsigned long long)r.queued);
+            failures++;
+        }
     }
 
     // Bounded degradation: chaos may slow the star down, not stall
@@ -398,6 +544,10 @@ main(int argc, char **argv)
     appendJsonLine(kJsonPath, meta);
     note(std::string("JSON appended to ") + kJsonPath);
     note(std::string("metrics snapshot appended to ") + kMetricsPath);
+    note(std::string("trace summaries + spans appended to ") +
+         kTracePath);
+    note(std::string("chrome trace -> ") + kChromePath);
+    note(std::string("flight dump -> ") + kFlightPath);
     if (failures) {
         std::fprintf(stderr, "network chaos campaign: %zu invariant "
                              "violations\n",

@@ -24,10 +24,22 @@
  * snapshot — queue depths, batch occupancy, per-worker op counters —
  * goes to METRICS_service.json.
  *
+ * Observability (src/obs/): the batch sweep runs with a span tracer
+ * attached but idle — so the gated ops/s rows double as the
+ * "tracing compiled in but off is free" check — and the paced load
+ * levels run with it enabled. The recorded spans land in
+ * TRACE_service.json (JSON lines: raw spans plus the per-stage
+ * latency-attribution rows the gate pins) and
+ * TRACE_service_chrome.json (chrome://tracing / Perfetto). A
+ * deterministic flight-recorder drill (single corrupted Verify, one
+ * worker) dumps FLIGHT_service.json byte-identically per seed.
+ *
  * Flags: --smoke (CI-sized sweep), --seed <n>.
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -35,6 +47,8 @@
 
 #include "bench/bench_util.hh"
 #include "curves/standard_curves.hh"
+#include "obs/flight.hh"
+#include "obs/trace.hh"
 #include "service/service.hh"
 #include "support/logging.hh"
 
@@ -46,6 +60,9 @@ namespace
 
 constexpr const char *kJsonPath = "BENCH_service.json";
 constexpr const char *kMetricsPath = "METRICS_service.json";
+constexpr const char *kTracePath = "TRACE_service.json";
+constexpr const char *kChromePath = "TRACE_service_chrome.json";
+constexpr const char *kFlightPath = "FLIGHT_service.json";
 
 int failures = 0;
 
@@ -112,7 +129,8 @@ struct SweepResult
  */
 SweepResult
 runBatchConfig(const std::vector<SignCase> &cases, bool amortize,
-               size_t batch_max, uint64_t seed)
+               size_t batch_max, uint64_t seed,
+               jaavr::obs::SpanTracer *tracer)
 {
     ServiceConfig cfg;
     cfg.workers = 1;
@@ -121,6 +139,7 @@ runBatchConfig(const std::vector<SignCase> &cases, bool amortize,
     cfg.amortize = amortize;
     cfg.rngSeed = seed;
     EccService svc(cfg);
+    svc.setTracer(tracer);
 
     std::vector<ServiceRequest> reqs(cases.size());
     for (size_t i = 0; i < cases.size(); i++) {
@@ -162,7 +181,8 @@ runBatchConfig(const std::vector<SignCase> &cases, bool amortize,
 SweepResult
 runLoadLevel(const std::vector<SignCase> &cases, unsigned workers,
              double offered, uint64_t seed,
-             MetricsRegistry *final_metrics)
+             MetricsRegistry *final_metrics,
+             jaavr::obs::SpanTracer *tracer)
 {
     ServiceConfig cfg;
     cfg.workers = workers;
@@ -171,6 +191,7 @@ runLoadLevel(const std::vector<SignCase> &cases, unsigned workers,
     cfg.amortize = true;
     cfg.rngSeed = seed;
     EccService svc(cfg);
+    svc.setTracer(tracer);
     svc.start();
 
     const AffinePoint peer =
@@ -239,6 +260,156 @@ runLoadLevel(const std::vector<SignCase> &cases, unsigned workers,
     return res;
 }
 
+/** One request's stage decomposition, read back from its span. */
+struct StageSample
+{
+    uint64_t e2e = 0;      ///< submit -> completion
+    uint64_t queue = 0;    ///< enqueue -> worker pop
+    uint64_t drainWait = 0;///< pop -> batch drain begin
+    uint64_t compute = 0;  ///< drain begin -> completion
+};
+
+/** Nearest-rank percentile (copy; empty -> 0). */
+uint64_t
+pctOf(std::vector<uint64_t> v, double p)
+{
+    if (v.empty())
+        return 0;
+    std::sort(v.begin(), v.end());
+    size_t idx = static_cast<size_t>(std::ceil(p / 100.0 * v.size()));
+    return v[std::min(idx ? idx - 1 : 0, v.size() - 1)];
+}
+
+/**
+ * Read every per-request span out of the tracer (quiesced: all
+ * traced services are stopped) and emit the latency-attribution
+ * rows: independent p50/p99 per stage, plus the tiling check — the
+ * p99-rank request's stages sum to its end-to-end latency exactly,
+ * so p99_stage_sum_ratio is pinned at 1.0 in bench/baselines.json
+ * and any stamping drift trips the gate.
+ */
+void
+emitAttribution(const obs::SpanTracer &tracer)
+{
+    std::vector<StageSample> samples;
+    for (const auto &[source, recs] : tracer.snapshotAll()) {
+        for (const obs::SpanRecord &r : recs) {
+            if (std::strcmp(r.cat, "service") != 0 ||
+                std::strcmp(r.name, "drain") == 0 || !r.arg0Name ||
+                std::strcmp(r.arg0Name, "queue_wait_us") != 0)
+                continue;
+            StageSample s;
+            s.e2e = r.durUs();
+            s.queue = r.arg0;
+            s.drainWait = r.arg1;
+            s.compute = s.e2e - std::min(s.e2e, s.queue + s.drainWait);
+            samples.push_back(s);
+        }
+    }
+    if (samples.empty()) {
+        note("no request spans recorded; attribution rows skipped");
+        return;
+    }
+
+    std::sort(samples.begin(), samples.end(),
+              [](const StageSample &a, const StageSample &b) {
+                  return a.e2e < b.e2e;
+              });
+    size_t idx99 = static_cast<size_t>(
+        std::ceil(0.99 * double(samples.size())));
+    const StageSample &at99 =
+        samples[std::min(idx99 ? idx99 - 1 : 0, samples.size() - 1)];
+    double e2e99 = double(at99.e2e);
+    double sum99 = double(at99.queue + at99.drainWait + at99.compute);
+    double ratio = e2e99 > 0 ? sum99 / e2e99 : 1.0;
+
+    std::vector<uint64_t> qs, ds, cs;
+    for (const StageSample &s : samples) {
+        qs.push_back(s.queue);
+        ds.push_back(s.drainWait);
+        cs.push_back(s.compute);
+    }
+
+    struct StageRow
+    {
+        const char *stage;
+        const std::vector<uint64_t> *vals;
+        uint64_t at99;
+    };
+    const StageRow rows[] = {
+        {"queue_wait", &qs, at99.queue},
+        {"drain_wait", &ds, at99.drainWait},
+        {"compute", &cs, at99.compute},
+    };
+    separator();
+    note("p99 latency attribution (paced levels, traced)");
+    for (const StageRow &row : rows) {
+        double share = e2e99 > 0 ? double(row.at99) / e2e99 * 100 : 0;
+        JsonLine line = benchLine("service");
+        line.str("workload", "mixed_load")
+            .str("config", "paced_trace")
+            .str("stage", row.stage)
+            .num("p50_us", double(pctOf(*row.vals, 50)))
+            .num("p99_us", double(pctOf(*row.vals, 99)))
+            .num("p99_share_pct", share);
+        appendJsonLine(kTracePath, line);
+        char label[64];
+        std::snprintf(label, sizeof label, "  %s share at p99",
+                      row.stage);
+        rowMeasured(label, share, "%");
+    }
+    JsonLine total = benchLine("service");
+    total.str("workload", "mixed_load")
+        .str("config", "paced_trace")
+        .str("stage", "total")
+        .num("p99_e2e_us", e2e99)
+        .num("p99_stage_sum_ratio", ratio)
+        .num("spans", uint64_t(samples.size()))
+        .num("dropped", tracer.totalDropped());
+    appendJsonLine(kTracePath, total);
+    rowMeasured("  p99 stage-sum / end-to-end", ratio, "x");
+}
+
+/**
+ * Deterministic flight-recorder drill: one worker, one Verify whose
+ * message was tampered after signing. The verify mismatch fires the
+ * "service_verify_mismatch" trigger and dumps FLIGHT_service.json;
+ * with per-worker op ordinals as the only timestamps the dump is
+ * byte-identical per seed.
+ */
+void
+runFlightDrill(const SignCase &c, uint64_t seed)
+{
+    obs::FlightRecorder flight;
+    flight.setDumpPath(kFlightPath);
+
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 4;
+    cfg.amortize = false;
+    cfg.rngSeed = seed;
+    EccService svc(cfg);
+    svc.setFlightRecorder(&flight);
+
+    ServiceRequest r;
+    r.op = ServiceOp::Verify;
+    r.curve = ServiceCurve::Secp160r1;
+    r.message = c.msg + " tampered";
+    r.signature = c.expect;
+    r.peer = secp160r1Curve().mulNaf(c.d, secp160r1Generator().g);
+    if (!svc.trySubmit(&r))
+        fatal("flight drill submission refused");
+    svc.start();
+    EccService::wait(r);
+    svc.stop();
+
+    check(r.status == ServiceStatus::Ok && !r.verifyOk,
+          "flight drill verify unexpectedly accepted");
+    check(flight.triggers() == 1,
+          "verify mismatch did not fire the flight trigger");
+    note(std::string("flight drill dump -> ") + kFlightPath);
+}
+
 void
 emitRow(const char *workload, const char *config, double batch_max,
         const SweepResult &r, double offered = 0)
@@ -273,11 +444,16 @@ main(int argc, char **argv)
     const size_t load_ops = smoke ? 48 : 240;
     const unsigned load_workers = 2;
 
+    // Attached for the whole run, enabled only for the paced levels:
+    // the gated batch-sweep rows therefore measure the idle-tracer
+    // cost (contract: none).
+    obs::SpanTracer tracer;
+
     heading("ECC service: batch amortization sweep (ECDSA sign, "
             "secp160r1, 1 worker)");
     std::vector<SignCase> cases = makeSignCases(batch_ops, seed);
 
-    SweepResult batch1 = runBatchConfig(cases, false, 16, seed);
+    SweepResult batch1 = runBatchConfig(cases, false, 16, seed, &tracer);
     rowMeasured("unamortized (single-call path)", batch1.opsPerSec,
                 "ops/s");
     emitRow("sign_secp160r1", "unamortized", 0, batch1);
@@ -285,7 +461,7 @@ main(int argc, char **argv)
     double best = 0;
     for (size_t bm : smoke ? std::vector<size_t>{1, 16}
                            : std::vector<size_t>{1, 4, 16, 64}) {
-        SweepResult r = runBatchConfig(cases, true, bm, seed);
+        SweepResult r = runBatchConfig(cases, true, bm, seed, &tracer);
         rowMeasured("amortized, batchMax=" + std::to_string(bm),
                     r.opsPerSec, "ops/s");
         emitRow("sign_secp160r1", "amortized", double(bm), r);
@@ -312,11 +488,16 @@ main(int argc, char **argv)
     // levels below/near it.
     std::vector<SignCase> load_cases = makeSignCases(load_ops, seed + 17);
     SweepResult burst =
-        runLoadLevel(load_cases, load_workers, 1e9, seed, nullptr);
+        runLoadLevel(load_cases, load_workers, 1e9, seed, nullptr,
+                     &tracer);
     rowMeasured("burst capacity", burst.opsPerSec, "ops/s");
     rowMeasured("  p50 / p99 latency", burst.p50Us, "us (p50)");
     rowMeasured("  ", burst.p99Us, "us (p99)");
     emitRow("mixed_load", "burst", 0, burst);
+
+    // Tracing live from here: the paced levels feed the attribution
+    // table and the exported span files.
+    tracer.setEnabled(true);
 
     const double fractions[] = {0.25, 0.5, 0.8};
     MetricsRegistry reg;
@@ -324,7 +505,8 @@ main(int argc, char **argv)
         double offered = burst.opsPerSec * fractions[i];
         bool last = i + 1 == std::size(fractions);
         SweepResult r = runLoadLevel(load_cases, load_workers, offered,
-                                     seed + i, last ? &reg : nullptr);
+                                     seed + i, last ? &reg : nullptr,
+                                     &tracer);
         char label[96];
         std::snprintf(label, sizeof label,
                       "offered %.0f ops/s (%.0f%% of burst)", offered,
@@ -334,6 +516,17 @@ main(int argc, char **argv)
         rowMeasured("  ", r.p99Us, "us (p99)");
         emitRow("mixed_load", "paced", 0, r, offered);
     }
+
+    tracer.setEnabled(false);
+    emitAttribution(tracer);
+    if (!tracer.exportJsonLines(kTracePath, benchLine("service")) ||
+        !tracer.exportChromeTrace(kChromePath))
+        fatal("cannot write the trace exports");
+    note(std::string("spans + attribution -> ") + kTracePath);
+    note(std::string("chrome trace -> ") + kChromePath);
+
+    heading("flight recorder drill (deterministic verify mismatch)");
+    runFlightDrill(cases[0], seed);
 
     // The last level's labeled snapshot: queue depth, occupancy and
     // latency histograms, per-worker op counters.

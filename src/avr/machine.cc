@@ -1857,9 +1857,14 @@ Machine::run(uint64_t max_cycles)
     }
     // Single count point for trap telemetry: every path (fast or
     // reference) funnels through here, so kinds are never counted
-    // twice.
-    if (pendingTrap)
+    // twice. The flight-recorder trap sink shares the funnel — it
+    // observes the already-accounted machine, so it can never skew
+    // cycles or state.
+    if (pendingTrap) {
         execStats.trapCount[static_cast<size_t>(pendingTrap.kind)]++;
+        if (trapSnk)
+            trapSnk->onTrap(*this, pendingTrap);
+    }
     return {execStats.cycles - start, pendingTrap};
 }
 

@@ -89,6 +89,26 @@ class WaveSink
 };
 
 /**
+ * Cold-path trap observer (src/obs/ flight recorder): every
+ * run()/call() that stops on a trap — on any backend, fast or
+ * reference — reports it here exactly once, from the same funnel
+ * that bumps ExecStats::trapCount. The hook fires strictly *after*
+ * the executed region has been accounted, so attaching a sink can
+ * never perturb simulated cycles or architectural state (pinned by
+ * tests/test_obs.cc on all three backends); with no trap raised it
+ * is never consulted at all. The sink must outlive the machine or
+ * detach before destruction.
+ */
+class TrapSink
+{
+  public:
+    virtual ~TrapSink() = default;
+
+    /** run()/call() stopped on @p trap (already counted in stats). */
+    virtual void onTrap(const Machine &m, const Trap &trap) = 0;
+};
+
+/**
  * Execution-boundary observer for the debug subsystem (src/debug/):
  * the Machine consults an attached hook for stop requests at every
  * instruction boundary and reports every data-space access, which is
@@ -423,6 +443,15 @@ class Machine
     WaveSink *leakSink() const { return leakSnk; }
 
     /**
+     * Attach a trap sink (nullptr detaches): notified once per
+     * trapped run()/call() from the common trap-count funnel, after
+     * accounting, on every backend — see TrapSink. Costs nothing
+     * unless a trap is actually raised.
+     */
+    void setTrapSink(TrapSink *sink) { trapSnk = sink; }
+    TrapSink *trapSink() const { return trapSnk; }
+
+    /**
      * Publish execution telemetry into @p reg: instruction/cycle/
      * stall counters, per-TrapKind trap counters, MAC trigger counts
      * by algorithm, per-mnemonic retirement counters (nonzero only)
@@ -557,6 +586,7 @@ class Machine
     DebugHook *dbgHook = nullptr;
     WaveSink *waveSnk = nullptr;
     WaveSink *leakSnk = nullptr;
+    TrapSink *trapSnk = nullptr;
     Trap pendingTrap;
     uint16_t dataLimitV = 0x10ff; ///< top of ATmega128 internal SRAM
     uint16_t stackGuardV = sramBase;

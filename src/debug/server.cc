@@ -5,6 +5,8 @@
 #include <unistd.h>
 
 #include "avr/leakage.hh"
+#include "obs/flight.hh"
+#include "obs/trace.hh"
 #include "support/hex.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
@@ -260,9 +262,41 @@ GdbServer::handleMonitor(const std::string &cmd)
                "  stats    ISS execution statistics\n"
                "  metrics  telemetry snapshot (counters/gauges)\n"
                "  leakage  leakage-trace recorder status\n"
+               "  flight   flight-recorder status\n"
+               "  flight dump  write the flight rings to disk now\n"
+               "  trace status span-tracer status\n"
                "  reset    clear statistics and profile\n"
                "  trap     describe the last machine trap\n"
                "  symbols  list known symbols\n";
+    }
+    if (cmd == "flight") {
+        if (!flightRec)
+            return "no flight recorder attached (run jaavr-gdb with "
+                   "--flight FILE)\n";
+        return flightRec->statusLine() + "\n";
+    }
+    if (cmd == "flight dump") {
+        if (!flightRec)
+            return "no flight recorder attached (run jaavr-gdb with "
+                   "--flight FILE)\n";
+        // Prefer the recorder's own trigger path so the on-demand
+        // dump lands next to (and in the same format as) any
+        // trap-triggered one.
+        const std::string &path = flightRec->dumpPath().empty()
+                                      ? flightDumpPath
+                                      : flightRec->dumpPath();
+        if (!flightRec->dump(path, "gdb_monitor"))
+            return "flight dump failed: cannot write " + path + "\n";
+        return csprintf("flight dump written to %s (%zu sources, "
+                        "%llu events retained)\n",
+                        path.c_str(), flightRec->sourceCount(),
+                        static_cast<unsigned long long>(
+                            flightRec->totalRecorded()));
+    }
+    if (cmd == "trace status") {
+        if (!tracer)
+            return "no span tracer attached\n";
+        return tracer->statusLine() + "\n";
     }
     if (cmd == "leakage") {
         if (!leakTracer)

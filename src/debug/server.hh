@@ -35,6 +35,12 @@ namespace jaavr
 
 class LeakTracer;
 
+namespace obs
+{
+class FlightRecorder;
+class SpanTracer;
+} // namespace obs
+
 class GdbServer
 {
   public:
@@ -48,6 +54,22 @@ class GdbServer
 
     /** Symbols for `monitor symbols` and trap locations. */
     void setSymbols(SymbolTable syms) { symbols = std::move(syms); }
+
+    /**
+     * Attach the flight recorder behind `monitor flight` /
+     * `monitor flight dump` (not owned). @p dump_path is where the
+     * on-demand dump lands when the recorder has no trigger path of
+     * its own.
+     */
+    void setFlightRecorder(obs::FlightRecorder *f,
+                           std::string dump_path = "FLIGHT_gdb.json")
+    {
+        flightRec = f;
+        flightDumpPath = std::move(dump_path);
+    }
+
+    /** Attach the span tracer behind `monitor trace` (not owned). */
+    void setTracer(obs::SpanTracer *t) { tracer = t; }
 
     /**
      * Mirror the session to @p log (not owned): one line per decoded
@@ -95,6 +117,9 @@ class GdbServer
     RspDecoder decoder;
     CallGraphProfiler *profiler = nullptr;
     LeakTracer *leakTracer = nullptr;
+    obs::FlightRecorder *flightRec = nullptr;
+    std::string flightDumpPath = "FLIGHT_gdb.json";
+    obs::SpanTracer *tracer = nullptr;
     SymbolTable symbols;
     std::FILE *logFile = nullptr;
     uint64_t sliceCycles = 200000;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "curves/validate.hh"
+#include "support/logging.hh"
 #include "support/sha256.hh"
 
 namespace jaavr::net
@@ -212,9 +213,17 @@ struct Node::Peer
 
     // App telemetry: raw (unsigned) payloads pending first send, and
     // the raw payload behind every in-flight Data seq so an epoch
-    // switch can pull them back for re-signing.
-    std::deque<std::vector<uint8_t>> pendingApp;
-    std::map<uint32_t, std::vector<uint8_t>> inflightApp;
+    // switch can pull them back for re-signing. Each carries its
+    // trace identity and queue time so the ack can close one
+    // "telemetry" span across retransmits and re-keys.
+    struct AppMsg
+    {
+        std::vector<uint8_t> bytes;
+        uint64_t traceId = 0;
+        SimTime queuedAt = 0;
+    };
+    std::deque<AppMsg> pendingApp;
+    std::map<uint32_t, AppMsg> inflightApp;
 };
 
 Node::Node(const NodeConfig &config, const WeierstrassCurve &curve,
@@ -274,15 +283,71 @@ Node::addPeer(const std::string &peer,
     p->session.setForeign([this](const Frame &, SimTime) {
         st.staleEpochIgnored++;
     });
-    p->session.setAcked([this, p](const Frame &f) {
+    p->session.setAcked([this, p](const Frame &f, SimTime t) {
         auto it = p->inflightApp.find(f.seq);
         if (it != p->inflightApp.end()) {
+            // Delivery confirmed: close the end-to-end telemetry
+            // span (queue time → cumulative ack, across any
+            // retransmits and re-keys in between).
+            if (traceRing && tracer->enabled()) {
+                obs::SpanRecord s;
+                s.name = "telemetry";
+                s.cat = "net";
+                s.traceId = it->second.traceId;
+                s.spanId = tracer->newSpanId();
+                s.beginUs = it->second.queuedAt;
+                s.endUs = std::max(t, it->second.queuedAt);
+                s.arg0Name = "seq";
+                s.arg0 = f.seq;
+                s.arg1Name = "epoch";
+                s.arg1 = f.session;
+                traceRing->push(s);
+            }
             p->inflightApp.erase(it);
             st.telemetryAcked++;
         }
     });
+    if (tracer)
+        p->session.setTraceSink(tracer, traceRing);
 
     peers.emplace(peer, std::move(owned));
+}
+
+void
+Node::setTracer(obs::SpanTracer *t)
+{
+    tracer = t;
+    traceRing = tracer ? tracer->ring("node:" + cfg.name) : nullptr;
+    for (auto &[name, p] : peers)
+        p->session.setTraceSink(tracer, traceRing);
+}
+
+void
+Node::setFlightRecorder(obs::FlightRecorder *f)
+{
+    flight = f;
+    flightSrc = flight ? flight->source("node:" + cfg.name) : nullptr;
+}
+
+void
+Node::noteEvent(const char *name, SimTime now, const char *arg0_name,
+                uint64_t arg0, const char *arg1_name, uint64_t arg1,
+                uint64_t trace_id)
+{
+    if (!traceRing || !tracer->enabled())
+        return;
+    obs::SpanRecord s;
+    s.name = name;
+    s.cat = "net";
+    s.traceId = trace_id;
+    s.spanId = tracer->newSpanId();
+    s.beginUs = now;
+    s.endUs = now;
+    s.arg0Name = arg0_name;
+    s.arg0 = arg0;
+    s.arg1Name = arg1_name;
+    s.arg1 = arg1;
+    traceRing->push(s);
 }
 
 std::vector<uint8_t>
@@ -389,6 +454,8 @@ Node::beginHandshake(Peer &p, uint32_t epoch, SimTime now)
     p.helloNextAt = now + backoffStep(p, p.helloRto);
     p.helloAckBytes.clear();
     p.handshakeDeadline = now + cfg.handshakeTimeoutUs;
+    noteEvent("handshake_begin", now, "epoch", epoch, "pending",
+              p.pendingApp.size());
     p.transmit(p.helloBytes, now);
 }
 
@@ -413,6 +480,8 @@ Node::establish(Peer &p, SimTime now)
     p.authFailStreak = 0;
     p.quarantineHold = 0;
     st.handshakesCompleted++;
+    noteEvent("established", now, "epoch", p.epoch, "completed",
+              st.handshakesCompleted);
     flushTelemetry(p, now);
 }
 
@@ -431,6 +500,15 @@ Node::quarantine(Peer &p, SimTime now)
                                 cfg.quarantineMaxUs)
             : cfg.quarantineBaseUs;
     p.quarantineUntil = now + p.quarantineHold;
+    noteEvent("quarantine", now, "hold_us", p.quarantineHold,
+              "epoch", p.epoch);
+    if (flightSrc)
+        flightSrc->record(now, "quarantine",
+                          csprintf("peer %s held %llu us",
+                                   p.name.c_str(),
+                                   static_cast<unsigned long long>(
+                                       p.quarantineHold)),
+                          p.quarantineHold, p.epoch);
 }
 
 void
@@ -454,9 +532,25 @@ Node::authFailure(Peer &p, SimTime now)
     if (p.state != PeerState::Established)
         return;
     p.authFailStreak++;
+    noteEvent("auth_fail", now, "streak", p.authFailStreak, "epoch",
+              p.epoch);
     if (p.authFailStreak >= cfg.authFailRekeyThreshold) {
         st.rekeys++;
         p.authFailStreak = 0;
+        // The forgery-rejection streak is a flight trigger: the
+        // events leading up to the re-key are exactly the narrative
+        // a postmortem wants.
+        if (flightSrc) {
+            flightSrc->record(
+                now, "forgery_streak",
+                csprintf("peer %s: %u rejects -> rekey epoch %u",
+                         p.name.c_str(), cfg.authFailRekeyThreshold,
+                         p.epoch + 1),
+                cfg.authFailRekeyThreshold, p.epoch + 1);
+            flight->trigger("net_forgery_streak");
+        }
+        noteEvent("rekey", now, "epoch", p.epoch + 1, "rekeys",
+                  st.rekeys);
         requeueUnacked(p);
         beginHandshake(p, p.epoch + 1, now);
     }
@@ -494,8 +588,9 @@ Node::flushTelemetry(Peer &p, SimTime now)
            !p.pendingApp.empty()) {
         uint32_t seq = p.session.nextSendSeq();
         std::vector<uint8_t> framed =
-            signTelemetry(p, p.pendingApp.front());
-        if (!p.session.send(FrameType::Data, std::move(framed), now))
+            signTelemetry(p, p.pendingApp.front().bytes);
+        if (!p.session.send(FrameType::Data, std::move(framed), now,
+                            p.pendingApp.front().traceId))
             break; // window full; tick() retries after acks
         p.inflightApp.emplace(seq, std::move(p.pendingApp.front()));
         p.pendingApp.pop_front();
@@ -510,10 +605,24 @@ Node::sendTelemetry(const std::string &peer,
     if (p.pendingApp.size() + p.inflightApp.size() >=
         cfg.telemetryQueueCap) {
         st.telemetryRefused++;
+        // Backpressure onset is a flight trigger; later refusals
+        // only count (the app may hammer a saturated queue).
+        if (flightSrc && st.telemetryRefused == 1) {
+            flightSrc->record(now, "backpressure",
+                              csprintf("peer %s app queue full",
+                                       p.name.c_str()),
+                              cfg.telemetryQueueCap, p.epoch);
+            flight->trigger("net_backpressure");
+        }
         return false;
     }
     st.telemetryQueued++;
-    p.pendingApp.push_back(std::move(payload));
+    Peer::AppMsg msg;
+    msg.bytes = std::move(payload);
+    msg.traceId =
+        tracer && tracer->enabled() ? tracer->newTraceId() : 0;
+    msg.queuedAt = now;
+    p.pendingApp.push_back(std::move(msg));
     if (p.state == PeerState::Established)
         flushTelemetry(p, now);
     else if (p.state == PeerState::Idle)

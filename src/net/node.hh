@@ -57,6 +57,7 @@
 
 #include "curves/ecdsa.hh"
 #include "net/session.hh"
+#include "obs/flight.hh"
 #include "support/metrics.hh"
 
 namespace jaavr::net
@@ -178,6 +179,27 @@ class Node
      */
     void publishMetrics(MetricsRegistry &reg) const;
 
+    /**
+     * Attach a span tracer (nullptr detaches). While enabled, every
+     * telemetry payload gets a trace ID at sendTelemetry that
+     * follows it through session send/retransmit/ack (one
+     * "telemetry" span queue → delivery-confirmed, plus the
+     * session's "send_ack"/"retransmit" records), and every
+     * handshake / re-key / quarantine transition lands as an
+     * instant event — all in deterministic simulated time, in this
+     * node's own ring ("node:<name>").
+     */
+    void setTracer(obs::SpanTracer *t);
+
+    /**
+     * Attach a flight recorder (nullptr detaches). Auth-failure
+     * streaks (the forgery-rejection ladder), re-keys, quarantines
+     * and telemetry backpressure are retained; a streak reaching
+     * the re-key threshold fires a dump trigger
+     * ("net_forgery_streak"), as does the onset of backpressure.
+     */
+    void setFlightRecorder(obs::FlightRecorder *f);
+
   private:
     struct Peer;
     class PeerAuth;
@@ -209,6 +231,12 @@ class Node
     std::vector<uint8_t> sealRaw(const Frame &f) const;
     SimTime backoffStep(Peer &p, SimTime &rto);
 
+    /** Instant trace event (no-op unless the tracer is enabled). */
+    void noteEvent(const char *name, SimTime now,
+                   const char *arg0_name, uint64_t arg0,
+                   const char *arg1_name, uint64_t arg1,
+                   uint64_t trace_id = 0);
+
     NodeConfig cfg;
     const WeierstrassCurve &curve;
     const Ecdsa &dsa;
@@ -218,6 +246,12 @@ class Node
     NodeStats st;
     TelemetryFn onTelemetry;
     std::map<std::string, std::unique_ptr<Peer>> peers;
+
+    // Observability (src/obs/): optional, deterministic sim time.
+    obs::SpanTracer *tracer = nullptr;
+    obs::SpanRing *traceRing = nullptr;
+    obs::FlightRecorder *flight = nullptr;
+    obs::FlightRecorder::Source *flightSrc = nullptr;
 };
 
 } // namespace jaavr::net

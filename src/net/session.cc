@@ -53,7 +53,7 @@ ReliableSession::scheduleRetransmit(Outstanding &o, SimTime now)
 
 bool
 ReliableSession::send(FrameType type, std::vector<uint8_t> payload,
-                      SimTime now)
+                      SimTime now, uint64_t trace_id)
 {
     if (failedV || outstanding.size() >= cfg.window) {
         st.sendRefused++;
@@ -65,6 +65,8 @@ ReliableSession::send(FrameType type, std::vector<uint8_t> payload,
     o.frame.seq = sendNext++;
     o.frame.payload = std::move(payload);
     o.rto = cfg.rtoUs;
+    o.traceId = trace_id;
+    o.firstSentAt = now;
     scheduleRetransmit(o, now);
     st.framesSent++;
     // Registered before transmitting: the transmit callback may
@@ -78,11 +80,26 @@ ReliableSession::send(FrameType type, std::vector<uint8_t> payload,
 }
 
 void
-ReliableSession::processAck(uint32_t ack)
+ReliableSession::processAck(uint32_t ack, SimTime now)
 {
     while (!outstanding.empty() && outstanding.begin()->first < ack) {
+        Outstanding &o = outstanding.begin()->second;
+        if (traceRing && tracer->enabled()) {
+            obs::SpanRecord s;
+            s.name = "send_ack";
+            s.cat = "net";
+            s.traceId = o.traceId;
+            s.spanId = tracer->newSpanId();
+            s.beginUs = o.firstSentAt;
+            s.endUs = std::max(now, o.firstSentAt);
+            s.arg0Name = "seq";
+            s.arg0 = o.frame.seq;
+            s.arg1Name = "retries";
+            s.arg1 = o.retries;
+            traceRing->push(s);
+        }
         if (acked)
-            acked(outstanding.begin()->second.frame);
+            acked(o.frame, now);
         outstanding.erase(outstanding.begin());
     }
 }
@@ -103,7 +120,7 @@ ReliableSession::handleFrame(const Frame &f, SimTime now)
             foreign(f, now);
         return;
     }
-    processAck(f.ack);
+    processAck(f.ack, now);
     if (f.type == FrameType::Ack)
         return;
 
@@ -192,6 +209,20 @@ ReliableSession::poll(SimTime now)
         else
             o.rto = std::min<SimTime>(o.rto * 2, cfg.rtoMaxUs);
         scheduleRetransmit(o, now);
+        if (traceRing && tracer->enabled()) {
+            obs::SpanRecord s;
+            s.name = "retransmit";
+            s.cat = "net";
+            s.traceId = o.traceId;
+            s.spanId = tracer->newSpanId();
+            s.beginUs = now;
+            s.endUs = now;
+            s.arg0Name = "seq";
+            s.arg0 = o.frame.seq;
+            s.arg1Name = "retries";
+            s.arg1 = o.retries;
+            traceRing->push(s);
+        }
         transmitFrame(o.frame, now);
     }
 }

@@ -52,6 +52,7 @@
 
 #include "net/frame.hh"
 #include "net/link.hh"
+#include "obs/trace.hh"
 #include "support/metrics.hh"
 #include "support/random.hh"
 
@@ -115,7 +116,7 @@ class ReliableSession
     /** Hello/HelloAck frames of any epoch, for the node. */
     using HandshakeFn = std::function<void(const Frame &, SimTime)>;
     /** A previously sent frame was cumulatively acknowledged. */
-    using AckedFn = std::function<void(const Frame &)>;
+    using AckedFn = std::function<void(const Frame &, SimTime)>;
 
     explicit ReliableSession(const SessionConfig &config);
 
@@ -126,6 +127,20 @@ class ReliableSession
     void setAcked(AckedFn fn) { acked = std::move(fn); }
     /** nullptr disables tagging (tests only); must outlive us. */
     void setAuth(FrameAuth *a) { auth = a; }
+
+    /**
+     * Attach span tracing (both nullptr detaches): while the tracer
+     * is enabled, every acked sequenced frame records a "send_ack"
+     * span (first transmission → cumulative ack, in simulated time,
+     * under the trace ID given to send()) and every retransmission
+     * an instant event, into @p ring (the owning node's ring — a
+     * node's sessions all run on its one driving thread).
+     */
+    void setTraceSink(obs::SpanTracer *t, obs::SpanRing *ring)
+    {
+        tracer = t;
+        traceRing = ring;
+    }
 
     /**
      * Abandon all reliability state and start epoch @p new_epoch with
@@ -143,7 +158,7 @@ class ReliableSession
      * arrive (backpressure).
      */
     bool send(FrameType type, std::vector<uint8_t> payload,
-              SimTime now);
+              SimTime now, uint64_t trace_id = 0);
 
     /**
      * Emit an unsequenced cumulative Ack right now (sealed through
@@ -197,10 +212,12 @@ class ReliableSession
         SimTime nextAt = 0;    ///< next retransmission due
         SimTime rto = 0;       ///< current (unjittered) timeout
         uint32_t retries = 0;
+        uint64_t traceId = 0;  ///< propagated from send()
+        SimTime firstSentAt = 0; ///< send→ack span begin
     };
 
     void transmitFrame(Frame f, SimTime now);
-    void processAck(uint32_t ack);
+    void processAck(uint32_t ack, SimTime now);
     void scheduleRetransmit(Outstanding &o, SimTime now);
     void handleFrame(const Frame &f, SimTime now);
 
@@ -215,6 +232,8 @@ class ReliableSession
 
     FrameDecoder decoder;
     SessionStats st;
+    obs::SpanTracer *tracer = nullptr;
+    obs::SpanRing *traceRing = nullptr;
 
     uint32_t epochV = 0;
     uint32_t sendNext = 0; ///< next sequence number to assign

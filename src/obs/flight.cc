@@ -1,0 +1,177 @@
+#include "obs/flight.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "support/json.hh"
+
+namespace jaavr::obs
+{
+
+FlightRecorder::Source::Source(std::string name, size_t capacity)
+    : nameV(std::move(name)), cap(capacity == 0 ? 1 : capacity)
+{
+}
+
+void
+FlightRecorder::Source::record(uint64_t time, const char *kind,
+                               std::string detail, uint64_t a,
+                               uint64_t b)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    FlightEvent ev;
+    ev.seq = nextSeq++;
+    ev.time = time;
+    ev.kind = kind;
+    ev.detail = std::move(detail);
+    ev.a = a;
+    ev.b = b;
+    if (events.size() == cap)
+        events.pop_front();
+    events.push_back(std::move(ev));
+    recordedV.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<FlightEvent>
+FlightRecorder::Source::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return {events.begin(), events.end()};
+}
+
+FlightRecorder::FlightRecorder(size_t capacity) : capacity(capacity) {}
+
+FlightRecorder::Source *
+FlightRecorder::source(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(sourcesMutex);
+    for (auto &s : sources)
+        if (s->name() == name)
+            return s.get();
+    sources.push_back(std::make_unique<Source>(name, capacity));
+    return sources.back().get();
+}
+
+void
+FlightRecorder::setDumpPath(std::string path)
+{
+    std::lock_guard<std::mutex> lock(sourcesMutex);
+    dumpPathV = std::move(path);
+}
+
+bool
+FlightRecorder::trigger(const std::string &reason)
+{
+    triggerCount.fetch_add(1, std::memory_order_relaxed);
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(sourcesMutex);
+        lastReason = reason;
+        path = dumpPathV;
+    }
+    if (path.empty())
+        return true;
+    return dump(path, reason);
+}
+
+bool
+FlightRecorder::dump(const std::string &path,
+                     const std::string &reason) const
+{
+    // Stable order: sources sorted by name, events by their
+    // per-source sequence number — a pure function of the recorded
+    // history, so deterministic workloads dump byte-identically.
+    std::vector<std::pair<std::string, std::vector<FlightEvent>>> all;
+    {
+        std::lock_guard<std::mutex> lock(sourcesMutex);
+        all.reserve(sources.size());
+        for (const auto &s : sources)
+            all.emplace_back(s->name(), s->snapshot());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const auto &x, const auto &y) {
+                  return x.first < y.first;
+              });
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    uint64_t total = 0;
+    for (const auto &[name, events] : all)
+        total += events.size();
+    JsonLine header;
+    header.str("flight", "header")
+        .str("reason", reason)
+        .num("triggers",
+             triggerCount.load(std::memory_order_relaxed))
+        .num("sources", static_cast<uint64_t>(all.size()))
+        .num("events", total);
+    out << header.text() << "\n";
+    for (const auto &[name, events] : all) {
+        for (const FlightEvent &ev : events) {
+            JsonLine line;
+            line.str("flight", "event")
+                .str("source", name)
+                .num("seq", ev.seq)
+                .num("t", ev.time)
+                .str("kind", ev.kind)
+                .str("detail", ev.detail)
+                .num("a", ev.a)
+                .num("b", ev.b);
+            out << line.text() << "\n";
+        }
+    }
+    return static_cast<bool>(out);
+}
+
+uint64_t
+FlightRecorder::totalRecorded() const
+{
+    std::lock_guard<std::mutex> lock(sourcesMutex);
+    uint64_t n = 0;
+    for (const auto &s : sources)
+        n += s->recorded();
+    return n;
+}
+
+size_t
+FlightRecorder::sourceCount() const
+{
+    std::lock_guard<std::mutex> lock(sourcesMutex);
+    return sources.size();
+}
+
+std::string
+FlightRecorder::statusLine() const
+{
+    std::ostringstream os;
+    os << "flight recorder: " << sourceCount() << " sources, "
+       << totalRecorded() << " events, " << triggers()
+       << " triggers";
+    std::lock_guard<std::mutex> lock(sourcesMutex);
+    if (!lastReason.empty())
+        os << " (last: " << lastReason << ")";
+    if (!dumpPathV.empty())
+        os << ", dump -> " << dumpPathV;
+    return os.str();
+}
+
+MachineTrapFlight::MachineTrapFlight(FlightRecorder &recorder,
+                                     const std::string &source)
+    : recorder(recorder), src(recorder.source(source))
+{
+}
+
+void
+MachineTrapFlight::onTrap(const Machine &m, const Trap &trap)
+{
+    if (!recordAll && (trap.kind == TrapKind::DebugBreak ||
+                       trap.kind == TrapKind::CycleBudget))
+        return;
+    src->record(m.stats().cycles, "trap", trap.describe(), trap.pc,
+                trap.addr);
+    if (dumpOnTrap)
+        recorder.trigger("iss_trap");
+}
+
+} // namespace jaavr::obs

@@ -1,0 +1,196 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace jaavr::obs
+{
+
+namespace
+{
+
+/** Round up to a power of two (min 2) so wraparound is a mask. */
+size_t
+roundPow2(size_t n)
+{
+    size_t p = 2;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // anonymous namespace
+
+SpanRing::SpanRing(std::string source, size_t capacity)
+    : sourceV(std::move(source)),
+      mask(roundPow2(capacity == 0 ? 1 : capacity) - 1),
+      slots(mask + 1)
+{
+}
+
+std::vector<SpanRecord>
+SpanRing::snapshot() const
+{
+    uint64_t n = writeIdx.load(std::memory_order_acquire);
+    uint64_t count = std::min<uint64_t>(n, slots.size());
+    std::vector<SpanRecord> out;
+    out.reserve(count);
+    for (uint64_t i = n - count; i < n; i++)
+        out.push_back(slots[i & mask]);
+    return out;
+}
+
+SpanTracer::SpanTracer(size_t ringCapacity)
+    : ringCapacity(ringCapacity),
+      epoch(std::chrono::steady_clock::now())
+{
+}
+
+SpanRing *
+SpanTracer::ring(const std::string &source)
+{
+    std::lock_guard<std::mutex> lock(ringsMutex);
+    for (auto &r : rings)
+        if (r->source() == source)
+            return r.get();
+    rings.push_back(std::make_unique<SpanRing>(source, ringCapacity));
+    return rings.back().get();
+}
+
+uint64_t
+SpanTracer::nowUs() const
+{
+    return toUs(std::chrono::steady_clock::now());
+}
+
+uint64_t
+SpanTracer::toUs(std::chrono::steady_clock::time_point t) const
+{
+    if (t <= epoch)
+        return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t - epoch)
+            .count());
+}
+
+size_t
+SpanTracer::ringCount() const
+{
+    std::lock_guard<std::mutex> lock(ringsMutex);
+    return rings.size();
+}
+
+uint64_t
+SpanTracer::totalRecorded() const
+{
+    std::lock_guard<std::mutex> lock(ringsMutex);
+    uint64_t n = 0;
+    for (const auto &r : rings)
+        n += r->recorded();
+    return n;
+}
+
+uint64_t
+SpanTracer::totalDropped() const
+{
+    std::lock_guard<std::mutex> lock(ringsMutex);
+    uint64_t n = 0;
+    for (const auto &r : rings)
+        n += r->dropped();
+    return n;
+}
+
+std::string
+SpanTracer::statusLine() const
+{
+    std::ostringstream os;
+    os << "tracer " << (enabled() ? "enabled" : "idle") << ": "
+       << ringCount() << " rings, " << totalRecorded()
+       << " spans recorded, " << totalDropped() << " dropped";
+    return os.str();
+}
+
+std::vector<std::pair<std::string, std::vector<SpanRecord>>>
+SpanTracer::snapshotAll() const
+{
+    std::lock_guard<std::mutex> lock(ringsMutex);
+    std::vector<std::pair<std::string, std::vector<SpanRecord>>> out;
+    out.reserve(rings.size());
+    for (const auto &r : rings)
+        out.emplace_back(r->source(), r->snapshot());
+    return out;
+}
+
+bool
+SpanTracer::exportJsonLines(const std::string &path,
+                            const JsonLine &stamp) const
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        return false;
+    for (const auto &[source, records] : snapshotAll()) {
+        for (const SpanRecord &r : records) {
+            JsonLine line = stamp;
+            line.str("record", "span")
+                .str("source", source)
+                .str("name", r.name)
+                .str("cat", r.cat)
+                .num("trace_id", r.traceId)
+                .num("span_id", r.spanId)
+                .num("parent_id", r.parentId)
+                .num("begin_us", r.beginUs)
+                .num("dur_us", r.durUs());
+            if (r.arg0Name)
+                line.num(r.arg0Name, r.arg0);
+            if (r.arg1Name)
+                line.num(r.arg1Name, r.arg1);
+            out << line.text() << "\n";
+        }
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+SpanTracer::exportChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "[";
+    bool first = true;
+    auto all = snapshotAll();
+    for (size_t tid = 0; tid < all.size(); tid++) {
+        const auto &[source, records] = all[tid];
+        out << (first ? "" : ",") << "\n"
+            << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+            << "\"tid\":" << tid << ",\"args\":{\"name\":\""
+            << jsonEscape(source) << "\"}}";
+        first = false;
+        for (const SpanRecord &r : records) {
+            out << ",\n{\"name\":\"" << jsonEscape(r.name)
+                << "\",\"cat\":\"" << jsonEscape(r.cat) << "\"";
+            if (r.endUs > r.beginUs)
+                out << ",\"ph\":\"X\",\"ts\":" << r.beginUs
+                    << ",\"dur\":" << r.durUs();
+            else
+                out << ",\"ph\":\"i\",\"ts\":" << r.beginUs
+                    << ",\"s\":\"t\"";
+            out << ",\"pid\":0,\"tid\":" << tid
+                << ",\"args\":{\"trace_id\":" << r.traceId
+                << ",\"span_id\":" << r.spanId
+                << ",\"parent_id\":" << r.parentId;
+            if (r.arg0Name)
+                out << ",\"" << jsonEscape(r.arg0Name)
+                    << "\":" << r.arg0;
+            if (r.arg1Name)
+                out << ",\"" << jsonEscape(r.arg1Name)
+                    << "\":" << r.arg1;
+            out << "}}";
+        }
+    }
+    out << "\n]\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace jaavr::obs

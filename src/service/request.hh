@@ -92,6 +92,15 @@ struct ServiceRequest
 
     // --- bookkeeping (set by the service) ---------------------------
     std::chrono::steady_clock::time_point enqueuedAt;
+    /**
+     * Tracing identity (src/obs/): assigned at submit when a span
+     * tracer is attached and enabled, 0 otherwise. Carried through
+     * shard routing → queue wait → batch drain so the per-request
+     * span and any downstream spans share one trace.
+     */
+    uint64_t traceId = 0;
+    /** Tracer µs when the worker popped the request (tracing only). */
+    uint64_t poppedAtUs = 0;
     std::atomic<bool> done{false};
 };
 

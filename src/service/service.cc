@@ -1,5 +1,6 @@
 #include "service/service.hh"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 
@@ -144,6 +145,35 @@ EccService::stop()
     threads.clear();
 }
 
+void
+EccService::setTracer(obs::SpanTracer *t)
+{
+    if (started())
+        fatal("EccService::setTracer: attach before start()");
+    tracer = t;
+    traceRings.clear();
+    if (!tracer)
+        return;
+    for (unsigned i = 0; i < cfg.workers; i++)
+        traceRings.push_back(tracer->ring("worker" + std::to_string(i)));
+}
+
+void
+EccService::setFlightRecorder(obs::FlightRecorder *f)
+{
+    if (started())
+        fatal("EccService::setFlightRecorder: attach before start()");
+    flight = f;
+    flightSources.clear();
+    flightSubmit = nullptr;
+    if (!flight)
+        return;
+    for (unsigned i = 0; i < cfg.workers; i++)
+        flightSources.push_back(
+            flight->source("worker" + std::to_string(i)));
+    flightSubmit = flight->source("submit");
+}
+
 bool
 EccService::trySubmit(ServiceRequest *req)
 {
@@ -152,12 +182,29 @@ EccService::trySubmit(ServiceRequest *req)
     req->done.store(false, std::memory_order_relaxed);
     req->status = ServiceStatus::Pending;
     req->error.clear();
+    req->traceId =
+        tracer && tracer->enabled() ? tracer->newTraceId() : 0;
+    req->poppedAtUs = 0;
     req->enqueuedAt = std::chrono::steady_clock::now();
     size_t w = req->shardHint == kNoShardHint
                    ? roundRobin.fetch_add(1, std::memory_order_relaxed) %
                          queues.size()
                    : mixHint(req->shardHint) % queues.size();
-    return queues[w]->tryPush(req);
+    if (queues[w]->tryPush(req))
+        return true;
+    // Backpressure: the shard queue is full. Only the *onset* lands
+    // in the flight ring (submit() spins here under saturation, so
+    // per-refusal recording would become the hot path); the refusal
+    // counter keeps the full tally.
+    uint64_t n = refusals.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (flightSubmit && n == 1) {
+        flightSubmit->record(n, "backpressure",
+                             csprintf("shard %zu queue full", w),
+                             static_cast<uint64_t>(w),
+                             cfg.queueCapacity);
+        flight->trigger("service_backpressure");
+    }
+    return false;
 }
 
 bool
@@ -201,14 +248,23 @@ EccService::workerLoop(unsigned idx)
     for (;;) {
         batch.clear();
         ServiceRequest *req = nullptr;
-        while (batch.size() < cfg.batchMax && q.tryPop(req))
+        // One relaxed flag sample per wake: the pop-time stamps only
+        // exist while tracing, so the idle-tracer drain loop stays
+        // pop + push_back.
+        bool tracing = tracer && tracer->enabled();
+        while (batch.size() < cfg.batchMax && q.tryPop(req)) {
+            if (tracing)
+                req->poppedAtUs = tracer->nowUs();
             batch.push_back(req);
+        }
         if (batch.empty()) {
             if (!running.load(std::memory_order_acquire)) {
                 // Drain check after observing shutdown: anything a
                 // producer pushed before stop() is still processed.
                 if (!q.tryPop(req))
                     break;
+                if (tracing)
+                    req->poppedAtUs = tracer->nowUs();
                 batch.push_back(req);
             } else if (idle < 64) {
                 idle++;
@@ -223,14 +279,44 @@ EccService::workerLoop(unsigned idx)
             }
         }
         idle = 0;
-        processBatch(ctx, st, batch);
+        processBatch(ctx, st, batch, idx);
     }
 }
 
 void
 EccService::processBatch(WorkerContext &ctx, WorkerStats &st,
-                         std::vector<ServiceRequest *> &batch)
+                         std::vector<ServiceRequest *> &batch,
+                         unsigned idx)
 {
+    // Tracing context for this drain: one shared "drain" span, child
+    // "request" spans carrying the queue-wait / drain-wait stage
+    // split, and one "amortize" child per batched group. All
+    // recording happens in this worker's own ring.
+    obs::SpanRing *ring =
+        tracer && tracer->enabled() ? traceRings[idx] : nullptr;
+    uint64_t drainBeginUs = 0, drainSpan = 0;
+    if (ring) {
+        drainBeginUs = tracer->nowUs();
+        drainSpan = tracer->newSpanId();
+    }
+    auto group = [&](const char *name, size_t n, auto &&fn) {
+        if (!ring) {
+            fn();
+            return;
+        }
+        obs::SpanRecord s;
+        s.name = name;
+        s.cat = "amortize";
+        s.spanId = tracer->newSpanId();
+        s.parentId = drainSpan;
+        s.beginUs = tracer->nowUs();
+        fn();
+        s.endUs = tracer->nowUs();
+        s.arg0Name = "group_size";
+        s.arg0 = n;
+        ring->push(s);
+    };
+
     if (!cfg.amortize || batch.size() == 1) {
         // The unamortized configuration: every request takes the
         // pre-existing single-call library path.
@@ -270,16 +356,23 @@ EccService::processBatch(WorkerContext &ctx, WorkerStats &st,
         }
         for (auto &g : signG)
             if (!g.empty())
-                processSignBatch(ctx, g);
+                group("sign_batch", g.size(),
+                      [&] { processSignBatch(ctx, g); });
         for (auto &g : deriveW)
             if (!g.empty())
-                processDeriveWeierstrassBatch(ctx, g);
+                group("derive_w_batch", g.size(),
+                      [&] { processDeriveWeierstrassBatch(ctx, g); });
         if (!deriveM.empty())
-            processDeriveMontgomeryBatch(ctx, deriveM);
+            group("derive_m_batch", deriveM.size(),
+                  [&] { processDeriveMontgomeryBatch(ctx, deriveM); });
         if (!deriveE.empty())
-            processDeriveEdwardsBatch(ctx, deriveE);
-        for (ServiceRequest *r : singles)
-            processSingle(ctx, *r);
+            group("derive_e_batch", deriveE.size(),
+                  [&] { processDeriveEdwardsBatch(ctx, deriveE); });
+        if (!singles.empty())
+            group("singles", singles.size(), [&] {
+                for (ServiceRequest *r : singles)
+                    processSingle(ctx, *r);
+            });
     }
 
     for (ServiceRequest *r : batch)
@@ -301,10 +394,78 @@ EccService::processBatch(WorkerContext &ctx, WorkerStats &st,
         if (r->status != ServiceStatus::Ok)
             failed++;
     }
-    st.ops.fetch_add(batch.size(), std::memory_order_relaxed);
+    uint64_t opsBefore =
+        st.ops.fetch_add(batch.size(), std::memory_order_relaxed);
     st.batches.fetch_add(1, std::memory_order_relaxed);
     if (failed)
         st.failed.fetch_add(failed, std::memory_order_relaxed);
+
+    if (ring) {
+        // Request spans tile end-to-end latency exactly:
+        // queue_wait (enqueue → pop) + drain_wait (pop → drain
+        // begin) + compute (drain begin → done) == dur. All stamps
+        // come from the tracer clock, so the attribution table can
+        // reconstruct the p99 decomposition without residue.
+        uint64_t endUs = tracer->toUs(now);
+        for (ServiceRequest *r : batch) {
+            uint64_t enqUs =
+                std::min(tracer->toUs(r->enqueuedAt), drainBeginUs);
+            uint64_t popUs =
+                std::clamp(r->poppedAtUs, enqUs, drainBeginUs);
+            obs::SpanRecord s;
+            s.name = serviceOpName(r->op);
+            s.cat = "service";
+            s.traceId = r->traceId;
+            s.spanId = tracer->newSpanId();
+            s.parentId = drainSpan;
+            s.beginUs = enqUs;
+            s.endUs = std::max(endUs, drainBeginUs);
+            s.arg0Name = "queue_wait_us";
+            s.arg0 = popUs - enqUs;
+            s.arg1Name = "drain_wait_us";
+            s.arg1 = drainBeginUs - popUs;
+            ring->push(s);
+        }
+        obs::SpanRecord d;
+        d.name = "drain";
+        d.cat = "service";
+        d.spanId = drainSpan;
+        d.beginUs = drainBeginUs;
+        d.endUs = std::max(tracer->toUs(now), drainBeginUs);
+        d.arg0Name = "batch";
+        d.arg0 = batch.size();
+        d.arg1Name = "worker";
+        d.arg1 = idx;
+        ring->push(d);
+    }
+
+    if (!flightSources.empty()) {
+        // Flight triggers: a Verify that rejected its signature or a
+        // hardened recomputation that disagreed is the service-level
+        // "verify mismatch" anomaly. Times are per-worker op
+        // ordinals, so a deterministic workload dumps
+        // byte-identically.
+        obs::FlightRecorder::Source *src = flightSources[idx];
+        uint64_t ord = opsBefore;
+        for (ServiceRequest *r : batch) {
+            ord++;
+            bool rejected = r->op == ServiceOp::Verify &&
+                            r->status == ServiceStatus::Ok &&
+                            !r->verifyOk;
+            bool hardenedFailed =
+                r->status == ServiceStatus::HardenedFailed;
+            if (!rejected && !hardenedFailed)
+                continue;
+            src->record(ord, "verify_mismatch",
+                        csprintf("%s %s %s",
+                                 serviceOpName(r->op),
+                                 serviceCurveName(r->curve),
+                                 rejected ? "signature rejected"
+                                          : r->error.c_str()),
+                        r->traceId, static_cast<uint64_t>(idx));
+            flight->trigger("service_verify_mismatch");
+        }
+    }
 
     // Publish the outputs: everything above happens-before this
     // release store, which the caller's acquire load in wait() pairs

@@ -36,6 +36,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.hh"
+#include "obs/trace.hh"
 #include "service/context.hh"
 #include "service/queue.hh"
 #include "service/request.hh"
@@ -99,6 +101,33 @@ class EccService
     /** Per-worker latency percentile estimate in microseconds. */
     double latencyPercentileUs(double p) const;
 
+    /**
+     * Attach a span tracer (nullptr detaches); call before start().
+     * While the tracer is enabled, trySubmit stamps a fresh trace ID
+     * on every request and each worker records one "drain" span per
+     * micro-batch with per-request child spans (queue-wait /
+     * drain-wait stage arguments) plus per-group amortization spans
+     * into its own ring. Attached-but-disabled costs a relaxed load
+     * per submit and per worker wake — results stay bit-identical
+     * either way (pinned by tests/test_obs.cc).
+     */
+    void setTracer(obs::SpanTracer *t);
+
+    /**
+     * Attach a flight recorder (nullptr detaches); call before
+     * start(). Workers record verify-mismatch / hardened-failure
+     * events (and fire a dump trigger); trySubmit records the onset
+     * of queue-full backpressure. Event times are logical per-worker
+     * op ordinals, never the wall clock.
+     */
+    void setFlightRecorder(obs::FlightRecorder *f);
+
+    /** trySubmit refusals due to a full shard queue (backpressure). */
+    uint64_t backpressureRefusals() const
+    {
+        return refusals.load(std::memory_order_relaxed);
+    }
+
   private:
     struct WorkerStats
     {
@@ -122,7 +151,8 @@ class EccService
 
     void workerLoop(unsigned idx);
     void processBatch(WorkerContext &ctx, WorkerStats &st,
-                      std::vector<ServiceRequest *> &batch);
+                      std::vector<ServiceRequest *> &batch,
+                      unsigned idx);
     void processSingle(WorkerContext &ctx, ServiceRequest &req);
     void processSignBatch(WorkerContext &ctx,
                           std::vector<ServiceRequest *> &reqs);
@@ -142,6 +172,14 @@ class EccService
     std::atomic<bool> accepting{true};
     std::atomic<bool> running{false};
     std::atomic<uint64_t> roundRobin{0};
+
+    // Observability (src/obs/): optional, attach before start().
+    obs::SpanTracer *tracer = nullptr;
+    obs::FlightRecorder *flight = nullptr;
+    std::vector<obs::SpanRing *> traceRings;        // per worker
+    std::vector<obs::FlightRecorder::Source *> flightSources;
+    obs::FlightRecorder::Source *flightSubmit = nullptr;
+    std::atomic<uint64_t> refusals{0};
 };
 
 } // namespace jaavr

@@ -1,7 +1,9 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace jaavr
@@ -67,9 +69,23 @@ LogLevel
 logLevel()
 {
     // Latched on first use: the level is an environment property of
-    // the process, not something to re-read per message.
-    static const LogLevel level = envLogLevel();
-    return level;
+    // the process, not something to re-read per message. warn() and
+    // inform() now run on service worker threads, so the per-call
+    // check must stay a relaxed load plus compare — the magic-static
+    // guard acquire is pushed into the one-time slow path below
+    // (call_once also serializes getenv against concurrent first
+    // callers).
+    static std::atomic<int> cached{-1};
+    static std::once_flag parsed;
+    int v = cached.load(std::memory_order_relaxed);
+    if (v >= 0)
+        return static_cast<LogLevel>(v);
+    std::call_once(parsed, [] {
+        cached.store(static_cast<int>(envLogLevel()),
+                     std::memory_order_relaxed);
+    });
+    return static_cast<LogLevel>(
+        cached.load(std::memory_order_relaxed));
 }
 
 void

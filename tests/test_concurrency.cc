@@ -8,16 +8,20 @@
  * lock-free queue survives a multi-producer stress run without
  * losing or duplicating items, and a running multi-worker service
  * fed from several submitter threads completes every request
- * correctly.
+ * correctly. The span tracer rides the same contract: one shared
+ * SpanTracer feeding per-thread rings under full contention must
+ * keep span IDs globally unique and every ring internally ordered.
  */
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 
 #include "avr/machine.hh"
 #include "avrasm/assembler.hh"
 #include "curves/standard_curves.hh"
+#include "obs/trace.hh"
 #include "service/service.hh"
 
 using namespace jaavr;
@@ -203,6 +207,55 @@ TEST(Concurrency, QueueMultiProducerStress)
     for (size_t i = 0; i < seen.size(); i++)
         ASSERT_EQ(int(seen[i]), 1) << "tag " << i;
     EXPECT_EQ(q.sizeApprox(), 0u);
+}
+
+TEST(Concurrency, TracerSpanIdsStayUniqueAcrossThreads)
+{
+    // N producer threads hammer one shared tracer, each through its
+    // own ring (the single-producer contract): the atomic ID counter
+    // must hand out globally unique span IDs, every ring must retain
+    // its own pushes in order, and nothing may be lost below the
+    // ring capacity.
+    constexpr int kThreads = 8;
+    constexpr int kSpans = 4000;
+    obs::SpanTracer tracer(kSpans); // capacity >= pushes: no drops
+    tracer.setEnabled(true);
+
+    std::vector<obs::SpanRing *> rings;
+    for (int t = 0; t < kThreads; t++)
+        rings.push_back(tracer.ring("thread" + std::to_string(t)));
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++)
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kSpans; i++) {
+                obs::SpanRecord r;
+                r.name = "tick";
+                r.cat = "stress";
+                r.traceId = tracer.newTraceId();
+                r.spanId = tracer.newSpanId();
+                r.beginUs = uint64_t(i);
+                r.endUs = uint64_t(i) + 1;
+                rings[t]->push(r);
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(tracer.totalRecorded(), uint64_t(kThreads) * kSpans);
+    EXPECT_EQ(tracer.totalDropped(), 0u);
+    std::set<uint64_t> ids;
+    for (const auto &[source, records] : tracer.snapshotAll()) {
+        ASSERT_EQ(records.size(), size_t(kSpans)) << source;
+        for (size_t i = 0; i < records.size(); i++) {
+            // Per-ring ordering: this producer's own push order.
+            EXPECT_EQ(records[i].beginUs, uint64_t(i)) << source;
+            ids.insert(records[i].spanId);
+            ids.insert(records[i].traceId);
+        }
+    }
+    // Trace and span IDs share one counter space: all distinct.
+    EXPECT_EQ(ids.size(), size_t(2) * kThreads * kSpans);
 }
 
 TEST(Concurrency, ManySubmittersOneService)

@@ -16,11 +16,15 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "avrasm/assembler.hh"
 #include "avrgen/opf_harness.hh"
 #include "debug/server.hh"
 #include "field/opf_field.hh"
 #include "nt/opf_prime.hh"
+#include "obs/flight.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 
@@ -403,6 +407,64 @@ TEST(GdbServer, InterruptStopsAContinue)
     for (int i = 0; i < 3 && srv.alive(); i++)
         gdb.pump();
     EXPECT_FALSE(srv.alive());
+}
+
+TEST(GdbServer, FlightAndTraceMonitorCommands)
+{
+    Machine m(CpuMode::CA);
+    m.loadProgram(assemble("nop\nret\n", "mon").words, 0);
+    DebugTarget target(m);
+    LoopbackTransport wire;
+    GdbServer srv(target, wire);
+    RspClient gdb(srv, wire);
+    EXPECT_EQ(gdb.request("QStartNoAckMode"), "OK");
+    gdb.noAck = true;
+
+    // Nothing attached yet: the commands degrade with a hint, not
+    // an "unknown command" error.
+    EXPECT_NE(gdb.monitor("flight").find("no flight recorder attached"),
+              std::string::npos);
+    EXPECT_NE(gdb.monitor("trace status").find("no span tracer"),
+              std::string::npos);
+
+    // Attach both, seed one flight event, and drive the commands the
+    // way jaavr-gdb --flight wires them up.
+    std::string dumpPath =
+        std::string(testing::TempDir()) + "/jaavr_gdb_flight.json";
+    std::remove(dumpPath.c_str());
+    obs::FlightRecorder flight;
+    flight.setDumpPath(dumpPath);
+    flight.source("iss")->record(42, "trap", "illegal opcode", 6, 0);
+    obs::SpanTracer tracer;
+    srv.setFlightRecorder(&flight, dumpPath);
+    srv.setTracer(&tracer);
+
+    EXPECT_NE(gdb.monitor("help").find("flight dump"),
+              std::string::npos);
+    std::string status = gdb.monitor("flight");
+    EXPECT_NE(status.find("1 sources"), std::string::npos) << status;
+    EXPECT_NE(status.find("1 events"), std::string::npos) << status;
+
+    std::string dump = gdb.monitor("flight dump");
+    EXPECT_NE(dump.find("flight dump written to"), std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find(dumpPath), std::string::npos) << dump;
+    std::ifstream in(dumpPath);
+    ASSERT_TRUE(in.good()) << dumpPath;
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_NE(header.find("\"reason\":\"gdb_monitor\""),
+              std::string::npos)
+        << header;
+    // On-demand dumps are not anomalies: the trigger count stays 0.
+    EXPECT_EQ(flight.triggers(), 0u);
+
+    std::string trace = gdb.monitor("trace status");
+    EXPECT_NE(trace.find("tracer idle"), std::string::npos) << trace;
+    tracer.setEnabled(true);
+    EXPECT_NE(gdb.monitor("trace status").find("tracer enabled"),
+              std::string::npos);
+    std::remove(dumpPath.c_str());
 }
 
 TEST(GdbServer, UnknownPacketsGetEmptyReplies)

@@ -26,6 +26,7 @@
 #include "avrgen/opf_harness.hh"
 #include "debug/server.hh"
 #include "nt/opf_prime.hh"
+#include "obs/flight.hh"
 #include "support/ihex.hh"
 #include "support/logging.hh"
 
@@ -66,6 +67,10 @@ usage(const char *argv0)
                  "else CSV; marker metadata\n"
                  "                    goes to FILE.meta.json; "
                  "`monitor leakage` shows status)\n"
+                 "  --flight FILE     arm the flight recorder: machine "
+                 "traps dump the last\n"
+                 "                    events to FILE; `monitor flight "
+                 "dump` writes on demand\n"
                  "  --slice N         ISS cycles per continue slice "
                  "(default 200000)\n",
                  argv0);
@@ -132,6 +137,7 @@ main(int argc, char **argv)
     IssBackend backend = IssBackend::Superblock;
     std::string image = "opf160";
     std::string loadFile, exportFile, logPath, vcdPath, leakPath;
+    std::string flightPath;
     long entry = -1;
     uint64_t slice = 200000;
 
@@ -173,6 +179,8 @@ main(int argc, char **argv)
             vcdPath = next();
         } else if (arg == "--leak-trace") {
             leakPath = next();
+        } else if (arg == "--flight") {
+            flightPath = next();
         } else if (arg == "--slice") {
             slice = std::strtoull(next(), nullptr, 0);
         } else if (arg == "--help" || arg == "-h") {
@@ -294,12 +302,25 @@ main(int argc, char **argv)
                     leakPath.c_str(), leak.model().describe().c_str());
     }
 
+    obs::FlightRecorder flight;
+    std::unique_ptr<obs::MachineTrapFlight> trapFlight;
+    if (!flightPath.empty()) {
+        flight.setDumpPath(flightPath);
+        trapFlight =
+            std::make_unique<obs::MachineTrapFlight>(flight, "iss");
+        m->setTrapSink(trapFlight.get());
+        std::printf("flight recorder armed, dumps to %s\n",
+                    flightPath.c_str());
+    }
+
     CallGraphProfiler profiler(*m, symbols);
     GdbServer server(target, tcp);
     server.setSymbols(symbols);
     server.setProfiler(&profiler);
     if (!leakPath.empty())
         server.setLeakTracer(&leak);
+    if (!flightPath.empty())
+        server.setFlightRecorder(&flight, flightPath);
     server.setSliceCycles(slice);
     std::FILE *log = nullptr;
     if (!logPath.empty()) {

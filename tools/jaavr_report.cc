@@ -18,6 +18,13 @@
  *    flat JSON object (the same validation CI applies with
  *    `python3 -m json.tool --json-lines`). The *last* matching line
  *    per baseline wins, so re-running a bench supersedes older rows.
+ *  - `--optional FILE` inputs (the TRACE_*.json exports) may be
+ *    absent — a bench run without tracing simply doesn't produce
+ *    them — and an absent optional is noted on stderr and skipped.
+ *    A *present* optional is held to the same validation as any
+ *    input: a malformed line is an error (exit 2), never silently
+ *    ignored, so a truncated artifact can't masquerade as "tracing
+ *    was off".
  *
  * Outputs:
  *  - REPORT_trajectory.json (override with --out): one JSON line per
@@ -63,6 +70,7 @@ struct Options
     std::string out = "REPORT_trajectory.json";
     std::string markdown;
     std::vector<std::string> inputs;
+    std::vector<std::string> optionalInputs;
     double thresholdPct = 2.0;
     bool gate = false;
 };
@@ -77,6 +85,8 @@ usage(const char *argv0)
         "  --out FILE         trajectory output "
         "(default REPORT_trajectory.json)\n"
         "  --markdown FILE    also write the markdown table to FILE\n"
+        "  --optional FILE    input that may be absent (TRACE_*.json);\n"
+        "                     a present-but-malformed file still errors\n"
         "  --threshold PCT    regression gate threshold (default 2)\n"
         "  --gate             exit 1 on paper-pinned regression/missing\n",
         argv0);
@@ -182,6 +192,8 @@ main(int argc, char **argv)
             opt.out = value();
         } else if (arg == "--markdown") {
             opt.markdown = value();
+        } else if (arg == "--optional") {
+            opt.optionalInputs.push_back(value());
         } else if (arg == "--threshold") {
             opt.thresholdPct = std::atof(value());
         } else if (arg == "--gate") {
@@ -198,7 +210,7 @@ main(int argc, char **argv)
             opt.inputs.push_back(arg);
         }
     }
-    if (opt.inputs.empty()) {
+    if (opt.inputs.empty() && opt.optionalInputs.empty()) {
         usage(argv[0]);
         return 2;
     }
@@ -218,6 +230,20 @@ main(int argc, char **argv)
     for (const std::string &path : opt.inputs)
         if (!readJsonLines(path, lines))
             return 2;
+    // Optional inputs: absence is legal (the producing bench ran
+    // without tracing), but a file that *exists* must validate like
+    // any other input — malformed is an error, not "absent".
+    for (const std::string &path : opt.optionalInputs) {
+        if (!std::ifstream(path)) {
+            std::fprintf(stderr,
+                         "report: optional input %s not present, "
+                         "skipping (bench ran without tracing?)\n",
+                         path.c_str());
+            continue;
+        }
+        if (!readJsonLines(path, lines))
+            return 2;
+    }
 
     // Truncate the trajectory file: a report run replaces, not
     // appends — the bench JSON lines are the accumulating record.
